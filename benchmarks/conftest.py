@@ -1,0 +1,51 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports. Absolute joules are smaller than
+the paper's (transfers are scaled — DESIGN.md §5); the *shape* assertions
+(who wins, by what factor, where crossovers fall) are the reproduction.
+
+Environment knobs:
+
+* ``GREENENVY_BENCH_BYTES``  — per-flow transfer size (default 12.5 MB
+  for the two-flow experiments, 20 MB for the CCA grid)
+* ``GREENENVY_BENCH_REPS``   — repetitions per scenario (default 2)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.figures.grid import run_cca_mtu_grid
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer env override with a default."""
+    return int(os.environ.get(name, default))
+
+
+BENCH_REPS = env_int("GREENENVY_BENCH_REPS", 2)
+TWO_FLOW_BYTES = env_int("GREENENVY_BENCH_BYTES", 12_500_000)
+GRID_BYTES = env_int("GREENENVY_BENCH_GRID_BYTES", 20_000_000)
+
+
+@pytest.fixture(scope="session")
+def cca_mtu_grid():
+    """The §4.3-§4.5 grid, run once and shared by the Fig. 5-8 benches."""
+    return run_cca_mtu_grid(
+        transfer_bytes=GRID_BYTES,
+        repetitions=BENCH_REPS,
+        base_seed=0,
+    )
+
+
+def run_benchmarked(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are system experiments, not microbenchmarks: a single round
+    reports the experiment's wall time without re-running a multi-minute
+    simulation five times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

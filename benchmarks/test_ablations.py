@@ -1,0 +1,98 @@
+"""Ablation benches: which modelling choices carry the results?
+
+Beyond the paper — DESIGN.md's design-choice sensitivity studies:
+* concavity on/off (Theorem 1's premise),
+* BBR2 alpha-quality knobs on/off,
+* DCTCP's ECN marking threshold,
+* bottleneck buffer depth vs retransmissions.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_benchmarked
+from repro.figures.ablation import (
+    bbr2_alpha_ablation,
+    buffer_ablation,
+    concavity_ablation,
+    concavity_exponent_sweep,
+    ecn_threshold_ablation,
+)
+
+
+def test_concavity_ablation(benchmark):
+    result = run_benchmarked(benchmark, concavity_ablation)
+    print("\n== Ablation: concavity ==")
+    print(f"concave curve FSTI saving: {100 * result.concave_savings_fraction:.1f}%")
+    print(f"linear curve FSTI saving:  {100 * result.linear_savings_fraction:.1f}%")
+    assert result.concave_savings_fraction == pytest.approx(0.163, abs=0.01)
+    assert result.linear_savings_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+def test_concavity_exponent_sensitivity(benchmark):
+    result = run_benchmarked(benchmark, concavity_exponent_sweep)
+    print("\n== Ablation: concavity exponent (80/20 static split) ==")
+    for gamma, saving in sorted(result.items()):
+        print(f"gamma = {gamma:.2f}: saving {100 * saving:.2f}%")
+    # Linear curve: exactly no saving (Theorem 1's boundary case).
+    assert result[1.0] == pytest.approx(0.0, abs=1e-9)
+    # Every strictly concave exponent saves something...
+    for gamma, saving in result.items():
+        if gamma < 1.0:
+            assert saving > 0, gamma
+    # ...and the *interior*-unfairness saving peaks at moderate gamma:
+    # extreme concavity is nearly flat above zero, so an 80/20 split of
+    # two busy flows stops mattering — only true idling pays there.
+    peak_gamma = max(result, key=result.get)
+    assert 0.2 <= peak_gamma <= 0.8
+    assert result[peak_gamma] > result[min(result)]
+    assert result[peak_gamma] > 0.02
+
+
+def test_bbr2_alpha_ablation(benchmark):
+    result = run_benchmarked(
+        benchmark, lambda: bbr2_alpha_ablation(transfer_bytes=20_000_000)
+    )
+    print("\n== Ablation: BBR2 alpha quality ==")
+    print(f"bbr energy:          {result.bbr_energy_j:.3f} J")
+    print(f"bbr2 (alpha):        {result.alpha_energy_j:.3f} J "
+          f"(+{100 * result.alpha_overhead_vs_bbr:.0f}% vs bbr)")
+    print(f"bbr2 (mature knobs): {result.mature_energy_j:.3f} J "
+          f"(+{100 * result.mature_overhead_vs_bbr:.0f}% vs bbr)")
+    # The alpha knobs explain the bulk of the BBR2-vs-BBR gap.
+    assert result.alpha_overhead_vs_bbr > 0.2
+    assert result.mature_overhead_vs_bbr < 0.5 * result.alpha_overhead_vs_bbr
+
+
+def test_ecn_threshold_ablation(benchmark):
+    result = run_benchmarked(
+        benchmark,
+        lambda: ecn_threshold_ablation(
+            thresholds_bytes=(25 * 1024, 100 * 1024, 400 * 1024),
+            transfer_bytes=20_000_000,
+        ),
+    )
+    print("\n== Ablation: DCTCP marking threshold ==")
+    for threshold, energy in sorted(result.items()):
+        print(f"K = {threshold // 1024:4d} KiB: {energy:.3f} J")
+    energies = list(result.values())
+    # DCTCP keeps working across a 16x threshold range (< 20% spread).
+    assert max(energies) < 1.2 * min(energies)
+
+
+def test_buffer_ablation(benchmark):
+    result = run_benchmarked(
+        benchmark,
+        lambda: buffer_ablation(
+            buffers_bytes=(256 * 1024, 1024 * 1024, 4 * 1024 * 1024),
+            transfer_bytes=20_000_000,
+        ),
+    )
+    print("\n== Ablation: bottleneck buffer depth (cubic) ==")
+    for buffer_bytes, (energy, retx) in sorted(result.items()):
+        print(
+            f"buffer {buffer_bytes // 1024:5d} KiB: "
+            f"energy {energy:.3f} J, retransmissions {retx}"
+        )
+    retx_by_buffer = [r for _b, (_e, r) in sorted(result.items())]
+    # Shallower buffers lose more packets.
+    assert retx_by_buffer[0] >= retx_by_buffer[-1]

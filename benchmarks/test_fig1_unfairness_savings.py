@@ -1,0 +1,41 @@
+"""Figure 1: energy savings over the fair allocation vs unfairness.
+
+Paper claims reproduced here:
+* the TCP fair share (50/50) is the *least* energy-efficient allocation,
+* savings grow monotonically toward the extremes,
+* the full-speed-then-idle schedule saves ~16 %.
+"""
+
+from benchmarks.conftest import BENCH_REPS, TWO_FLOW_BYTES, run_benchmarked
+from repro.figures.fig1 import run_fig1
+
+
+def test_fig1_unfairness_savings(benchmark):
+    result = run_benchmarked(
+        benchmark,
+        lambda: run_fig1(
+            transfer_bytes=TWO_FLOW_BYTES,
+            fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+            repetitions=BENCH_REPS,
+        ),
+    )
+    print("\n== Figure 1: savings over fair allocation ==")
+    print(result.format_table())
+    print(f"max savings: {result.max_savings_percent:.1f}% (paper: ~16%)")
+
+    fair = result.fair_point
+    # Fair is the most expensive allocation in the sweep.
+    for point in result.points:
+        if point is not fair:
+            assert point.mean_energy_j < fair.mean_energy_j, point.label
+    # The serialized extreme is the cheapest and lands near 16 %.
+    fsti_savings = result.savings_vs_fair_percent(result.fsti_point)
+    assert 12.0 <= fsti_savings <= 20.0
+    # Savings grow monotonically away from fair (allowing noise slack).
+    ordered = sorted(
+        (p for p in result.points if p.flow0_fraction is not None),
+        key=lambda p: p.flow0_fraction,
+    )
+    upper = [p for p in ordered if p.flow0_fraction >= 0.5]
+    savings = [result.savings_vs_fair_percent(p) for p in upper]
+    assert all(b >= a - 0.75 for a, b in zip(savings, savings[1:]))

@@ -1,0 +1,50 @@
+"""Figure 2: rate of energy consumption vs throughput for a CUBIC sender.
+
+Paper claims reproduced here:
+* power is a strictly concave, increasing function of throughput,
+* the curve passes the paper's anchors (21.49 W idle, 34.23 W at 5 Gb/s,
+  35.82 W at 10 Gb/s),
+* full-speed-then-idle (the chord) draws less average power than smooth
+  sending at every interior throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPS, run_benchmarked
+from repro.analysis.concavity import chord_always_below, is_concave, is_increasing
+from repro.energy import calibration as cal
+from repro.figures.fig2 import run_fig2
+
+
+def test_fig2_power_vs_throughput(benchmark):
+    result = run_benchmarked(
+        benchmark,
+        lambda: run_fig2(window_s=0.01, repetitions=BENCH_REPS),
+    )
+    print("\n== Figure 2: power vs throughput ==")
+    print(result.format_table())
+
+    smooth = result.smooth_curve()
+    assert is_increasing(smooth, tol=0.3)
+    # tol covers residual measurement noise on the nearly-flat tail; the
+    # concavity signal (9+ W/Gbps marginal at the bottom vs <0.5 at the
+    # top) is two orders of magnitude larger.
+    assert is_concave(smooth, tol=0.5)
+
+    by_target = {p.target_gbps: p.mean_power_w for p in result.smooth}
+    assert by_target[0.0] == pytest.approx(cal.P_IDLE_W, rel=0.02)
+    assert by_target[5.0] == pytest.approx(cal.P_HALF_RATE_W, rel=0.03)
+    assert by_target[10.0] == pytest.approx(cal.P_LINE_RATE_W, rel=0.03)
+
+    # §4.1's marginal-power observation: the first 5 Gb/s cost ~60 % more
+    # power, the next 5 Gb/s only ~5 %.
+    first = (by_target[5.0] - by_target[0.0]) / by_target[0.0]
+    second = (by_target[10.0] - by_target[5.0]) / by_target[5.0]
+    assert first > 0.45
+    assert second < 0.10
+
+    # The burst-then-idle chord beats the curve at interior points.
+    chord = {p.target_gbps: p.mean_power_w for p in result.full_speed_then_idle}
+    for t, smooth_power in by_target.items():
+        if 0.5 <= t <= 9.5:
+            assert chord[t] < smooth_power

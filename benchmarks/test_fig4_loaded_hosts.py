@@ -1,0 +1,51 @@
+"""Figure 4 / §4.2: power vs bitrate under background load, and the
+full-speed-then-idle savings at each load level.
+
+Paper claims reproduced here:
+* the power curve shifts up and flattens as `stress` load grows,
+* full-speed-then-idle still saves ~1 % at 25 % load and ~0.17 % at 75 %,
+* at $10k/rack/year x 100k racks, 1 % is ~$10M/year.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPS, run_benchmarked
+from repro.core.savings import DatacenterCostModel
+from repro.figures.fig4 import run_fig4
+
+
+def test_fig4_loaded_hosts(benchmark):
+    result = run_benchmarked(
+        benchmark,
+        lambda: run_fig4(window_s=0.01, repetitions=BENCH_REPS),
+    )
+    print("\n== Figure 4: power vs bitrate under load ==")
+    print(result.format_table())
+
+    savings = {
+        load: result.savings_fsti_vs_fair_percent(load)
+        for load in result.loads()
+    }
+    for load, pct in savings.items():
+        print(f"FSTI savings at {100 * load:.0f}% load: {pct:.2f}%")
+
+    # Monotone decrease of the savings with load.
+    ordered = [savings[load] for load in sorted(savings)]
+    assert all(b < a for a, b in zip(ordered, ordered[1:]))
+
+    # Paper's reported points.
+    assert savings[0.0] == pytest.approx(16.3, abs=1.5)
+    assert savings[0.25] == pytest.approx(1.0, abs=0.5)
+    assert savings[0.75] == pytest.approx(0.17, abs=0.15)
+
+    # §4.2's extrapolation: ~1 % at 25 % load is ~$10M/year at scale.
+    dollars = DatacenterCostModel().annual_savings_usd(savings[0.25] / 100.0)
+    print(f"25%-load savings at datacenter scale: ${dollars / 1e6:.1f}M/year")
+    assert 5e6 < dollars < 20e6
+
+    # Curves flatten: the 10 Gb/s uplift over idle shrinks with load.
+    def uplift(load):
+        curve = {p.target_gbps: p.mean_power_w for p in result.curves[load]}
+        return curve[10.0] - curve[0.0]
+
+    assert uplift(0.75) < 0.25 * uplift(0.0)

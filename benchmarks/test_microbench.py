@@ -1,0 +1,113 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Unlike the figure benches (one-shot experiments), these are classic
+multi-round pytest-benchmark measurements: event-kernel throughput,
+interval bookkeeping, the power-model arithmetic and a full small
+transfer. They guard against performance regressions that would make
+the figure benches unusably slow.
+"""
+
+import random
+
+from repro.energy.power_model import IntervalActivity, PowerModel
+from repro.net.packet import Packet
+from repro.net.queue import PriorityQueue
+from repro.sim.engine import Simulator
+from repro.tcp.ranges import RangeSet
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule + execute 10k events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_rangeset_mixed_workload(benchmark):
+    """SACK-style interval churn: adds, queries, trims."""
+    rng = random.Random(7)
+    operations = [
+        (rng.randrange(0, 1_000_000), rng.randrange(1, 9000))
+        for _ in range(2_000)
+    ]
+
+    def run():
+        rs = RangeSet()
+        for start, length in operations:
+            rs.add(start, start + length)
+            rs.first_missing_after(start)
+        rs.trim_below(500_000)
+        return rs.total_bytes
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_power_model_arithmetic(benchmark):
+    """Per-interval power evaluation (runs once per sample per package)."""
+    model = PowerModel()
+    activity = IntervalActivity(
+        duration_s=1e-3,
+        wire_bytes=1_250_000,
+        packet_events=200,
+        cc_cost_units=100.0,
+        retransmissions=2,
+    )
+
+    def run():
+        total = 0.0
+        for _ in range(1_000):
+            total += model.power_w(activity)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_priority_queue_churn(benchmark):
+    """pFabric enqueue/dequeue under multi-flow contention."""
+    rng = random.Random(3)
+    arrivals = [
+        (rng.randrange(8), rng.randrange(1, 1_000_000)) for _ in range(2_000)
+    ]
+
+    def run():
+        queue = PriorityQueue(capacity_bytes=200_000)
+        delivered = 0
+        for flow, priority in arrivals:
+            queue.enqueue(
+                Packet(
+                    flow_id=flow, src="a", dst="b",
+                    payload_bytes=1000, priority=priority,
+                )
+            )
+            if queue.occupancy_bytes > 100_000:
+                packet = queue.dequeue()
+                delivered += packet is not None
+        return delivered
+
+    delivered = benchmark(run)
+    assert delivered > 0
+
+
+def test_end_to_end_small_transfer(benchmark):
+    """A complete 1 MB CUBIC transfer through the full stack."""
+    from repro.apps.iperf import IperfSession, run_until_complete
+    from repro.net.topology import TestbedConfig, build_testbed
+
+    def run():
+        sim = Simulator()
+        testbed = build_testbed(sim, TestbedConfig())
+        session = IperfSession(testbed, total_bytes=1_000_000)
+        result = run_until_complete(testbed, [session])[0]
+        return result.bytes_transferred
+
+    transferred = benchmark(run)
+    assert transferred == 1_000_000

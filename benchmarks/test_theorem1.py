@@ -1,0 +1,52 @@
+"""Theorem 1: the fair share is the most power-hungry allocation.
+
+Verifies the theorem numerically on the calibrated power curve and on a
+family of synthetic strictly-concave curves, and cross-checks the
+analytic prediction against the simulated Fig. 1 endpoints.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_benchmarked
+from repro.core.theorem import (
+    is_strictly_concave_on,
+    theorem1_savings,
+    worst_allocation_is_fair,
+)
+from repro.energy.power_model import PowerModel
+
+
+def test_theorem1(benchmark):
+    model = PowerModel()
+    p = model.smooth_sending_power_w
+
+    def verify():
+        results = {}
+        results["concave"] = is_strictly_concave_on(p, 0.0, 10.0)
+        for n in (2, 3, 4, 8):
+            results[f"fair_is_worst_n{n}"] = worst_allocation_is_fair(
+                p, 10.0, n=n, trials=2000
+            )
+        # synthetic concave families
+        for gamma in (0.2, 0.5, 0.8):
+            curve = lambda x, g=gamma: x**g  # noqa: E731
+            results[f"powerlaw_{gamma}"] = worst_allocation_is_fair(
+                curve, 10.0, n=3, trials=1000
+            )
+        results["log_curve"] = worst_allocation_is_fair(
+            lambda x: math.log1p(x), 10.0, n=3, trials=1000
+        )
+        return results
+
+    results = run_benchmarked(benchmark, verify)
+    print("\n== Theorem 1 verification ==")
+    for name, ok in results.items():
+        print(f"{name}: {'PASS' if ok else 'FAIL'}")
+    assert all(results.values())
+
+    # The analytic extreme-allocation saving matches the paper's 16.3 %.
+    saving = theorem1_savings(p, 10.0, [10.0, 0.0])
+    print(f"extreme-allocation saving on calibrated curve: {100 * saving:.1f}%")
+    assert saving == pytest.approx(0.163, abs=0.01)

@@ -1,0 +1,8 @@
+"""Setuptools shim so editable installs work without the `wheel` package
+(this environment is offline; PEP 660 editable installs need bdist_wheel).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Fairness-convergence analysis for competing flows.
+
+Classic congestion-control evaluation (the paper's §2 lists fairness
+[34] among the standard metrics): given per-flow throughput timeseries,
+compute the Jain index over time and the time until the allocation
+stays fair. Used by tests to verify that our CCA implementations
+actually converge, and by the friendliness experiment to label pairings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.fairness import jain_index
+from repro.errors import AnalysisError
+from repro.sim.trace import TimeSeries
+
+
+def fairness_over_time(
+    series: Sequence[TimeSeries],
+) -> List[Tuple[float, float]]:
+    """Per-sample (time, Jain index) for aligned throughput series.
+
+    Samples where every flow is idle are skipped (fairness of nothing
+    is undefined); series are aligned by index, which holds for probes
+    sharing one interval.
+    """
+    if len(series) < 2:
+        raise AnalysisError("fairness needs >= 2 flows")
+    length = min(len(s) for s in series)
+    if length == 0:
+        raise AnalysisError("empty throughput series")
+    out: List[Tuple[float, float]] = []
+    for i in range(length):
+        values = [s.values[i] for s in series]
+        if all(v <= 0 for v in values):
+            continue
+        # Jain over active+idle flows, zeros included (an idle flow IS
+        # unfairness), but guard the all-zero case above.
+        floor = [max(v, 0.0) for v in values]
+        if sum(floor) <= 0:
+            continue
+        out.append((series[0].times[i], jain_index([v + 1e-9 for v in floor])))
+    if not out:
+        raise AnalysisError("no active samples")
+    return out
+
+
+def convergence_time(
+    series: Sequence[TimeSeries],
+    threshold: float = 0.95,
+    hold_samples: int = 5,
+) -> Optional[float]:
+    """First time the Jain index stays above ``threshold`` for
+    ``hold_samples`` consecutive samples; None if it never converges."""
+    points = fairness_over_time(series)
+    run = 0
+    for i, (t, fairness) in enumerate(points):
+        if fairness >= threshold:
+            run += 1
+            if run >= hold_samples:
+                return points[i - hold_samples + 1][0]
+        else:
+            run = 0
+    return None
+
+
+def mean_fairness(series: Sequence[TimeSeries]) -> float:
+    """Average Jain index over the active window."""
+    points = fairness_over_time(series)
+    return sum(f for _t, f in points) / len(points)

@@ -1,0 +1,33 @@
+"""Traffic applications: iperf3-style sessions and throughput probes."""
+
+from repro.apps.iperf import (
+    ECN_ALGORITHMS,
+    IntervalReport,
+    IperfResult,
+    IperfSession,
+    run_until_complete,
+)
+from repro.apps.probe import ThroughputProbe
+from repro.apps.workload import (
+    DATA_MINING_CDF,
+    WEB_SEARCH_CDF,
+    FlowArrival,
+    Workload,
+    generate_workload,
+    sample_flow_size,
+)
+
+__all__ = [
+    "IperfSession",
+    "IperfResult",
+    "IntervalReport",
+    "run_until_complete",
+    "ThroughputProbe",
+    "ECN_ALGORITHMS",
+    "Workload",
+    "FlowArrival",
+    "generate_workload",
+    "sample_flow_size",
+    "WEB_SEARCH_CDF",
+    "DATA_MINING_CDF",
+]

@@ -1,0 +1,288 @@
+"""iperf3-style bulk-transfer sessions.
+
+The paper generates all traffic with ``iperf3 -n <bytes> [-b <rate>]``.
+:class:`IperfSession` reproduces that: it wires a
+:class:`~repro.tcp.sender.TcpSender` / :class:`~repro.tcp.receiver.TcpReceiver`
+pair across a testbed, optionally pacing the *application* writes to hit
+a target bitrate (iperf3's ``-b`` works at the application layer, above
+TCP — which is how the paper caps one flow's throughput in Fig. 1), and
+reports an :class:`IperfResult` with the fields the paper's analysis
+uses: completion time, retransmissions, mean throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.net.topology import Testbed
+from repro.sim.timer import PeriodicTimer
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.cc.registry import factory as cca_factory
+from repro.units import BITS_PER_BYTE
+
+_flow_ids = itertools.count(1)
+
+#: application write-pacing tick for rate-limited sessions
+WRITE_INTERVAL_S = 200e-6
+
+#: CCAs that negotiate ECN on the connection by default
+ECN_ALGORITHMS = frozenset({"dctcp", "bbr2", "dcqcn"})
+
+
+@dataclass
+class IntervalReport:
+    """One row of iperf3's ``-i`` interval output."""
+
+    start_s: float
+    end_s: float
+    bytes_acked: int
+    retransmissions: int
+    cwnd_bytes: int
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Goodput over the interval."""
+        duration = self.end_s - self.start_s
+        if duration <= 0:
+            return 0.0
+        return self.bytes_acked * BITS_PER_BYTE / duration
+
+
+@dataclass
+class IperfResult:
+    """Summary of one completed transfer (iperf3's closing report)."""
+
+    flow_id: int
+    cca: str
+    bytes_transferred: int
+    start_time: float
+    end_time: float
+    retransmissions: int
+
+    @property
+    def duration_s(self) -> float:
+        """Flow completion time ("Iperf Time" in the paper's Fig. 7)."""
+        return self.end_time - self.start_time
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        """Goodput over the whole transfer."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.bytes_transferred * BITS_PER_BYTE / self.duration_s
+
+
+class IperfSession:
+    """One sender->receiver bulk transfer over a testbed.
+
+    Parameters
+    ----------
+    total_bytes:
+        Transfer size (``iperf3 -n``).
+    cca:
+        Congestion control algorithm name (``-C``).
+    target_bitrate_bps:
+        Application-level pacing (``-b``); None sends as fast as TCP allows.
+    start_time:
+        Virtual time at which the client begins writing; ``None`` leaves
+        the session dormant until :meth:`begin` is called (used for
+        completion-chained full-speed-then-idle schedules).
+    ecn:
+        Force ECN on/off; default enables it for the algorithms that use it.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        total_bytes: int,
+        cca: str = "cubic",
+        target_bitrate_bps: Optional[float] = None,
+        start_time: Optional[float] = 0.0,
+        ecn: Optional[bool] = None,
+        flow_id: Optional[int] = None,
+        cca_kwargs: Optional[dict] = None,
+        report_interval_s: Optional[float] = None,
+    ):
+        if total_bytes <= 0:
+            raise ExperimentError(f"transfer size must be > 0, got {total_bytes}")
+        if target_bitrate_bps is not None and target_bitrate_bps <= 0:
+            raise ExperimentError(
+                f"target bitrate must be > 0, got {target_bitrate_bps}"
+            )
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.total_bytes = total_bytes
+        self.cca = cca
+        self.target_bitrate_bps = target_bitrate_bps
+        self.start_time = start_time
+        self.flow_id = flow_id if flow_id is not None else next(_flow_ids)
+        ecn_capable = ecn if ecn is not None else cca in ECN_ALGORITHMS
+
+        self.receiver = TcpReceiver(
+            self.sim,
+            testbed.receiver,
+            self.flow_id,
+            peer=testbed.sender.name,
+            expected_bytes=total_bytes,
+        )
+        rate_limited = target_bitrate_bps is not None
+        self.sender = TcpSender(
+            self.sim,
+            testbed.sender,
+            self.flow_id,
+            dst=testbed.receiver.name,
+            cca_factory=cca_factory(cca, **(cca_kwargs or {})),
+            total_bytes=total_bytes,
+            ecn_capable=ecn_capable,
+        )
+        if rate_limited:
+            # iperf3 -b: the client writes in paced bursts; TCP below is
+            # unconstrained. Stage the first burst at start time.
+            self.sender.app_bytes = 0
+            self._written = 0
+            self._write_carry = 0.0
+            self._writer = PeriodicTimer(self.sim, WRITE_INTERVAL_S, self._write_tick)
+        else:
+            self._writer = None
+        #: iperf3 -i style interval rows, populated while running
+        self.interval_reports: List[IntervalReport] = []
+        self._reporter: Optional[PeriodicTimer] = None
+        self._report_marker = (0.0, 0, 0)  # (time, delivered, retx)
+        if report_interval_s is not None:
+            if report_interval_s <= 0:
+                raise ExperimentError(
+                    f"report interval must be > 0, got {report_interval_s}"
+                )
+            self._reporter = PeriodicTimer(
+                self.sim, report_interval_s, self._interval_tick
+            )
+        self._begun = False
+        if start_time is not None:
+            self.sim.schedule_at(start_time, self._start)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start a dormant session now (idempotent)."""
+        self._start()
+
+    def uncap(self) -> None:
+        """Remove the application rate cap; remaining data is handed to
+        TCP immediately (the flow then "uses the rest of the link")."""
+        self.target_bitrate_bps = None
+        if self._writer is not None:
+            self._writer.stop()
+            self._writer = None
+            remaining = self.total_bytes - self._written
+            if remaining > 0 and self._begun:
+                self._written = self.total_bytes
+                self.sender.write(remaining)
+            elif remaining > 0:
+                # Not begun yet: _start() will see no writer and the
+                # sender already has the full payload staged.
+                self._written = self.total_bytes
+                self.sender.app_bytes = self.total_bytes
+
+    def _start(self) -> None:
+        if self._begun:
+            return
+        self._begun = True
+        if self.start_time is None:
+            self.start_time = self.sim.now
+        if self._writer is not None:
+            self._write_tick()
+            self._writer.start()
+        if self._reporter is not None:
+            self._report_marker = (self.sim.now, 0, 0)
+            self._reporter.start()
+            self.sender.on_complete(lambda _t: self._finish_reports())
+        self.sender.start()
+
+    def _interval_tick(self) -> None:
+        self._emit_interval()
+
+    def _emit_interval(self) -> None:
+        last_time, last_delivered, last_retx = self._report_marker
+        now = self.sim.now
+        delivered = self.sender.delivered_bytes
+        retx = int(self.sender.counters.get("retransmits"))
+        if now <= last_time:
+            return
+        self.interval_reports.append(
+            IntervalReport(
+                start_s=last_time,
+                end_s=now,
+                bytes_acked=delivered - last_delivered,
+                retransmissions=retx - last_retx,
+                cwnd_bytes=int(self.sender.cca.cwnd),
+            )
+        )
+        self._report_marker = (now, delivered, retx)
+
+    def _finish_reports(self) -> None:
+        if self._reporter is not None:
+            self._reporter.stop()
+            self._emit_interval()  # the final partial interval
+
+    def _write_tick(self) -> None:
+        assert self.target_bitrate_bps is not None
+        budget = self.target_bitrate_bps * WRITE_INTERVAL_S / BITS_PER_BYTE
+        budget += self._write_carry
+        chunk = int(budget)
+        self._write_carry = budget - chunk
+        chunk = min(chunk, self.total_bytes - self._written)
+        if chunk > 0:
+            self._written += chunk
+            self.sender.write(chunk)
+        if self._written >= self.total_bytes and self._writer is not None:
+            self._writer.stop()
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """Whether the transfer is fully acknowledged."""
+        return self.sender.complete
+
+    def result(self) -> IperfResult:
+        """The closing report (only valid once complete)."""
+        if not self.complete:
+            raise ExperimentError(
+                f"flow {self.flow_id} not complete at t={self.sim.now:.6f}"
+            )
+        assert self.sender.completed_at is not None
+        return IperfResult(
+            flow_id=self.flow_id,
+            cca=self.cca,
+            bytes_transferred=self.total_bytes,
+            start_time=self.start_time,
+            end_time=self.sender.completed_at,
+            retransmissions=int(self.sender.counters.get("retransmits")),
+        )
+
+
+def run_until_complete(
+    testbed: Testbed,
+    sessions: List[IperfSession],
+    time_limit_s: float = 600.0,
+) -> List[IperfResult]:
+    """Drive the simulator until every session completes.
+
+    Raises :class:`ExperimentError` if the time limit passes first (a
+    stuck experiment should fail loudly, not return bogus energy).
+    """
+    sim = testbed.sim
+    while not all(s.complete for s in sessions):
+        if sim.now > time_limit_s:
+            stuck = [s.flow_id for s in sessions if not s.complete]
+            raise ExperimentError(
+                f"flows {stuck} incomplete after {time_limit_s}s of virtual time"
+            )
+        if not sim.step():
+            stuck = [s.flow_id for s in sessions if not s.complete]
+            raise ExperimentError(f"event queue drained with flows {stuck} stuck")
+    return [s.result() for s in sessions]

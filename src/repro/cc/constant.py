@@ -1,0 +1,63 @@
+"""The paper's custom no-CC baseline kernel module.
+
+§3: "we have created a new kernel module that replaces any CC mechanism
+with a large, constant cwnd value. We use this module as the baseline to
+compare the energy consumption of CC-only computations."
+
+The window never moves: no slow start, no reduction on loss or ECN, no
+reaction at RTO beyond what the sender's retransmission machinery does
+on its own. Retransmission timeouts, SACK and loss recovery still work —
+they live in the sender, exactly as the paper's module keeps "the same
+logic for other TCP mechanisms".
+
+As in the paper (footnote 2), this module must never be used when
+multiple flows share a bottleneck: it would drive the network into
+congestion collapse. :class:`~repro.harness.experiment` enforces that.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import AckEvent, CongestionControl
+
+
+class ConstantCwnd(CongestionControl):
+    """Fixed, large congestion window: the no-CC baseline."""
+
+    name = "baseline"
+    #: no cwnd recomputation at all — the cheapest possible ACK handler
+    ack_cost_units = 0.3
+    #: the custom module blasts past the host qdisc's backpressure —
+    #: "its large cwnd value makes the sender bursty which causes queuing
+    #: at the network as well as the sender host" (§4.3)
+    respects_tsq = False
+    #: ... and retries the moment any qdisc slot opens, wasting CPU
+    #: transmit slots on packets the queue then discards again
+    qdisc_retry_watermark = 0.995
+
+    #: default window, segments; "large" relative to the testbed BDP
+    #: (10 Gb/s x 40 µs = 50 KB ~ 6 full-size segments) and to the host
+    #: qdisc, so the sender is burst-limited only by the app and the wire.
+    DEFAULT_WINDOW_SEGMENTS = 1400
+
+    def __init__(self, ctx, window_segments: int = DEFAULT_WINDOW_SEGMENTS):
+        super().__init__(ctx)
+        self.cwnd = window_segments * ctx.mss
+        self.ssthresh = float("inf")
+
+    def on_ack(self, event: AckEvent) -> None:
+        self.ctx.charge(self.ack_cost_units)
+
+    def on_dupack(self, event: AckEvent) -> None:
+        self.ctx.charge(self.ack_cost_units * 0.5)
+
+    def on_congestion_event(self, event: AckEvent) -> None:
+        self.ctx.charge(self.ack_cost_units)
+
+    def on_ecn(self, event: AckEvent) -> None:
+        self.ctx.charge(self.ack_cost_units)
+
+    def on_rto(self) -> None:
+        self.ctx.charge(self.ack_cost_units)
+
+    def on_recovery_exit(self) -> None:
+        """The window is constant — recovery does not change it."""

@@ -1,0 +1,50 @@
+"""Windowed max/min filters used by BBR's model estimators."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class WindowedFilter:
+    """Track the max (or min) of a stream over a sliding time window.
+
+    Samples older than ``window`` seconds are evicted lazily on update
+    and query. This is a simplified (deque-scan) version of the
+    three-slot estimator in the Linux BBR code — fine at simulation ACK
+    rates.
+    """
+
+    def __init__(self, window_s: float, mode: str = "max"):
+        if window_s <= 0:
+            raise ValueError(f"window must be > 0, got {window_s}")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.window_s = window_s
+        self.mode = mode
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def _better(self, a: float, b: float) -> bool:
+        return a >= b if self.mode == "max" else a <= b
+
+    def update(self, now: float, value: float) -> None:
+        """Insert a sample taken at virtual time ``now``."""
+        # Remove samples the new one dominates (monotonic deque).
+        while self._samples and self._better(value, self._samples[-1][1]):
+            self._samples.pop()
+        self._samples.append((now, value))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        while self._samples and now - self._samples[0][0] > self.window_s:
+            self._samples.popleft()
+
+    def get(self, now: Optional[float] = None) -> Optional[float]:
+        """Current filtered value, or None if no recent samples."""
+        if now is not None:
+            self._evict(now)
+        return self._samples[0][1] if self._samples else None
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()

@@ -1,0 +1,340 @@
+"""``greenenvy`` command-line interface.
+
+One subcommand per paper artifact::
+
+    greenenvy fig1                 # unfairness-savings sweep
+    greenenvy fig2                 # power vs throughput curve
+    greenenvy fig3                 # fair vs serialized timeseries
+    greenenvy fig4                 # loaded-host power curves
+    greenenvy grid                 # the CCA x MTU grid feeding figs 5-8
+    greenenvy theorem              # Theorem 1 numeric verification
+    greenenvy advise 1e9 5e8 2e9   # green-schedule a batch of transfers
+
+Sizes are scaled down from the paper's (DESIGN.md §5) so every command
+finishes in seconds to minutes on a laptop; pass ``--bytes``/``--reps``
+to trade time for fidelity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser, default_bytes: int) -> None:
+    parser.add_argument(
+        "--bytes", type=int, default=default_bytes,
+        help="per-flow transfer size in bytes",
+    )
+    parser.add_argument("--reps", type=int, default=3, help="repetitions per point")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.figures.fig1 import run_fig1
+
+    result = run_fig1(
+        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed
+    )
+    print(result.format_table())
+    print(f"\nmax savings vs fair: {result.max_savings_percent:.1f}% "
+          f"(paper: ~16%)")
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.figures.fig2 import run_fig2
+
+    result = run_fig2(repetitions=args.reps, base_seed=args.seed)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.figures.fig3 import run_fig3
+
+    result = run_fig3(transfer_bytes=args.bytes, seed=args.seed)
+    for panel in ("fair", "fsti"):
+        print(f"\n== {panel} ==")
+        for flow, series in result.panel(panel):
+            samples = " ".join(f"{v / 1e9:.1f}" for v in series.values)
+            print(f"flow {flow} (Gb/s per ms): {samples}")
+        means = ", ".join(f"{m:.2f}" for m in result.mean_throughputs_gbps(panel))
+        print(f"window-average throughputs: {means} Gb/s")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.figures.fig4 import run_fig4
+
+    result = run_fig4(repetitions=args.reps, base_seed=args.seed)
+    print(result.format_table())
+    for load in result.loads():
+        print(
+            f"full-speed-then-idle savings at load {100 * load:.0f}%: "
+            f"{result.savings_fsti_vs_fair_percent(load):.2f}%"
+        )
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.figures.fig5 import fig5_from_grid
+    from repro.figures.fig6 import fig6_from_grid
+    from repro.figures.fig7 import fig7_from_grid
+    from repro.figures.fig8 import fig8_from_grid
+    from repro.figures.grid import run_cca_mtu_grid
+
+    grid = run_cca_mtu_grid(
+        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed
+    )
+    if getattr(args, "json", None):
+        from repro.analysis.export import save_json
+
+        save_json([cell.result for cell in grid.cells], args.json)
+        print(f"wrote raw measurements to {args.json}\n")
+    fig5 = fig5_from_grid(grid)
+    fig6 = fig6_from_grid(grid)
+    fig7 = fig7_from_grid(grid)
+    fig8 = fig8_from_grid(grid)
+    print("== Figure 5: energy ==")
+    print(fig5.format_table())
+    print(f"\nBBR2 vs BBR energy overhead @9000: "
+          f"{100 * fig5.bbr2_vs_bbr_fraction(9000):.0f}% (paper: ~40%)")
+    print("\n== Figure 6: power ==")
+    print(fig6.format_table())
+    print(f"\ncorr(energy, power) @1500: "
+          f"{fig6.energy_power_correlation(1500):.2f} (paper: -0.8)")
+    print(f"\ncorr(energy, fct): {fig7.energy_fct_correlation():.2f}")
+    print(f"corr(energy, retx) excl bbr2: {fig8.correlation():.2f} "
+          f"(paper: 0.47)")
+    return 0
+
+
+def _cmd_theorem(args: argparse.Namespace) -> int:
+    from repro.core.theorem import worst_allocation_is_fair
+    from repro.energy.power_model import PowerModel
+
+    model = PowerModel()
+    p = lambda t: model.smooth_sending_power_w(t)  # noqa: E731
+    holds = worst_allocation_is_fair(p, 10.0, n=args.flows, trials=args.trials)
+    print(
+        f"Theorem 1 over {args.trials} random allocations of {args.flows} "
+        f"flows: fair share is the most expensive — "
+        f"{'CONFIRMED' if holds else 'VIOLATED'}"
+    )
+    return 0 if holds else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import quick_report
+
+    report = quick_report(
+        transfer_bytes=args.bytes, repetitions=args.reps, seed=args.seed
+    )
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} "
+              f"({report.claims_ok}/{report.claims_total} claims ok)")
+    else:
+        print(text)
+    return 0 if report.claims_ok == report.claims_total else 1
+
+
+def _cmd_srpt(args: argparse.Namespace) -> int:
+    from repro.figures.srpt import run_srpt_comparison
+
+    result = run_srpt_comparison(seed=args.seed)
+    print(result.format_table())
+    print(
+        f"\npFabric SRPT: {result.energy_savings_vs_fair('pfabric'):.1%} "
+        f"energy saving, {result.fct_speedup_vs_fair('pfabric'):.2f}x mean FCT"
+    )
+    return 0
+
+
+def _cmd_incast(args: argparse.Namespace) -> int:
+    from repro.figures.incast import run_incast_sweep
+
+    result = run_incast_sweep(aggregate_bytes=args.bytes)
+    print(result.format_table())
+    print(f"\nenergy growth 1 -> {result.points[-1].fan_in} senders: "
+          f"x{result.energy_growth():.2f}")
+    return 0
+
+
+def _cmd_loadbalance(args: argparse.Namespace) -> int:
+    from repro.figures.load_balance import run_hardware_comparison
+
+    today, adaptive = run_hardware_comparison()
+    print(today.format_table())
+    print()
+    print(adaptive.format_table())
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.figures.workload_energy import run_workload_energy
+
+    result = run_workload_energy(
+        distribution=args.distribution, target_load=args.load, seed=args.seed
+    )
+    print(
+        f"{result.workload.name}: {len(result.workload.flows)} flows, "
+        f"offered load {result.workload.offered_load:.2f}\n"
+    )
+    print(result.format_table())
+    print(
+        f"\nSRPT: {result.fct_speedup:.2f}x mean FCT at "
+        f"{result.energy_ratio:.3f}x the energy"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import run_validation, validation_passed
+
+    checks = run_validation()
+    width = max(len(c.name) for c in checks)
+    for check in checks:
+        mark = "ok " if check.ok else "FAIL"
+        print(f"[{mark}] {check.name:<{width}}  expected {check.expected}, "
+              f"got {check.actual}")
+    ok = validation_passed(checks)
+    print(f"\n{'all checks passed' if ok else 'CALIBRATION BROKEN'}")
+    return 0 if ok else 1
+
+
+def _cmd_mptcp(args: argparse.Namespace) -> int:
+    from repro.figures.mptcp import run_mptcp_comparison
+
+    result = run_mptcp_comparison(total_bytes=args.bytes, seed=args.seed)
+    print(result.format_table())
+    print(f"\nspreading subflows across packages costs "
+          f"+{100 * result.spread_penalty():.0f}%")
+    return 0
+
+
+def _cmd_mechanisms(args: argparse.Namespace) -> int:
+    from repro.figures.mechanisms import run_mechanism_breakdown
+
+    result = run_mechanism_breakdown(transfer_bytes=args.bytes)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import EnergyAdvisor
+
+    advisor = EnergyAdvisor()
+    rec = advisor.recommend([int(b) for b in args.sizes])
+    print(f"schedule (serialized, SRPT): {' -> '.join(rec.schedule)}")
+    print(f"fair-share energy:  {rec.fair_energy_j:.2f} J")
+    print(f"serialized energy:  {rec.serialized_energy_j:.2f} J")
+    print(f"saving:             {100 * rec.savings_fraction:.1f}%")
+    value = advisor.annualized_value(rec.savings_fraction)
+    print(f"at 100k-rack scale: ${value / 1e6:.1f}M/year")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="greenenvy",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="unfairness vs energy savings sweep")
+    _add_common(p, default_bytes=12_500_000)
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="power vs throughput curves")
+    _add_common(p, default_bytes=0)
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="fair vs serialized throughput timeseries")
+    _add_common(p, default_bytes=12_500_000)
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="loaded-host power curves")
+    _add_common(p, default_bytes=0)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("grid", help="CCA x MTU grid (figures 5-8)")
+    _add_common(p, default_bytes=25_000_000)
+    p.add_argument("--json", help="also dump raw measurements to this file")
+    p.set_defaults(func=_cmd_grid)
+
+    p = sub.add_parser("theorem", help="verify Theorem 1 numerically")
+    p.add_argument("--flows", type=int, default=2)
+    p.add_argument("--trials", type=int, default=1000)
+    p.set_defaults(func=_cmd_theorem)
+
+    p = sub.add_parser("advise", help="green-schedule a batch of transfers")
+    p.add_argument("sizes", nargs="+", help="transfer sizes in bytes")
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser(
+        "report", help="run the quick end-to-end reproduction report"
+    )
+    _add_common(p, default_bytes=8_000_000)
+    p.add_argument("--output", "-o", help="write markdown to a file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("srpt", help="SRPT transport energy (§5 extension)")
+    _add_common(p, default_bytes=0)
+    p.set_defaults(func=_cmd_srpt)
+
+    p = sub.add_parser("incast", help="incast fan-in energy (§5 extension)")
+    _add_common(p, default_bytes=20_000_000)
+    p.set_defaults(func=_cmd_incast)
+
+    p = sub.add_parser(
+        "loadbalance", help="link imbalance under two switch-power models"
+    )
+    p.set_defaults(func=_cmd_loadbalance)
+
+    p = sub.add_parser(
+        "workload", help="production workloads: fair vs SRPT energy"
+    )
+    _add_common(p, default_bytes=0)
+    p.add_argument(
+        "--distribution", default="web-search",
+        choices=("web-search", "data-mining"),
+    )
+    p.add_argument("--load", type=float, default=0.5)
+    p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser(
+        "validate", help="fast calibration self-check (no simulation)"
+    )
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "mptcp", help="subflow multiplexing energy ([59]'s MPTCP findings)"
+    )
+    _add_common(p, default_bytes=20_000_000)
+    p.set_defaults(func=_cmd_mptcp)
+
+    p = sub.add_parser(
+        "mechanisms",
+        help="per-mechanism energy attribution for each CCA (§5)",
+    )
+    _add_common(p, default_bytes=20_000_000)
+    p.set_defaults(func=_cmd_mechanisms)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``greenenvy`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: energy-aware allocation analysis."""
+
+from repro.core.advisor import AllocationComparison, EnergyAdvisor, Recommendation
+from repro.core.allocation import (
+    AllocationPlan,
+    FlowPlan,
+    fair_split,
+    fig1_allocations,
+    full_speed_then_idle,
+    limited_flow_split,
+)
+from repro.core.fairness import bandwidth_fraction, jain_index, throughput_imbalance
+from repro.core.pareto import ParetoCurve, ParetoPoint, fairness_energy_curve
+from repro.core.savings import (
+    DatacenterCostModel,
+    paper_headline_savings,
+    savings_fraction,
+    savings_percent,
+)
+from repro.core.scheduler import GreenScheduler, ScheduledTransfer, TransferRequest
+from repro.core.theorem import (
+    check_theorem1,
+    fair_allocation,
+    is_strictly_concave_on,
+    theorem1_savings,
+    total_power,
+    worst_allocation_is_fair,
+)
+
+__all__ = [
+    "EnergyAdvisor",
+    "AllocationComparison",
+    "Recommendation",
+    "AllocationPlan",
+    "FlowPlan",
+    "fair_split",
+    "limited_flow_split",
+    "full_speed_then_idle",
+    "fig1_allocations",
+    "jain_index",
+    "throughput_imbalance",
+    "bandwidth_fraction",
+    "fairness_energy_curve",
+    "ParetoCurve",
+    "ParetoPoint",
+    "DatacenterCostModel",
+    "savings_fraction",
+    "savings_percent",
+    "paper_headline_savings",
+    "GreenScheduler",
+    "TransferRequest",
+    "ScheduledTransfer",
+    "check_theorem1",
+    "fair_allocation",
+    "is_strictly_concave_on",
+    "theorem1_savings",
+    "total_power",
+    "worst_allocation_is_fair",
+]

@@ -1,0 +1,120 @@
+"""Energy advisor: the user-facing "what should I do" API.
+
+Downstream users of this library mostly want three questions answered:
+
+1. *How much energy would allocation X cost vs the fair share?*
+   (:meth:`EnergyAdvisor.compare_allocations`)
+2. *What's the cheapest way to run these n transfers?*
+   (:meth:`EnergyAdvisor.recommend`)
+3. *What does that saving mean in dollars at datacenter scale?*
+   (:meth:`EnergyAdvisor.annualized_value`)
+
+Everything here is analytic (power-model arithmetic, no simulation) so it
+answers in microseconds; the simulation-backed figure pipelines serve as
+its validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.savings import DatacenterCostModel
+from repro.core.scheduler import GreenScheduler, TransferRequest
+from repro.core.theorem import is_strictly_concave_on, total_power
+from repro.energy.power_model import PowerModel
+from repro.errors import AnalysisError
+
+
+@dataclass
+class AllocationComparison:
+    """Analytic power comparison between the fair share and another plan."""
+
+    fair_power_w: float
+    alternative_power_w: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Positive when the alternative is cheaper."""
+        return (self.fair_power_w - self.alternative_power_w) / self.fair_power_w
+
+
+class EnergyAdvisor:
+    """Analytic advisor built on the calibrated power model."""
+
+    def __init__(
+        self,
+        capacity_gbps: float = 10.0,
+        model: Optional[PowerModel] = None,
+        load: float = 0.0,
+    ):
+        if capacity_gbps <= 0:
+            raise AnalysisError(f"capacity must be > 0, got {capacity_gbps}")
+        self.capacity_gbps = capacity_gbps
+        self.model = model or PowerModel()
+        self.load = load
+
+    def _p(self, throughput_gbps: float) -> float:
+        return self.model.smooth_sending_power_w(throughput_gbps, self.load)
+
+    def concavity_holds(self) -> bool:
+        """Whether the premise of Theorem 1 holds for the current model."""
+        return is_strictly_concave_on(self._p, 0.0, self.capacity_gbps)
+
+    def compare_allocations(
+        self, throughputs_gbps: Sequence[float]
+    ) -> AllocationComparison:
+        """Compare a concrete allocation against the fair share of the
+        same aggregate."""
+        if not throughputs_gbps:
+            raise AnalysisError("need at least one flow")
+        total = sum(throughputs_gbps)
+        if total > self.capacity_gbps * (1 + 1e-9):
+            raise AnalysisError(
+                f"allocation exceeds capacity ({total} > {self.capacity_gbps})"
+            )
+        n = len(throughputs_gbps)
+        fair = total_power(self._p, [total / n] * n)
+        alt = total_power(self._p, list(throughputs_gbps))
+        return AllocationComparison(fair_power_w=fair, alternative_power_w=alt)
+
+    def recommend(
+        self, transfer_sizes_bytes: Sequence[int]
+    ) -> "Recommendation":
+        """Best known plan for a batch of transfers: serialize at line
+        rate, shortest first."""
+        requests = [
+            TransferRequest(name=f"xfer-{i}", size_bytes=size)
+            for i, size in enumerate(transfer_sizes_bytes)
+        ]
+        scheduler = GreenScheduler(self.capacity_gbps * 1e9, self.model)
+        fair = scheduler.predicted_fair_energy_j(requests)
+        serialized = scheduler.predicted_serialized_energy_j(requests)
+        return Recommendation(
+            schedule=[t.request.name for t in scheduler.schedule(requests)],
+            fair_energy_j=fair,
+            serialized_energy_j=serialized,
+        )
+
+    def annualized_value(
+        self,
+        savings_fraction: float,
+        cost_model: Optional[DatacenterCostModel] = None,
+    ) -> float:
+        """$/year the given fractional saving is worth at DC scale."""
+        cost_model = cost_model or DatacenterCostModel()
+        return cost_model.annual_savings_usd(savings_fraction)
+
+
+@dataclass
+class Recommendation:
+    """Output of :meth:`EnergyAdvisor.recommend`."""
+
+    schedule: List[str]
+    fair_energy_j: float
+    serialized_energy_j: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Energy saved by following the recommendation."""
+        return (self.fair_energy_j - self.serialized_energy_j) / self.fair_energy_j

@@ -1,0 +1,52 @@
+"""Fairness metrics for bandwidth allocations.
+
+The paper argues *against* optimizing these — but quantifying unfairness
+requires them. Jain's index is the standard the CC literature (and the
+paper's reference [34]) uses; we also provide max-min style measures so
+the Fig. 1 sweep can be labelled by "how unfair" each point is.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def jain_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly fair; 1/n means one flow hogs everything.
+    """
+    if not throughputs:
+        raise AnalysisError("need at least one throughput")
+    if any(x < 0 for x in throughputs):
+        raise AnalysisError("throughputs must be non-negative")
+    total = sum(throughputs)
+    squares = sum(x * x for x in throughputs)
+    if squares == 0:
+        raise AnalysisError("all-zero allocation has undefined fairness")
+    return (total * total) / (len(throughputs) * squares)
+
+
+def throughput_imbalance(throughputs: Sequence[float]) -> float:
+    """(max - min) / capacity-share spread, normalized to [0, 1].
+
+    0 for the fair share; 1 when one flow has everything.
+    """
+    if len(throughputs) < 2:
+        raise AnalysisError("imbalance needs >= 2 flows")
+    total = sum(throughputs)
+    if total <= 0:
+        raise AnalysisError("total throughput must be positive")
+    return (max(throughputs) - min(throughputs)) / total
+
+
+def bandwidth_fraction(throughputs: Sequence[float], flow: int = 0) -> float:
+    """Fraction of aggregate bandwidth held by one flow (Fig. 1's x-axis)."""
+    total = sum(throughputs)
+    if total <= 0:
+        raise AnalysisError("total throughput must be positive")
+    if not 0 <= flow < len(throughputs):
+        raise AnalysisError(f"flow index {flow} out of range")
+    return throughputs[flow] / total

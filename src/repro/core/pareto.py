@@ -1,0 +1,88 @@
+"""The fairness-energy tradeoff, quantified.
+
+The paper's title claim is qualitative: *unfair* can be *more
+efficient*. This module makes the tradeoff curve explicit: for two flows
+on one link, sweep the split, and report (Jain fairness index, total
+power) pairs. Under a strictly concave power curve the curve is
+monotone — every increment of fairness costs power — and the marginal
+price of fairness is steepest at the fair end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.fairness import jain_index
+from repro.core.theorem import total_power
+from repro.energy.power_model import PowerModel
+from repro.errors import AnalysisError
+
+
+@dataclass
+class ParetoPoint:
+    """One allocation's fairness and power."""
+
+    flow0_fraction: float
+    fairness: float
+    power_w: float
+
+
+@dataclass
+class ParetoCurve:
+    """The fairness-power tradeoff for n=2 flows on one link."""
+
+    points: List[ParetoPoint]
+    capacity_gbps: float
+
+    def is_monotone(self, tol: float = 1e-9) -> bool:
+        """Whether power increases monotonically with fairness."""
+        ordered = sorted(self.points, key=lambda p: p.fairness)
+        return all(
+            b.power_w >= a.power_w - tol
+            for a, b in zip(ordered, ordered[1:])
+        )
+
+    def price_of_fairness(self) -> float:
+        """Fractional extra power of the fairest vs the unfairest point."""
+        ordered = sorted(self.points, key=lambda p: p.fairness)
+        cheapest, priciest = ordered[0], ordered[-1]
+        if cheapest.power_w <= 0:
+            raise AnalysisError("power must be positive")
+        return (priciest.power_w - cheapest.power_w) / cheapest.power_w
+
+    def format_table(self) -> str:
+        rows = [
+            (f"{100 * p.flow0_fraction:.0f}%", p.fairness, p.power_w)
+            for p in sorted(self.points, key=lambda p: p.flow0_fraction)
+        ]
+        return format_table(
+            ["flow-0 share", "Jain index", "total power (W)"], rows
+        )
+
+
+def fairness_energy_curve(
+    capacity_gbps: float = 10.0,
+    fractions: Sequence[float] = tuple(i / 20 for i in range(1, 20)),
+    model: Optional[PowerModel] = None,
+    load: float = 0.0,
+) -> ParetoCurve:
+    """Analytic sweep of two-flow splits under the calibrated model."""
+    if capacity_gbps <= 0:
+        raise AnalysisError(f"capacity must be > 0, got {capacity_gbps}")
+    model = model or PowerModel()
+    p = lambda t: model.smooth_sending_power_w(t, load)  # noqa: E731
+    points = []
+    for fraction in fractions:
+        if not 0.0 < fraction < 1.0:
+            raise AnalysisError(f"fraction {fraction} outside (0, 1)")
+        split = [fraction * capacity_gbps, (1 - fraction) * capacity_gbps]
+        points.append(
+            ParetoPoint(
+                flow0_fraction=fraction,
+                fairness=jain_index(split),
+                power_w=total_power(p, split),
+            )
+        )
+    return ParetoCurve(points=points, capacity_gbps=capacity_gbps)

@@ -1,0 +1,230 @@
+"""CPU package accounting: turn stack events into energy.
+
+The testbed servers have two CPU packages; RAPL reports energy per
+package, and the paper's per-flow power arithmetic (§4.1: 34.23 W *per
+flow*) corresponds to each flow's processing landing on its own package.
+:class:`CpuModel` reproduces that: it listens to a host's stack events,
+attributes work to per-flow-pinned :class:`CpuPackage` objects, and
+integrates the :class:`~repro.energy.power_model.PowerModel` over virtual
+time.
+
+Integration is flush-based: activity accumulates between flushes and the
+model converts each interval's average rates to watts. A periodic sampler
+(default 5 ms) bounds interval length so rate changes (e.g. the
+full-speed-then-idle phase switch) are resolved; RAPL reads force a flush
+so measurement windows are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.energy.power_model import IntervalActivity, PowerModel
+from repro.errors import EnergyModelError
+from repro.net.host import Host, HostListener
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.timer import PeriodicTimer
+from repro.sim.trace import TimeSeries
+
+DEFAULT_SAMPLE_INTERVAL_S = 5e-3
+
+
+class CpuPackage:
+    """One physical CPU package with its own power curve and RAPL domain."""
+
+    def __init__(self, name: str, model: PowerModel, sim: Simulator):
+        self.name = name
+        self.model = model
+        self.sim = sim
+        #: optional measurement-noise source: each flushed interval's
+        #: power is scaled by ~N(1, sigma), emulating the run-to-run
+        #: variation behind the paper's error bars
+        self.noise_rng = None
+        self.noise_sigma = 0.0
+        self.background_load = 0.0
+        self.energy_j = 0.0
+        #: DRAM-domain energy, integrated alongside the package domain
+        #: (real RAPL exposes them as separate MSRs)
+        self.dram_energy_j = 0.0
+        #: per-mechanism energy attribution (keys from
+        #: PowerModel.COMPONENT_KEYS); sums to energy_j up to noise
+        self.energy_components_j: Dict[str, float] = {
+            key: 0.0 for key in PowerModel.COMPONENT_KEYS
+        }
+        self.power_series = TimeSeries(name=f"{name}-power")
+        self._last_flush = sim.now
+        self._wire_bytes = 0
+        self._packet_events = 0
+        self._cc_units = 0.0
+        self._retransmissions = 0
+
+    # -- accumulation ------------------------------------------------------
+
+    def account_packet(self, wire_bytes: int) -> None:
+        """Charge one packet event of ``wire_bytes`` to this package."""
+        self._wire_bytes += wire_bytes
+        self._packet_events += 1
+
+    def account_cc(self, cost_units: float) -> None:
+        """Charge congestion-control computation."""
+        self._cc_units += cost_units
+
+    def account_retransmission(self) -> None:
+        """Charge one retransmission event."""
+        self._retransmissions += 1
+
+    def set_background_load(self, load: float) -> None:
+        """Change the `stress` load fraction (flushes the open interval)."""
+        if not 0.0 <= load <= 1.0:
+            raise EnergyModelError(f"load must be in [0, 1], got {load}")
+        self.flush()
+        self.background_load = load
+
+    # -- integration -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Close the open interval: convert accumulated activity to energy."""
+        now = self.sim.now
+        duration = now - self._last_flush
+        if duration <= 0:
+            return
+        activity = IntervalActivity(
+            duration_s=duration,
+            wire_bytes=self._wire_bytes,
+            packet_events=self._packet_events,
+            cc_cost_units=self._cc_units,
+            retransmissions=self._retransmissions,
+            background_load=self.background_load,
+        )
+        components = self.model.power_components(activity)
+        power = sum(components.values())
+        dram_power = self.model.dram_power_w(activity)
+        scale = 1.0
+        if self.noise_rng is not None and self.noise_sigma > 0:
+            scale = max(0.0, self.noise_rng.gauss(1.0, self.noise_sigma))
+            power *= scale
+            dram_power *= scale
+        self.energy_j += power * duration
+        self.dram_energy_j += dram_power * duration
+        for key, watts in components.items():
+            self.energy_components_j[key] += watts * scale * duration
+        self.power_series.record(now, power)
+        self._last_flush = now
+        self._wire_bytes = 0
+        self._packet_events = 0
+        self._cc_units = 0.0
+        self._retransmissions = 0
+
+    @property
+    def current_power_w(self) -> float:
+        """Most recent interval's average power (idle level before any)."""
+        if len(self.power_series):
+            return self.power_series.last
+        return self.model.smooth_sending_power_w(0.0, self.background_load)
+
+
+class CpuModel(HostListener):
+    """Attributes one host's stack events to its CPU packages.
+
+    Flows are pinned to packages round-robin on first sight (mirroring
+    the paper's two-flow / two-package setup); :meth:`pin_flow` overrides.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        model: Optional[PowerModel] = None,
+        packages: int = 2,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+    ):
+        if packages < 1:
+            raise EnergyModelError(f"need >= 1 package, got {packages}")
+        self.sim = sim
+        self.host = host
+        self.model = model or PowerModel()
+        self.packages: List[CpuPackage] = [
+            CpuPackage(f"{host.name}-pkg{i}", self.model, sim)
+            for i in range(packages)
+        ]
+        self._flow_pin: Dict[int, CpuPackage] = {}
+        self._next_pin = 0
+        self._sampler = PeriodicTimer(sim, sample_interval_s, self.flush_all)
+        host.add_listener(self)
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin_flow(self, flow_id: int, package_index: int) -> None:
+        """Pin ``flow_id``'s processing to a specific package."""
+        self._flow_pin[flow_id] = self.packages[package_index]
+
+    def package_for(self, flow_id: int) -> CpuPackage:
+        """The package attributed with ``flow_id``'s work (auto-pins)."""
+        pkg = self._flow_pin.get(flow_id)
+        if pkg is None:
+            pkg = self.packages[self._next_pin % len(self.packages)]
+            self._next_pin += 1
+            self._flow_pin[flow_id] = pkg
+        return pkg
+
+    # -- HostListener ------------------------------------------------------
+
+    def on_packet_sent(self, host: Host, packet: Packet) -> None:
+        self.package_for(packet.flow_id).account_packet(packet.wire_bytes)
+
+    def on_packet_received(self, host: Host, packet: Packet) -> None:
+        self.package_for(packet.flow_id).account_packet(packet.wire_bytes)
+
+    def on_retransmit(self, host: Host, packet: Packet) -> None:
+        self.package_for(packet.flow_id).account_retransmission()
+
+    def on_cc_op(
+        self, host: Host, algorithm: str, cost_units: float, flow_id: int
+    ) -> None:
+        self.package_for(flow_id).account_cc(cost_units)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic power sampling."""
+        for pkg in self.packages:
+            pkg._last_flush = self.sim.now
+        self._sampler.start()
+
+    def stop(self) -> None:
+        """Stop sampling (flushes the open interval)."""
+        self.flush_all()
+        self._sampler.stop()
+
+    def flush_all(self) -> None:
+        """Flush every package's open accounting interval."""
+        for pkg in self.packages:
+            pkg.flush()
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy across packages since construction (flushes first)."""
+        self.flush_all()
+        return sum(pkg.energy_j for pkg in self.packages)
+
+    @property
+    def energy_breakdown_j(self) -> Dict[str, float]:
+        """Per-mechanism energy across packages (flushes first)."""
+        self.flush_all()
+        totals = {key: 0.0 for key in PowerModel.COMPONENT_KEYS}
+        for pkg in self.packages:
+            for key, joules in pkg.energy_components_j.items():
+                totals[key] += joules
+        return totals
+
+    def set_background_load(self, load: float) -> None:
+        """Apply a `stress`-style load fraction to every package."""
+        for pkg in self.packages:
+            pkg.set_background_load(load)
+
+    def set_noise(self, rng, sigma: float) -> None:
+        """Enable per-interval power measurement noise on every package."""
+        for pkg in self.packages:
+            pkg.noise_rng = rng
+            pkg.noise_sigma = sigma

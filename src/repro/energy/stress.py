@@ -1,0 +1,58 @@
+"""Background compute load, modelling the Linux ``stress`` tool.
+
+§4.2 runs ``stress`` on a fraction of the end-host's cores while CUBIC
+traffic flows. Here a :class:`StressLoad` sets the background-load
+fraction of a host's CPU packages for a window of virtual time. The
+power consequences live in the calibration tables
+(:data:`repro.energy.calibration.C_LOAD_TABLE` and the attenuation
+table).
+"""
+
+from __future__ import annotations
+
+from repro.energy.cpu import CpuModel
+from repro.errors import EnergyModelError
+from repro.sim.engine import Simulator
+
+
+class StressLoad:
+    """Occupies a fraction of a host's cores with synthetic compute."""
+
+    def __init__(self, sim: Simulator, cpu_model: CpuModel, load: float):
+        if not 0.0 <= load <= 1.0:
+            raise EnergyModelError(f"load fraction must be in [0, 1], got {load}")
+        self.sim = sim
+        self.cpu_model = cpu_model
+        self.load = load
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        """Whether the stress workers are currently running."""
+        return self._active
+
+    def start(self) -> None:
+        """Spin up the stress workers (applies the load immediately)."""
+        self.cpu_model.set_background_load(self.load)
+        self._active = True
+
+    def stop(self) -> None:
+        """Kill the stress workers."""
+        self.cpu_model.set_background_load(0.0)
+        self._active = False
+
+    def run_for(self, duration_s: float) -> None:
+        """Start now and schedule an automatic stop."""
+        self.start()
+        self.sim.schedule(duration_s, self.stop)
+
+    @classmethod
+    def from_cores(
+        cls, sim: Simulator, cpu_model: CpuModel, busy_cores: int, total_cores: int
+    ) -> "StressLoad":
+        """Build from a core count, like ``stress -c <busy_cores>``."""
+        if total_cores <= 0 or not 0 <= busy_cores <= total_cores:
+            raise EnergyModelError(
+                f"invalid core counts {busy_cores}/{total_cores}"
+            )
+        return cls(sim, cpu_model, busy_cores / total_cores)

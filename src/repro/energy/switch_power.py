@@ -1,0 +1,87 @@
+"""Switch power models: load-independent vs energy-proportional ports.
+
+The paper's closing paragraph (§5): prior work finds today's switches
+draw essentially constant power regardless of load [21, 32], while
+Nedevschi et al. [45] argue equipment should sleep and rate-adapt. "If a
+data center contained such equipment, our results imply that there could
+be significant power savings by increasing load imbalance across data
+center links."
+
+:class:`SwitchPowerModel` expresses both hardware generations with one
+parameterization:
+
+    P = chassis + sum over ports of port_power(utilization)
+
+    port_power(u) = sleep_w                          if u == 0 and can sleep
+                  = idle_w + proportional_w * u^gamma  otherwise
+
+* today's hardware: ``proportional_w = 0``, ``sleep_w = idle_w`` — load
+  and balance are irrelevant;
+* rate-adaptive hardware: ``proportional_w > 0`` — consolidating traffic
+  onto fewer links saves energy when gamma < 1 fails... (for gamma = 1
+  the *proportional* term is balance-invariant, so the savings come from
+  sleeping the emptied ports; for gamma > 1 imbalance additionally costs
+  — the model exposes all three regimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import EnergyModelError
+
+
+@dataclass
+class SwitchPowerModel:
+    """Per-switch power as a function of per-port utilization."""
+
+    chassis_w: float = 150.0
+    port_idle_w: float = 1.5
+    #: power added at 100 % port utilization (0 = today's load-independent
+    #: hardware)
+    port_proportional_w: float = 0.0
+    #: exponent of the utilization term (1 = linear rate adaptation)
+    utilization_gamma: float = 1.0
+    #: power of a sleeping (zero-traffic) port; equal to idle_w when the
+    #: hardware cannot sleep
+    port_sleep_w: float = 1.5
+
+    def port_power_w(self, utilization: float) -> float:
+        """One port's power at the given utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise EnergyModelError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        if utilization == 0.0:
+            return self.port_sleep_w
+        return (
+            self.port_idle_w
+            + self.port_proportional_w * utilization**self.utilization_gamma
+        )
+
+    def total_power_w(self, utilizations: Sequence[float]) -> float:
+        """Whole-switch power for a set of port utilizations."""
+        return self.chassis_w + sum(self.port_power_w(u) for u in utilizations)
+
+
+def todays_switch() -> SwitchPowerModel:
+    """Load-independent hardware, as measured by [21, 32]."""
+    return SwitchPowerModel(
+        chassis_w=150.0,
+        port_idle_w=1.5,
+        port_proportional_w=0.0,
+        port_sleep_w=1.5,  # cannot sleep
+    )
+
+
+def rate_adaptive_switch() -> SwitchPowerModel:
+    """The [45]-style hardware the paper's §5 asks for: ports that
+    rate-adapt (linear in utilization) and sleep when idle."""
+    return SwitchPowerModel(
+        chassis_w=150.0,
+        port_idle_w=1.5,
+        port_proportional_w=1.0,
+        utilization_gamma=1.0,
+        port_sleep_w=0.15,  # deep sleep at zero traffic
+    )

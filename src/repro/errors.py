@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Green-With-Envy reproduction library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so applications can catch library errors without
+masking genuine bugs (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class NetworkConfigError(ReproError):
+    """A network element was configured with invalid parameters."""
+
+
+class TcpStateError(ReproError):
+    """A TCP connection was driven through an invalid state transition."""
+
+
+class EnergyModelError(ReproError):
+    """The energy model was configured or queried inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment description is invalid or a run failed to complete."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""

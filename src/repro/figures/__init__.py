@@ -1,0 +1,84 @@
+"""Per-figure reproduction pipelines (Figures 1-8 plus ablations)."""
+
+from repro.figures.ablation import (
+    Bbr2AlphaAblation,
+    ConcavityAblation,
+    bbr2_alpha_ablation,
+    buffer_ablation,
+    concavity_ablation,
+    ecn_threshold_ablation,
+)
+from repro.figures.fig1 import Fig1Point, Fig1Result, run_fig1
+from repro.figures.fig2 import Fig2Point, Fig2Result, run_fig2
+from repro.figures.fig3 import Fig3Result, run_fig3
+from repro.figures.fig4 import Fig4Result, run_fig4
+from repro.figures.fig5 import Fig5Result, fig5_from_grid
+from repro.figures.fig6 import Fig6Result, fig6_from_grid
+from repro.figures.fig7 import Fig7Result, fig7_from_grid
+from repro.figures.fig8 import Fig8Result, fig8_from_grid
+from repro.figures.grid import CcaMtuGrid, GridCell, run_cca_mtu_grid
+from repro.figures.incast import IncastResult, run_incast_point, run_incast_sweep
+from repro.figures.load_balance import (
+    LoadBalanceResult,
+    run_hardware_comparison,
+    run_load_balance,
+)
+from repro.figures.friendliness import (
+    FriendlinessResult,
+    run_friendliness_matrix,
+    run_pairing,
+)
+from repro.figures.mechanisms import MechanismResult, run_mechanism_breakdown
+from repro.figures.mptcp import MptcpResult, run_mptcp_comparison
+from repro.figures.srpt import SrptResult, run_srpt_comparison
+from repro.figures.workload_energy import (
+    WorkloadEnergyResult,
+    run_workload_energy,
+)
+
+__all__ = [
+    "run_srpt_comparison",
+    "SrptResult",
+    "run_incast_sweep",
+    "run_incast_point",
+    "IncastResult",
+    "run_load_balance",
+    "run_hardware_comparison",
+    "LoadBalanceResult",
+    "run_mptcp_comparison",
+    "MptcpResult",
+    "run_mechanism_breakdown",
+    "MechanismResult",
+    "run_friendliness_matrix",
+    "run_pairing",
+    "FriendlinessResult",
+    "run_workload_energy",
+    "WorkloadEnergyResult",
+    "run_fig1",
+    "Fig1Result",
+    "Fig1Point",
+    "run_fig2",
+    "Fig2Result",
+    "Fig2Point",
+    "run_fig3",
+    "Fig3Result",
+    "run_fig4",
+    "Fig4Result",
+    "run_cca_mtu_grid",
+    "CcaMtuGrid",
+    "GridCell",
+    "fig5_from_grid",
+    "Fig5Result",
+    "fig6_from_grid",
+    "Fig6Result",
+    "fig7_from_grid",
+    "Fig7Result",
+    "fig8_from_grid",
+    "Fig8Result",
+    "concavity_ablation",
+    "ConcavityAblation",
+    "bbr2_alpha_ablation",
+    "Bbr2AlphaAblation",
+    "ecn_threshold_ablation",
+    "buffer_ablation",
+]

@@ -1,0 +1,117 @@
+"""Figure 1: energy savings vs bandwidth fraction allocated to flow #1.
+
+Paper setup (§1, §4.1): two CUBIC flows share a 10 Gb/s bottleneck, each
+transferring 10 Gbit. Flow 1 is rate-limited to a fraction of the link,
+flow 2 uses the remainder; total energy is measured from experiment
+start until *both* flows complete. The fair point (50/50) is the most
+expensive; the full-speed-then-idle extreme saves ~16 %.
+
+Scaling: transfers default to 1/100 of the paper's (12.5 MB each), which
+preserves throughputs and powers and shrinks only the duration/energy
+axis (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.allocation import fig1_allocations
+from repro.core.savings import savings_percent
+from repro.harness.experiment import scenario_from_plan
+from repro.harness.runner import RepeatedResult, run_repeated
+from repro.units import gbps
+
+#: paper: 10 Gbit per flow; default scale 1/100
+DEFAULT_TRANSFER_BYTES = 12_500_000
+DEFAULT_CAPACITY_BPS = gbps(10.0)
+
+
+@dataclass
+class Fig1Point:
+    """One x-position of Figure 1."""
+
+    label: str
+    flow0_fraction: Optional[float]
+    result: RepeatedResult
+
+    @property
+    def mean_energy_j(self) -> float:
+        return self.result.mean_energy_j
+
+
+@dataclass
+class Fig1Result:
+    """The full sweep plus derived savings."""
+
+    points: List[Fig1Point]
+
+    @property
+    def fair_point(self) -> Fig1Point:
+        for point in self.points:
+            if point.label == "fair":
+                return point
+        raise LookupError("sweep has no fair point")
+
+    @property
+    def fsti_point(self) -> Fig1Point:
+        for point in self.points:
+            if point.label == "full-speed-then-idle":
+                return point
+        raise LookupError("sweep has no full-speed-then-idle point")
+
+    def savings_vs_fair_percent(self, point: Fig1Point) -> float:
+        """The paper's y-axis: energy saving relative to the fair split."""
+        return savings_percent(self.fair_point.mean_energy_j, point.mean_energy_j)
+
+    @property
+    def max_savings_percent(self) -> float:
+        return max(self.savings_vs_fair_percent(p) for p in self.points)
+
+    def format_table(self) -> str:
+        rows = []
+        for point in self.points:
+            frac = (
+                f"{100 * point.flow0_fraction:.0f}%"
+                if point.flow0_fraction is not None
+                else "-"
+            )
+            rows.append(
+                (
+                    point.label,
+                    frac,
+                    point.mean_energy_j,
+                    point.result.std_energy_j,
+                    self.savings_vs_fair_percent(point),
+                )
+            )
+        return format_table(
+            ["allocation", "flow1 share", "energy (J)", "std (J)", "savings vs fair (%)"],
+            rows,
+        )
+
+
+def run_fig1(
+    transfer_bytes: int = DEFAULT_TRANSFER_BYTES,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    cca: str = "cubic",
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> Fig1Result:
+    """Reproduce the Fig. 1 sweep."""
+    points: List[Fig1Point] = []
+    for plan in fig1_allocations(transfer_bytes, capacity_bps, fractions):
+        scenario = scenario_from_plan(f"fig1-{plan.name}", plan, cca=cca)
+        result = run_repeated(scenario, repetitions=repetitions, base_seed=base_seed)
+        points.append(
+            Fig1Point(
+                label=plan.name,
+                flow0_fraction=plan.flow0_fraction
+                if plan.name != "full-speed-then-idle"
+                else None,
+                result=result,
+            )
+        )
+    return Fig1Result(points=points)

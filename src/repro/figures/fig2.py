@@ -1,0 +1,183 @@
+"""Figure 2: power vs average throughput for a CUBIC sender.
+
+Two series over a fixed measurement window:
+
+* **Sending smoothly** — the flow is application-rate-limited to the
+  target throughput for the whole window (the paper's blue curve). The
+  resulting power curve is strictly concave and increasing.
+* **Full speed, then idle** — the same number of bytes are blasted at
+  line rate, then the host idles for the remainder of the window (the
+  paper's orange tangent line): time-averaged power falls on the chord
+  between p(0) and p(line rate).
+
+A throughput of zero measures the idle server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.energy.cpu import CpuModel
+from repro.energy.meter import EnergyMeter
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.net.topology import TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+
+DEFAULT_WINDOW_S = 0.02
+DEFAULT_THROUGHPUTS_GBPS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+
+
+@dataclass
+class Fig2Point:
+    """One (throughput, power) sample of either series."""
+
+    target_gbps: float
+    mean_power_w: float
+    std_power_w: float
+
+
+@dataclass
+class Fig2Result:
+    """Both series of Figure 2."""
+
+    smooth: List[Fig2Point]
+    full_speed_then_idle: List[Fig2Point]
+
+    def smooth_curve(self) -> List[Tuple[float, float]]:
+        """(throughput, power) points of the smooth-sending series."""
+        return [(p.target_gbps, p.mean_power_w) for p in self.smooth]
+
+    def chord_curve(self) -> List[Tuple[float, float]]:
+        """(throughput, power) points of the burst-then-idle series."""
+        return [(p.target_gbps, p.mean_power_w) for p in self.full_speed_then_idle]
+
+    def format_table(self) -> str:
+        rows = []
+        chord_by_target = {p.target_gbps: p for p in self.full_speed_then_idle}
+        for p in self.smooth:
+            chord = chord_by_target.get(p.target_gbps)
+            rows.append(
+                (
+                    p.target_gbps,
+                    p.mean_power_w,
+                    p.std_power_w,
+                    chord.mean_power_w if chord else float("nan"),
+                )
+            )
+        return format_table(
+            ["throughput (Gb/s)", "smooth power (W)", "std", "burst+idle power (W)"],
+            rows,
+            float_fmt="{:.2f}",
+        )
+
+
+def _measure_idle_power(
+    window_s: float, repetitions: int, base_seed: int, load: float = 0.0
+) -> Fig2Point:
+    """Meter an idle (no-traffic) server over the window."""
+    from repro.analysis.stats import mean, sample_std
+    from repro.sim.rng import RngRegistry
+
+    powers = []
+    for rep in range(repetitions):
+        sim = Simulator()
+        testbed = build_testbed(sim, TestbedConfig())
+        cpu = CpuModel(sim, testbed.sender, packages=1)
+        cpu.set_noise(
+            RngRegistry(base_seed + rep).stream("power-noise"), 0.0015
+        )
+        if load > 0:
+            cpu.set_background_load(load)
+        meter = EnergyMeter(sim, [cpu])
+        meter.start()
+        sim.run(until=window_s)
+        meter.stop()
+        powers.append(meter.average_power_w)
+    return Fig2Point(0.0, mean(powers), sample_std(powers))
+
+
+def _point_scenario(
+    target_gbps: float,
+    window_s: float,
+    burst: bool,
+    cca: str,
+    load: float,
+) -> Scenario:
+    """A single-flow scenario moving ``target * window`` bits."""
+    payload = int(target_gbps * 1e9 * window_s / 8)
+    flow = FlowSpec(
+        total_bytes=payload,
+        cca=cca,
+        target_rate_bps=None if burst else target_gbps * 1e9,
+    )
+    return Scenario(
+        name=f"fig2-{'burst' if burst else 'smooth'}-{target_gbps:g}",
+        flows=[flow],
+        background_load=load,
+        packages=1,
+        # Curve-shape figures need low measurement noise; the paper
+        # plots means of 10 runs, we run fewer reps with a tighter sigma.
+        power_noise_sigma=0.0015,
+    )
+
+
+def _measure_series(
+    throughputs: Sequence[float],
+    window_s: float,
+    burst: bool,
+    cca: str,
+    repetitions: int,
+    base_seed: int,
+    load: float = 0.0,
+) -> List[Fig2Point]:
+    """Measure one series. Power is energy over the *fixed window* (the
+    flow may finish early in burst mode; the host idles until the window
+    closes), so both series share the same denominator."""
+    from repro.analysis.stats import mean, sample_std
+    from repro.harness.runner import run_once
+
+    points: List[Fig2Point] = []
+    for target in throughputs:
+        if target <= 0:
+            points.append(
+                _measure_idle_power(window_s, repetitions, base_seed, load)
+            )
+            continue
+        scenario = _point_scenario(target, window_s, burst, cca, load)
+        powers = []
+        for rep in range(repetitions):
+            m = run_once(scenario, seed=base_seed + rep)
+            # Normalize to the fixed window: after completion the package
+            # idles at p(0), which the window's time-average must include.
+            leftover = max(0.0, window_s - m.duration_s)
+            energy = m.energy_j + _idle_power_for(load) * leftover
+            powers.append(energy / max(window_s, m.duration_s))
+        points.append(Fig2Point(target, mean(powers), sample_std(powers)))
+    return points
+
+
+def _idle_power_for(load: float) -> float:
+    from repro.energy.power_model import PowerModel
+
+    return PowerModel().smooth_sending_power_w(0.0, load)
+
+
+def run_fig2(
+    throughputs_gbps: Sequence[float] = DEFAULT_THROUGHPUTS_GBPS,
+    window_s: float = DEFAULT_WINDOW_S,
+    cca: str = "cubic",
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> Fig2Result:
+    """Reproduce both Figure 2 series."""
+    smooth = _measure_series(
+        throughputs_gbps, window_s, burst=False, cca=cca,
+        repetitions=repetitions, base_seed=base_seed,
+    )
+    burst = _measure_series(
+        throughputs_gbps, window_s, burst=True, cca=cca,
+        repetitions=repetitions, base_seed=base_seed + 1000,
+    )
+    return Fig2Result(smooth=smooth, full_speed_then_idle=burst)

@@ -1,0 +1,89 @@
+"""Figure 3: throughput-over-time for fair vs full-speed-then-idle.
+
+Left panel: two flows hold ~5 Gb/s each until both finish at ~2 s
+(scaled). Right panel: flow 1 runs at ~10 Gb/s then idles while flow 2
+runs at ~10 Gb/s; both average 5 Gb/s over the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once
+from repro.sim.trace import TimeSeries
+from repro.units import gbps
+
+DEFAULT_TRANSFER_BYTES = 12_500_000
+DEFAULT_CAPACITY_BPS = gbps(10.0)
+
+
+@dataclass
+class Fig3Result:
+    """Per-flow throughput series for both panels."""
+
+    fair_series: Dict[int, TimeSeries]
+    fsti_series: Dict[int, TimeSeries]
+    fair_duration_s: float
+    fsti_duration_s: float
+
+    def panel(self, which: str) -> List[Tuple[int, TimeSeries]]:
+        """Ordered (flow, series) pairs for 'fair' or 'fsti'."""
+        series = self.fair_series if which == "fair" else self.fsti_series
+        return sorted(series.items())
+
+    def mean_throughputs_gbps(self, which: str) -> List[float]:
+        """Average per-flow throughput over its panel's full window
+        (idle time included — the paper's point is that every flow in
+        both panels averages C/2 over the experiment)."""
+        duration = (
+            self.fair_duration_s if which == "fair" else self.fsti_duration_s
+        )
+        result = []
+        for _flow, ts in self.panel(which):
+            if not len(ts) or duration <= 0:
+                result.append(0.0)
+                continue
+            interval = (
+                (ts.times[-1] - ts.times[0]) / (len(ts) - 1)
+                if len(ts) > 1
+                else duration
+            )
+            total_bits = sum(ts.values) * interval
+            result.append(total_bits / duration / 1e9)
+        return result
+
+
+def run_fig3(
+    transfer_bytes: int = DEFAULT_TRANSFER_BYTES,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    cca: str = "cubic",
+    probe_interval_s: float = 1e-3,
+    seed: int = 0,
+) -> Fig3Result:
+    """Produce both Figure 3 panels (one run each; it's a timeseries)."""
+    fair = Scenario(
+        "fig3-fair",
+        flows=[
+            FlowSpec(transfer_bytes, cca, target_rate_bps=capacity_bps / 2),
+            FlowSpec(transfer_bytes, cca, target_rate_bps=capacity_bps / 2),
+        ],
+        probe_interval_s=probe_interval_s,
+    )
+    fsti = Scenario(
+        "fig3-fsti",
+        flows=[
+            FlowSpec(transfer_bytes, cca),
+            FlowSpec(transfer_bytes, cca, after_flow=0),
+        ],
+        probe_interval_s=probe_interval_s,
+    )
+    fair_m = run_once(fair, seed=seed)
+    fsti_m = run_once(fsti, seed=seed)
+    return Fig3Result(
+        fair_series=fair_m.throughput_series,
+        fsti_series=fsti_m.throughput_series,
+        fair_duration_s=fair_m.duration_s,
+        fsti_duration_s=fsti_m.duration_s,
+    )

@@ -1,0 +1,74 @@
+"""Figure 5: average energy per CCA and MTU for a fixed transfer.
+
+Paper findings this view must reproduce (§4.3-§4.4):
+
+* every real CCA uses 8.2-14.2 % less energy than the constant-cwnd
+  baseline (BBR2 excepted),
+* BBR2 (alpha) uses ~40 % more energy than BBR,
+* growing the MTU from 1500 to 9000 bytes cuts energy by 13.4-31.9 %
+  depending on the CCA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.errors import AnalysisError
+from repro.figures.grid import CcaMtuGrid
+
+
+@dataclass
+class Fig5Result:
+    """Energy view over the CCA x MTU grid."""
+
+    grid: CcaMtuGrid
+
+    def energy_j(self, cca: str, mtu: int) -> float:
+        return self.grid.cell(cca, mtu).mean_energy_j
+
+    def cca_order_at_mtu(self, mtu: int) -> List[str]:
+        """CCAs sorted by ascending energy at one MTU (the bar order)."""
+        return sorted(self.grid.ccas(), key=lambda c: self.energy_j(c, mtu))
+
+    def baseline_overhead_fraction(self, mtu: int) -> Dict[str, float]:
+        """Per-CCA energy saving vs the baseline (positive = CCA cheaper)."""
+        if "baseline" not in self.grid.ccas():
+            raise AnalysisError("grid lacks the baseline algorithm")
+        base = self.energy_j("baseline", mtu)
+        return {
+            cca: (base - self.energy_j(cca, mtu)) / base
+            for cca in self.grid.ccas()
+            if cca != "baseline"
+        }
+
+    def bbr2_vs_bbr_fraction(self, mtu: int) -> float:
+        """BBR2's extra energy relative to BBR (paper: ~0.40)."""
+        bbr = self.energy_j("bbr", mtu)
+        return (self.energy_j("bbr2", mtu) - bbr) / bbr
+
+    def mtu_savings_fraction(self, cca: str, small: int = 1500, big: int = 9000) -> float:
+        """Energy saved going from the small MTU to the big one."""
+        small_e = self.energy_j(cca, small)
+        return (small_e - self.energy_j(cca, big)) / small_e
+
+    def format_table(self) -> str:
+        mtus = self.grid.mtus()
+        rows = []
+        for cca in self.cca_order_at_mtu(mtus[0]):
+            row: List[object] = [cca]
+            for mtu in mtus:
+                cell = self.grid.cell(cca, mtu)
+                row.append(cell.mean_energy_j)
+                row.append(cell.result.std_energy_j)
+            rows.append(tuple(row))
+        headers = ["cca"]
+        for mtu in mtus:
+            headers += [f"E@{mtu} (J)", "std"]
+        return format_table(headers, rows)
+
+
+def fig5_from_grid(grid: CcaMtuGrid) -> Fig5Result:
+    """Derive the Figure 5 view from a measured grid."""
+    return Fig5Result(grid=grid)

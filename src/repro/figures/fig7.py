@@ -1,0 +1,56 @@
+"""Figure 7: energy vs flow completion time, per CCA and MTU.
+
+§4.5: energy is strongly correlated with FCT, and the scatter separates
+into two clusters — large-MTU runs (fast and cheap, bottom-left) vs
+1500-byte runs (pps-bound, slow and expensive, top-right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.stats import mean, pearson
+from repro.analysis.tables import format_table
+from repro.figures.grid import CcaMtuGrid
+
+
+@dataclass
+class Fig7Result:
+    """Energy-vs-FCT scatter over the grid."""
+
+    grid: CcaMtuGrid
+
+    def points(self) -> List[Tuple[str, int, float, float]]:
+        """(cca, mtu, fct_s, energy_j) for every run."""
+        return self.grid.scatter(x="fct", y="energy")
+
+    def energy_fct_correlation(self) -> float:
+        """corr(FCT, energy) over all runs (paper: strongly positive)."""
+        pts = self.points()
+        return pearson([p[2] for p in pts], [p[3] for p in pts])
+
+    def cluster_means(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """((fct, energy) for MTU-1500 runs, same for MTU >= 3000).
+
+        The paper's inset shows exactly these two clusters.
+        """
+        small = [(p[2], p[3]) for p in self.points() if p[1] == 1500]
+        large = [(p[2], p[3]) for p in self.points() if p[1] != 1500]
+        def _mean(cluster):
+            return (mean([c[0] for c in cluster]), mean([c[1] for c in cluster]))
+        return _mean(small), _mean(large)
+
+    def format_table(self) -> str:
+        rows = [
+            (cca, mtu, fct, energy)
+            for cca, mtu, fct, energy in sorted(self.points())
+        ]
+        return format_table(
+            ["cca", "mtu", "fct (s)", "energy (J)"], rows, float_fmt="{:.4f}"
+        )
+
+
+def fig7_from_grid(grid: CcaMtuGrid) -> Fig7Result:
+    """Derive the Figure 7 view from a measured grid."""
+    return Fig7Result(grid=grid)

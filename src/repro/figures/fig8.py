@@ -1,0 +1,66 @@
+"""Figure 8: energy vs retransmissions, per CCA and MTU.
+
+§4.5: corr(energy, retransmissions) ~= 0.47 once the highly-variable
+BBR2 runs are excluded; the no-CC baseline sits far right (orders of
+magnitude more retransmissions) and high.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.stats import pearson
+from repro.analysis.tables import format_table
+from repro.figures.grid import CcaMtuGrid
+
+
+@dataclass
+class Fig8Result:
+    """Energy-vs-retransmissions scatter over the grid."""
+
+    grid: CcaMtuGrid
+
+    def points(self) -> List[Tuple[str, int, float, float]]:
+        """(cca, mtu, retransmissions, energy_j) for every run."""
+        return self.grid.scatter(x="retransmissions", y="energy")
+
+    def correlation(self, exclude: Tuple[str, ...] = ("bbr2",)) -> float:
+        """corr(retx, energy), excluding the named CCAs (paper: 0.47
+        excluding bbr2)."""
+        pts = [p for p in self.points() if p[0] not in exclude]
+        return pearson([p[2] for p in pts], [p[3] for p in pts])
+
+    def log_correlation(self, exclude: Tuple[str, ...] = ("bbr2",)) -> float:
+        """Correlation on log10(1 + retx) — the figure's log x-axis."""
+        pts = [p for p in self.points() if p[0] not in exclude]
+        return pearson(
+            [math.log10(1.0 + p[2]) for p in pts], [p[3] for p in pts]
+        )
+
+    def most_retransmitting_cca(self) -> str:
+        """CCA with the highest mean retransmission count (paper: baseline)."""
+        return max(
+            self.grid.ccas(),
+            key=lambda c: sum(
+                self.grid.cell(c, m).mean_retransmissions
+                for m in self.grid.mtus()
+            ),
+        )
+
+    def format_table(self) -> str:
+        rows = [
+            (cca, mtu, retx, energy)
+            for cca, mtu, retx, energy in sorted(self.points())
+        ]
+        return format_table(
+            ["cca", "mtu", "retransmissions", "energy (J)"],
+            rows,
+            float_fmt="{:.3f}",
+        )
+
+
+def fig8_from_grid(grid: CcaMtuGrid) -> Fig8Result:
+    """Derive the Figure 8 view from a measured grid."""
+    return Fig8Result(grid=grid)

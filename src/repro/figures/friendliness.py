@@ -1,0 +1,117 @@
+"""§2 extension: CCA friendliness, with the energy dimension attached.
+
+The paper's related work cites Ware et al. [55] ("Beyond Jain's Fairness
+Index") on deployment friendliness. This experiment runs pairs of CCAs
+head-to-head on the shared bottleneck and reports each pairing's
+
+* bandwidth shares (who bullies whom),
+* mean Jain fairness over the contended window, and
+* total energy —
+
+connecting the deployment question to the paper's thesis: an aggressive
+pairing is *unfair*, and by Theorem 1 that very unfairness can make it
+the cheaper deployment.
+
+At the default scaled transfer sizes the shares reflect the *short-flow*
+regime — largely slow-start races (e.g. CUBIC's HyStart exits early and
+cedes to Reno) rather than the steady-state AIMD equilibria of minute-
+long runs; grow ``transfer_bytes`` to probe the long-flow regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.convergence import mean_fairness
+from repro.analysis.tables import format_table
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once
+
+
+@dataclass
+class PairingResult:
+    """One head-to-head pairing."""
+
+    cca_a: str
+    cca_b: str
+    share_a: float
+    mean_fairness: float
+    energy_j: float
+
+    @property
+    def bully(self) -> str:
+        """Which algorithm took the larger share."""
+        return self.cca_a if self.share_a >= 0.5 else self.cca_b
+
+
+@dataclass
+class FriendlinessResult:
+    """The pairing matrix."""
+
+    pairings: List[PairingResult]
+    transfer_bytes: int
+
+    def pairing(self, cca_a: str, cca_b: str) -> PairingResult:
+        for p in self.pairings:
+            if (p.cca_a, p.cca_b) == (cca_a, cca_b):
+                return p
+        raise LookupError(f"no pairing ({cca_a}, {cca_b})")
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                f"{p.cca_a} vs {p.cca_b}",
+                f"{100 * p.share_a:.0f}% / {100 * (1 - p.share_a):.0f}%",
+                p.mean_fairness,
+                p.energy_j,
+            )
+            for p in self.pairings
+        ]
+        return format_table(
+            ["pairing", "shares", "mean Jain", "energy (J)"], rows
+        )
+
+
+def run_pairing(
+    cca_a: str,
+    cca_b: str,
+    transfer_bytes: int = 10_000_000,
+    seed: int = 0,
+) -> PairingResult:
+    """One head-to-head run: both flows start together, same payload."""
+    scenario = Scenario(
+        f"friend-{cca_a}-vs-{cca_b}",
+        flows=[FlowSpec(transfer_bytes, cca_a), FlowSpec(transfer_bytes, cca_b)],
+        probe_interval_s=1e-3,
+    )
+    m = run_once(scenario, seed=seed)
+    results = m.flow_results
+    # share over the contended window: compare goodput while both ran
+    first_done = min(r.end_time for r in results)
+    series = list(m.throughput_series.values())
+    contended = [s.window(0.0, first_done) for s in series]
+    bits = [sum(s.values) for s in contended]
+    total = sum(bits) or 1.0
+    return PairingResult(
+        cca_a=cca_a,
+        cca_b=cca_b,
+        share_a=bits[0] / total,
+        mean_fairness=mean_fairness(series),
+        energy_j=m.energy_j,
+    )
+
+
+def run_friendliness_matrix(
+    ccas: Sequence[str] = ("cubic", "bbr", "reno", "dctcp"),
+    transfer_bytes: int = 10_000_000,
+    seed: int = 0,
+) -> FriendlinessResult:
+    """All ordered-independent pairings of the given CCAs."""
+    pairings = []
+    for i, cca_a in enumerate(ccas):
+        for cca_b in ccas[i + 1:]:
+            pairings.append(
+                run_pairing(cca_a, cca_b, transfer_bytes, seed=seed)
+            )
+    return FriendlinessResult(pairings=pairings, transfer_bytes=transfer_bytes)

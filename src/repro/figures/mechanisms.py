@@ -1,0 +1,110 @@
+"""§5 extension: per-mechanism energy attribution for each CCA.
+
+The paper: "our results in §4.3 does not necessarily expose the
+underlying reason for these differences. We expect such differences to
+stem from unique mechanisms used for each algorithm such as maintained
+flow state, packet pacing, cwnd calculation arithmetic, and so on. We
+plan to investigate the energy consequences of such mechanisms in
+future work."
+
+This experiment runs one transfer per CCA with per-component energy
+accounting turned on and reports where every joule went: the idle
+floor, the concave network term, the small-packet excess, the CC
+arithmetic, the retransmission churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.apps.iperf import IperfSession, run_until_complete
+from repro.energy.cpu import CpuModel
+from repro.energy.meter import EnergyMeter
+from repro.net.topology import TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+
+#: the display subset (idle/load folded into "idle floor")
+REPORT_COMPONENTS = (
+    "idle",
+    "network",
+    "packet_excess",
+    "cc_compute",
+    "retransmissions",
+)
+
+
+@dataclass
+class MechanismRow:
+    """One CCA's energy, attributed."""
+
+    cca: str
+    total_j: float
+    components_j: Dict[str, float]
+
+    def share(self, component: str) -> float:
+        """Fraction of total energy attributed to one mechanism."""
+        if self.total_j <= 0:
+            return 0.0
+        return self.components_j.get(component, 0.0) / self.total_j
+
+
+@dataclass
+class MechanismResult:
+    """The full per-CCA attribution table."""
+
+    rows: List[MechanismRow]
+    transfer_bytes: int
+
+    def row(self, cca: str) -> MechanismRow:
+        for row in self.rows:
+            if row.cca == cca:
+                return row
+        raise LookupError(f"no row for {cca!r}")
+
+    def dominant_component(self, cca: str, ignore=("idle",)) -> str:
+        """The largest non-floor contributor for one CCA."""
+        row = self.row(cca)
+        candidates = {
+            k: v for k, v in row.components_j.items() if k not in ignore
+        }
+        return max(candidates, key=candidates.get)
+
+    def format_table(self) -> str:
+        headers = ["cca", "total (J)"] + [f"{c} (J)" for c in REPORT_COMPONENTS]
+        table_rows = []
+        for row in sorted(self.rows, key=lambda r: r.total_j):
+            cells: List[object] = [row.cca, row.total_j]
+            cells += [row.components_j.get(c, 0.0) for c in REPORT_COMPONENTS]
+            table_rows.append(tuple(cells))
+        return format_table(headers, table_rows)
+
+
+def run_mechanism_breakdown(
+    ccas: Sequence[str] = ("cubic", "bbr", "bbr2", "dctcp", "baseline"),
+    transfer_bytes: int = 20_000_000,
+    mtu: int = 9000,
+) -> MechanismResult:
+    """Measure the per-mechanism energy attribution for each CCA."""
+    rows: List[MechanismRow] = []
+    for cca in ccas:
+        sim = Simulator()
+        testbed = build_testbed(
+            sim, TestbedConfig(mtu_bytes=mtu, int_telemetry=(cca == "hpcc"))
+        )
+        cpu = CpuModel(sim, testbed.sender, packages=1)
+        meter = EnergyMeter(sim, [cpu])
+        session = IperfSession(testbed, total_bytes=transfer_bytes, cca=cca)
+        meter.start()
+        run_until_complete(testbed, [session], time_limit_s=120.0)
+        total = meter.stop()
+        breakdown = cpu.energy_breakdown_j
+        # Fold load + floor adjustment into the idle floor for display.
+        breakdown = dict(breakdown)
+        breakdown["idle"] += breakdown.pop("background_load", 0.0)
+        breakdown["idle"] += breakdown.pop("floor_adjustment", 0.0)
+        rows.append(
+            MechanismRow(cca=cca, total_j=total, components_j=breakdown)
+        )
+    return MechanismResult(rows=rows, transfer_bytes=transfer_bytes)

@@ -1,0 +1,97 @@
+"""§2 extension: subflow multiplexing energy (the MPTCP findings).
+
+The related-work section cites Zhao et al. [59, 60]: CPU energy for the
+transport is proportional to average throughput and path delay, and
+"eliminating link sharing between sub-flows" minimizes CPU consumption
+for the same network resource. "Our work confirms these insights."
+
+This experiment makes that confirmation concrete: move the same payload
+as
+
+* **single** — one flow (the efficient baseline),
+* **subflows-shared** — k parallel subflows multiplexed on one CPU
+  package (MPTCP over one socket's worth of CPU),
+* **subflows-spread** — k parallel subflows pinned to k packages
+  (the worst case [59] warns about: every subflow keeps a core complex
+  awake for the whole transfer).
+
+Expected shape: single <= shared < spread, with the spread penalty
+growing with k — the per-package idle floor is the dominant cost, the
+same concavity economics as the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.tables import format_table
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import RunMeasurement, run_once
+
+
+@dataclass
+class MptcpResult:
+    """Energy of the three subflow placements."""
+
+    measurements: Dict[str, RunMeasurement]
+    subflows: int
+    total_bytes: int
+
+    def energy(self, placement: str) -> float:
+        return self.measurements[placement].energy_j
+
+    def spread_penalty(self) -> float:
+        """Extra energy of per-package subflows vs the single flow."""
+        single = self.energy("single")
+        return (self.energy("subflows-spread") - single) / single
+
+    def format_table(self) -> str:
+        rows = []
+        for name in ("single", "subflows-shared", "subflows-spread"):
+            m = self.measurements[name]
+            rows.append(
+                (
+                    name,
+                    m.energy_j,
+                    m.average_power_w,
+                    m.duration_s * 1e3,
+                )
+            )
+        return format_table(
+            ["placement", "energy (J)", "power (W)", "duration (ms)"], rows
+        )
+
+
+def run_mptcp_comparison(
+    total_bytes: int = 20_000_000,
+    subflows: int = 4,
+    cca: str = "cubic",
+    seed: int = 0,
+) -> MptcpResult:
+    """Compare single-flow vs k-subflow placements for one payload."""
+    per_subflow = total_bytes // subflows
+    single = Scenario(
+        "mptcp-single",
+        flows=[FlowSpec(total_bytes, cca)],
+        packages=1,
+    )
+    shared = Scenario(
+        "mptcp-shared",
+        flows=[FlowSpec(per_subflow, cca) for _ in range(subflows)],
+        packages=1,  # all subflows on one package
+    )
+    spread = Scenario(
+        "mptcp-spread",
+        flows=[FlowSpec(per_subflow, cca) for _ in range(subflows)],
+        packages=subflows,  # one package per subflow
+    )
+    return MptcpResult(
+        measurements={
+            "single": run_once(single, seed=seed),
+            "subflows-shared": run_once(shared, seed=seed),
+            "subflows-spread": run_once(spread, seed=seed),
+        },
+        subflows=subflows,
+        total_bytes=total_bytes,
+    )

@@ -1,0 +1,156 @@
+"""§5 extension: energy of SRPT-approximating transports.
+
+The paper's future-work section: "One intriguing approach would be to
+measure the energy usage of existing transport protocols that
+approximate the Shortest Remaining Processing Time first (SRPT)
+scheduling [pFabric, PIAS, Aeolus, Homa]."
+
+This experiment runs the same mixed-size batch of flows three ways:
+
+* **fair** — FIFO bottleneck, all flows start together: classic TCP
+  sharing, the energy-worst case by Theorem 1;
+* **pfabric** — priority bottleneck (packets carry remaining-bytes
+  priority), all flows start together: the *network* enforces SRPT with
+  no end-host coordination;
+* **serialized** — application-level SRPT (each flow starts when its
+  predecessor completes): the full-speed-then-idle ideal.
+
+Reported per schedule: total energy, mean FCT, makespan. The paper's
+§4.1/§5 prediction is fair > pfabric >= serialized on energy, with
+pfabric also winning mean FCT — SRPT is green *and* fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import RunMeasurement, run_once
+
+#: the batch: mixed sizes like a rack's outbound queue (bytes)
+DEFAULT_BATCH = (20_000_000, 10_000_000, 5_000_000, 2_500_000)
+
+
+@dataclass
+class SrptPoint:
+    """One schedule's outcome."""
+
+    schedule: str
+    measurement: RunMeasurement
+
+    @property
+    def energy_j(self) -> float:
+        return self.measurement.energy_j
+
+    @property
+    def mean_fct_s(self) -> float:
+        return mean([r.duration_s for r in self.measurement.flow_results])
+
+    @property
+    def makespan_s(self) -> float:
+        return self.measurement.completion_time_s
+
+
+@dataclass
+class SrptResult:
+    """All three schedules side by side."""
+
+    points: Dict[str, SrptPoint]
+    batch: Sequence[int]
+
+    def energy_savings_vs_fair(self, schedule: str) -> float:
+        fair = self.points["fair"].energy_j
+        return (fair - self.points[schedule].energy_j) / fair
+
+    def fct_speedup_vs_fair(self, schedule: str) -> float:
+        fair = self.points["fair"].mean_fct_s
+        return fair / self.points[schedule].mean_fct_s
+
+    def format_table(self) -> str:
+        rows = []
+        for name in ("fair", "pfabric", "serialized"):
+            p = self.points[name]
+            rows.append(
+                (
+                    name,
+                    p.energy_j,
+                    100 * self.energy_savings_vs_fair(name),
+                    p.mean_fct_s * 1e3,
+                    p.makespan_s * 1e3,
+                )
+            )
+        return format_table(
+            ["schedule", "energy (J)", "saving (%)", "mean FCT (ms)", "makespan (ms)"],
+            rows,
+        )
+
+
+#: pFabric rate control: start near line rate with ~2xBDP in flight and
+#: let the switch do the scheduling (the pFabric paper's "minimal" rate
+#: control, realized with a small constant window)
+PFABRIC_WINDOW_SEGMENTS = 14
+
+
+def _batch_flows(
+    batch: Sequence[int],
+    cca: str,
+    serialized: bool,
+    cca_kwargs: dict = None,
+) -> List[FlowSpec]:
+    if not serialized:
+        return [FlowSpec(size, cca, cca_kwargs=cca_kwargs) for size in batch]
+    flows = []
+    for i, size in enumerate(sorted(batch)):  # SRPT order
+        flows.append(
+            FlowSpec(
+                size, cca, after_flow=i - 1 if i > 0 else None,
+                cca_kwargs=cca_kwargs,
+            )
+        )
+    return flows
+
+
+def run_srpt_comparison(
+    batch: Sequence[int] = DEFAULT_BATCH,
+    cca: str = "cubic",
+    seed: int = 0,
+) -> SrptResult:
+    """Run the three-schedule comparison.
+
+    The pfabric schedule uses the constant-cwnd "baseline" senders —
+    pFabric's actual design pairs line-rate senders with in-network
+    priority scheduling; window-based CCAs would back off exactly when
+    the scheduler wants them blasting.
+    """
+    n = len(batch)
+    scenarios = {
+        "fair": Scenario(
+            "srpt-fair",
+            flows=_batch_flows(batch, cca, serialized=False),
+            packages=n,
+        ),
+        "pfabric": Scenario(
+            "srpt-pfabric",
+            flows=_batch_flows(
+                batch,
+                "baseline",
+                serialized=False,
+                cca_kwargs={"window_segments": PFABRIC_WINDOW_SEGMENTS},
+            ),
+            bottleneck_discipline="priority",
+            packages=n,
+        ),
+        "serialized": Scenario(
+            "srpt-serialized",
+            flows=_batch_flows(batch, cca, serialized=True),
+            packages=n,
+        ),
+    }
+    points = {
+        name: SrptPoint(name, run_once(scenario, seed=seed))
+        for name, scenario in scenarios.items()
+    }
+    return SrptResult(points=points, batch=batch)

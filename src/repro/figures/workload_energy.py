@@ -1,0 +1,132 @@
+"""§5 extension: energy under production-datacenter workloads.
+
+Runs the published web-search / data-mining flow-size distributions as
+an open-loop Poisson workload through one sender host (the paper's
+"multiplexing multiple flows at the same sender" case) and compares:
+
+* **fair** — every flow is a normal CUBIC connection over the FIFO
+  bottleneck;
+* **srpt** — pFabric-style priority bottleneck with line-rate senders.
+
+Reported: total energy over the busy window, mean and p99-ish FCT. The
+expected shape: on heavy-tailed traffic SRPT slashes mean FCT (mice stop
+waiting behind elephants) at equal-or-better energy — the "green and
+fast" conclusion of §5 under realistic load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.apps.workload import Workload, generate_workload
+from repro.figures.srpt import PFABRIC_WINDOW_SEGMENTS
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import RunMeasurement, run_once
+
+
+@dataclass
+class WorkloadPoint:
+    """One schedule's outcome on one workload."""
+
+    schedule: str
+    measurement: RunMeasurement
+
+    @property
+    def energy_j(self) -> float:
+        return self.measurement.energy_j
+
+    @property
+    def mean_fct_s(self) -> float:
+        return mean([r.duration_s for r in self.measurement.flow_results])
+
+    @property
+    def tail_fct_s(self) -> float:
+        durations = sorted(r.duration_s for r in self.measurement.flow_results)
+        index = max(0, int(0.95 * len(durations)) - 1)
+        return durations[index]
+
+
+@dataclass
+class WorkloadEnergyResult:
+    """fair vs srpt on one generated workload."""
+
+    workload: Workload
+    points: Dict[str, WorkloadPoint]
+
+    @property
+    def fct_speedup(self) -> float:
+        return self.points["fair"].mean_fct_s / self.points["srpt"].mean_fct_s
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.points["srpt"].energy_j / self.points["fair"].energy_j
+
+    def format_table(self) -> str:
+        rows = []
+        for name in ("fair", "srpt"):
+            p = self.points[name]
+            rows.append(
+                (
+                    name,
+                    p.energy_j,
+                    p.mean_fct_s * 1e3,
+                    p.tail_fct_s * 1e3,
+                )
+            )
+        return format_table(
+            ["schedule", "energy (J)", "mean FCT (ms)", "p95 FCT (ms)"],
+            rows,
+        )
+
+
+def _scenario(workload: Workload, schedule: str) -> Scenario:
+    flows: List[FlowSpec] = []
+    for arrival in workload.flows:
+        if schedule == "fair":
+            flows.append(
+                FlowSpec(
+                    arrival.size_bytes, "cubic",
+                    start_time_s=arrival.start_time_s,
+                )
+            )
+        else:
+            flows.append(
+                FlowSpec(
+                    arrival.size_bytes,
+                    "baseline",
+                    start_time_s=arrival.start_time_s,
+                    cca_kwargs={"window_segments": PFABRIC_WINDOW_SEGMENTS},
+                )
+            )
+    return Scenario(
+        name=f"workload-{workload.name}-{schedule}",
+        flows=flows,
+        packages=1,  # one sender host: the multiplexing case
+        bottleneck_discipline="priority" if schedule == "srpt" else "fifo",
+        time_limit_s=600.0,
+    )
+
+
+def run_workload_energy(
+    distribution: str = "web-search",
+    target_load: float = 0.5,
+    duration_s: float = 0.03,
+    seed: int = 0,
+) -> WorkloadEnergyResult:
+    """Generate one workload and run it under both schedules."""
+    workload = generate_workload(
+        distribution=distribution,
+        target_load=target_load,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    points = {
+        schedule: WorkloadPoint(
+            schedule, run_once(_scenario(workload, schedule), seed=seed)
+        )
+        for schedule in ("fair", "srpt")
+    }
+    return WorkloadEnergyResult(workload=workload, points=points)

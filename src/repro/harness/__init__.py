@@ -1,0 +1,23 @@
+"""Experiment orchestration: scenarios, runner, repetition statistics."""
+
+from repro.harness.experiment import FlowSpec, Scenario, scenario_from_plan
+from repro.harness.runner import (
+    RepeatedResult,
+    RunMeasurement,
+    run_once,
+    run_repeated,
+)
+from repro.harness.sweep import Sweep, SweepResults, SweepRow
+
+__all__ = [
+    "FlowSpec",
+    "Scenario",
+    "scenario_from_plan",
+    "RunMeasurement",
+    "RepeatedResult",
+    "run_once",
+    "run_repeated",
+    "Sweep",
+    "SweepResults",
+    "SweepRow",
+]

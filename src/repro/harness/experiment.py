@@ -1,0 +1,146 @@
+"""Experiment descriptions.
+
+A :class:`Scenario` is a declarative description of one measured run —
+the simulation analogue of the paper's experiment scripts: which flows
+(CCA, size, rate cap, start), which MTU, how much background load, and
+how the energy window is measured. The runner
+(:mod:`repro.harness.runner`) realizes scenarios against fresh testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.allocation import AllocationPlan
+from repro.errors import ExperimentError
+
+
+@dataclass
+class FlowSpec:
+    """One flow of a scenario."""
+
+    total_bytes: int
+    cca: str = "cubic"
+    #: iperf3 -b style application rate cap; None = unlimited
+    target_rate_bps: Optional[float] = None
+    #: virtual start time; ignored when ``after_flow`` is set
+    start_time_s: float = 0.0
+    #: index of a flow in the same scenario that must *complete* before
+    #: this one starts (the full-speed-then-idle chaining)
+    after_flow: Optional[int] = None
+    #: index of a flow whose completion lifts this flow's rate cap
+    #: (Fig. 1: the capped flow "uses the rest of the link" afterwards)
+    uncap_after: Optional[int] = None
+    #: force ECN on/off (None = per-CCA default)
+    ecn: Optional[bool] = None
+    #: extra keyword arguments for the CCA constructor (e.g. the
+    #: baseline's window_segments, bbr2's alpha_quality)
+    cca_kwargs: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ExperimentError(f"flow size must be > 0, got {self.total_bytes}")
+
+
+@dataclass
+class Scenario:
+    """A full measured experiment."""
+
+    name: str
+    flows: List[FlowSpec]
+    mtu_bytes: int = 9000
+    background_load: float = 0.0
+    #: measure the receiver's packages too (paper: sender-side per-flow
+    #: arithmetic, so default False)
+    meter_receiver: bool = False
+    #: per-rep power measurement noise (~RAPL/system noise); the paper's
+    #: error bars come from exactly this kind of run-to-run variation
+    power_noise_sigma: float = 0.004
+    #: per-rep flow start jitter in seconds (decorrelates repetitions)
+    start_jitter_s: float = 5e-6
+    #: wall clock ceiling for the virtual experiment
+    time_limit_s: float = 600.0
+    #: sampling interval for CPU power integration
+    sample_interval_s: float = 1e-3
+    #: CPU packages to model/meter (None = max(2, n_flows)); single-flow
+    #: power figures use 1 so the reading is per-flow, like the paper's
+    packages: Optional[int] = None
+    #: throughput probe interval (None = no probes)
+    probe_interval_s: Optional[float] = None
+    #: testbed overrides
+    buffer_bytes: Optional[int] = None
+    ecn_threshold_bytes: Optional[int] = field(default=100 * 1024)
+    host_packet_gap_s: Optional[float] = None
+    #: bottleneck scheduling: "fifo" or "priority" (pFabric/SRPT)
+    bottleneck_discipline: str = "fifo"
+    #: stamp INT at the bottleneck (required by hpcc)
+    int_telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ExperimentError(f"scenario {self.name!r} has no flows")
+        if not 0.0 <= self.background_load <= 1.0:
+            raise ExperimentError(
+                f"background load must be in [0, 1], got {self.background_load}"
+            )
+        baselines = sum(1 for f in self.flows if f.cca == "baseline")
+        concurrent = sum(1 for f in self.flows if f.after_flow is None)
+        if (
+            baselines
+            and len(self.flows) > 1
+            and concurrent > 1
+            and self.bottleneck_discipline != "priority"
+        ):
+            # Footnote 2 of the paper: the no-CC module must never share
+            # a FIFO bottleneck — it would cause congestion collapse.
+            # (A pFabric-style priority bottleneck is the exception: its
+            # whole design is line-rate senders + in-network scheduling.)
+            raise ExperimentError(
+                "the constant-cwnd baseline cannot run concurrently with "
+                "other flows (paper footnote 2)"
+            )
+        for i, flow in enumerate(self.flows):
+            if flow.after_flow is not None and not (
+                0 <= flow.after_flow < len(self.flows)
+            ):
+                raise ExperimentError(
+                    f"flow {i} chains after nonexistent flow {flow.after_flow}"
+                )
+            if flow.after_flow == i:
+                raise ExperimentError(f"flow {i} cannot chain after itself")
+
+    def with_name(self, name: str) -> "Scenario":
+        """A copy under a different name."""
+        return replace(self, name=name)
+
+
+def scenario_from_plan(
+    name: str,
+    plan: AllocationPlan,
+    cca: str = "cubic",
+    serialize_extreme: bool = True,
+    **kwargs,
+) -> Scenario:
+    """Build a scenario from a :class:`~repro.core.allocation.AllocationPlan`.
+
+    The full-speed-then-idle plan is realized with completion chaining
+    (flow i+1 starts when flow i finishes) rather than nominal start
+    times when ``serialize_extreme`` is True, matching how the paper runs
+    it (the second flow starts when the first ends, whatever the actual
+    first-flow FCT was).
+    """
+    flows = []
+    serialized = plan.name == "full-speed-then-idle" and serialize_extreme
+    for i, flow_plan in enumerate(plan.flows):
+        flows.append(
+            FlowSpec(
+                total_bytes=flow_plan.total_bytes,
+                cca=cca,
+                target_rate_bps=flow_plan.target_rate_bps,
+                start_time_s=0.0 if serialized else flow_plan.start_time_s,
+                after_flow=(i - 1) if serialized and i > 0 else None,
+                uncap_after=flow_plan.uncap_after,
+            )
+        )
+    return Scenario(name=name, flows=flows, **kwargs)

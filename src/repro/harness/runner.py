@@ -1,0 +1,224 @@
+"""Scenario execution: build a fresh testbed, run, measure, repeat.
+
+The runner reproduces the paper's measurement loop (§3): set up the
+scenario, read the RAPL counters, run the traffic, read the counters
+again, repeat 10 times, report mean and standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import mean, sample_std
+from repro.apps.iperf import IperfResult, IperfSession
+from repro.apps.probe import ThroughputProbe
+from repro.energy.cpu import CpuModel
+from repro.energy.meter import EnergyMeter
+from repro.errors import ExperimentError
+from repro.harness.experiment import Scenario
+from repro.net.topology import Testbed, TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TimeSeries
+
+
+@dataclass
+class RunMeasurement:
+    """Everything measured in one scenario execution."""
+
+    scenario: str
+    seed: int
+    energy_j: float
+    duration_s: float
+    flow_results: List[IperfResult]
+    bottleneck_drops: int
+    ecn_marks: int
+    power_series: List[TimeSeries] = field(default_factory=list)
+    throughput_series: Dict[int, TimeSeries] = field(default_factory=dict)
+
+    @property
+    def average_power_w(self) -> float:
+        """Energy over the measured window divided by its length."""
+        if self.duration_s <= 0:
+            raise ExperimentError("zero-length measurement window")
+        return self.energy_j / self.duration_s
+
+    @property
+    def total_retransmissions(self) -> int:
+        """Sum of per-flow retransmission counts (iperf3's retr column)."""
+        return sum(r.retransmissions for r in self.flow_results)
+
+    @property
+    def completion_time_s(self) -> float:
+        """Time until the last flow completed."""
+        return max(r.end_time for r in self.flow_results)
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregate over N repetitions of one scenario."""
+
+    scenario: str
+    runs: List[RunMeasurement]
+
+    @property
+    def n(self) -> int:
+        return len(self.runs)
+
+    @property
+    def mean_energy_j(self) -> float:
+        return mean([r.energy_j for r in self.runs])
+
+    @property
+    def std_energy_j(self) -> float:
+        return sample_std([r.energy_j for r in self.runs])
+
+    @property
+    def mean_power_w(self) -> float:
+        return mean([r.average_power_w for r in self.runs])
+
+    @property
+    def std_power_w(self) -> float:
+        return sample_std([r.average_power_w for r in self.runs])
+
+    @property
+    def mean_duration_s(self) -> float:
+        return mean([r.duration_s for r in self.runs])
+
+    @property
+    def mean_retransmissions(self) -> float:
+        return mean([float(r.total_retransmissions) for r in self.runs])
+
+
+def _build_testbed(scenario: Scenario, sim: Simulator) -> Testbed:
+    kwargs = dict(mtu_bytes=scenario.mtu_bytes)
+    if scenario.buffer_bytes is not None:
+        kwargs["buffer_bytes"] = scenario.buffer_bytes
+    kwargs["ecn_threshold_bytes"] = scenario.ecn_threshold_bytes
+    if scenario.host_packet_gap_s is not None:
+        kwargs["host_packet_gap_s"] = scenario.host_packet_gap_s
+    kwargs["bottleneck_discipline"] = scenario.bottleneck_discipline
+    kwargs["int_telemetry"] = scenario.int_telemetry
+    return build_testbed(sim, TestbedConfig(**kwargs))
+
+
+def run_once(scenario: Scenario, seed: int = 0) -> RunMeasurement:
+    """Execute one scenario on a fresh testbed and measure it."""
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    testbed = _build_testbed(scenario, sim)
+
+    n_packages = scenario.packages or max(2, len(scenario.flows))
+    sender_cpu = CpuModel(
+        sim,
+        testbed.sender,
+        packages=n_packages,
+        sample_interval_s=scenario.sample_interval_s,
+    )
+    cpu_models = [sender_cpu]
+    if scenario.meter_receiver:
+        cpu_models.append(
+            CpuModel(
+                sim,
+                testbed.receiver,
+                packages=n_packages,
+                sample_interval_s=scenario.sample_interval_s,
+            )
+        )
+    if scenario.power_noise_sigma > 0:
+        noise_rng = rngs.stream("power-noise")
+        for model in cpu_models:
+            model.set_noise(noise_rng, scenario.power_noise_sigma)
+    if scenario.background_load > 0:
+        for model in cpu_models:
+            model.set_background_load(scenario.background_load)
+
+    jitter_rng = rngs.stream("start-jitter")
+    sessions: List[IperfSession] = []
+    for i, flow in enumerate(scenario.flows):
+        if flow.after_flow is not None:
+            start: Optional[float] = None
+        else:
+            start = flow.start_time_s + jitter_rng.uniform(
+                0.0, scenario.start_jitter_s
+            )
+        session = IperfSession(
+            testbed,
+            total_bytes=flow.total_bytes,
+            cca=flow.cca,
+            target_bitrate_bps=flow.target_rate_bps,
+            start_time=start,
+            ecn=flow.ecn,
+            cca_kwargs=flow.cca_kwargs,
+        )
+        sessions.append(session)
+        for model in cpu_models:
+            model.pin_flow(session.flow_id, i % n_packages)
+
+    # Completion chaining for serialized (full-speed-then-idle) schedules
+    # and Fig. 1-style cap lifting.
+    for i, flow in enumerate(scenario.flows):
+        if flow.after_flow is not None:
+            successor = sessions[i]
+            sessions[flow.after_flow].sender.on_complete(
+                lambda _t, s=successor: s.begin()
+            )
+        if flow.uncap_after is not None:
+            capped = sessions[i]
+            sessions[flow.uncap_after].sender.on_complete(
+                lambda _t, s=capped: s.uncap()
+            )
+
+    probes: Dict[int, ThroughputProbe] = {}
+    if scenario.probe_interval_s is not None:
+        for session in sessions:
+            probe = ThroughputProbe(
+                sim, session.receiver, interval_s=scenario.probe_interval_s
+            )
+            probe.start()
+            probes[session.flow_id] = probe
+
+    meter = EnergyMeter(sim, cpu_models)
+    meter.start()
+
+    while not all(s.complete for s in sessions):
+        if sim.now > scenario.time_limit_s:
+            stuck = [s.flow_id for s in sessions if not s.complete]
+            raise ExperimentError(
+                f"{scenario.name}: flows {stuck} incomplete after "
+                f"{scenario.time_limit_s}s virtual"
+            )
+        if not sim.step():
+            raise ExperimentError(
+                f"{scenario.name}: event queue drained before completion"
+            )
+
+    energy = meter.stop()
+    for probe in probes.values():
+        probe.stop()
+
+    bottleneck_q = testbed.bottleneck.queue
+    return RunMeasurement(
+        scenario=scenario.name,
+        seed=seed,
+        energy_j=energy,
+        duration_s=meter.duration_s,
+        flow_results=[s.result() for s in sessions],
+        bottleneck_drops=int(bottleneck_q.counters.get("drops")),
+        ecn_marks=int(bottleneck_q.counters.get("ecn_marks")),
+        power_series=meter.power_series(),
+        throughput_series={fid: p.series for fid, p in probes.items()},
+    )
+
+
+def run_repeated(
+    scenario: Scenario, repetitions: int = 10, base_seed: int = 0
+) -> RepeatedResult:
+    """Run a scenario N times with varied seeds (the paper uses N=10)."""
+    if repetitions < 1:
+        raise ExperimentError(f"need >= 1 repetition, got {repetitions}")
+    runs = [
+        run_once(scenario, seed=base_seed + rep) for rep in range(repetitions)
+    ]
+    return RepeatedResult(scenario=scenario.name, runs=runs)

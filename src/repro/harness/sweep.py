@@ -1,0 +1,132 @@
+"""Parameter sweeps: run a scenario family over a parameter grid.
+
+The figure pipelines each hand-roll their sweep (fractions for Fig. 1,
+loads for Fig. 4, the CCA x MTU grid); :class:`Sweep` is the generic
+engine for new experiments: declare axes, provide a scenario factory,
+get back tidy rows with group-by helpers.
+
+    sweep = Sweep(axes={"mtu": [1500, 9000], "cca": ["cubic", "bbr"]})
+    results = sweep.run(
+        lambda mtu, cca: Scenario(
+            f"{cca}@{mtu}", flows=[FlowSpec(10_000_000, cca)],
+            mtu_bytes=mtu, packages=1,
+        ),
+        repetitions=3,
+    )
+    for row in results.rows:
+        print(row.params, row.result.mean_energy_j)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.harness.experiment import Scenario
+from repro.harness.runner import RepeatedResult, run_repeated
+
+ScenarioFactory = Callable[..., Scenario]
+
+
+@dataclass
+class SweepRow:
+    """One grid point's parameters and aggregated measurements."""
+
+    params: Dict[str, Any]
+    result: RepeatedResult
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+
+@dataclass
+class SweepResults:
+    """All rows of one sweep, with simple relational helpers."""
+
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def where(self, **conditions: Any) -> "SweepResults":
+        """Rows matching every ``axis=value`` condition."""
+        matched = [
+            row
+            for row in self.rows
+            if all(row.params.get(k) == v for k, v in conditions.items())
+        ]
+        return SweepResults(rows=matched)
+
+    def one(self, **conditions: Any) -> SweepRow:
+        """The single row matching the conditions (raises otherwise)."""
+        matched = self.where(**conditions).rows
+        if len(matched) != 1:
+            raise ExperimentError(
+                f"expected exactly one row for {conditions}, got {len(matched)}"
+            )
+        return matched[0]
+
+    def values(self, axis: str) -> List[Any]:
+        """Distinct values of one axis, in first-seen order."""
+        seen: List[Any] = []
+        for row in self.rows:
+            value = row.params[axis]
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def series(
+        self, x_axis: str, metric: Callable[[RepeatedResult], float],
+        **fixed: Any,
+    ) -> List["tuple[Any, float]"]:
+        """(x, metric) points along one axis with the others fixed."""
+        subset = self.where(**fixed)
+        return [
+            (row.params[x_axis], metric(row.result)) for row in subset.rows
+        ]
+
+
+class Sweep:
+    """A cartesian-product parameter sweep."""
+
+    def __init__(self, axes: Mapping[str, Sequence[Any]]):
+        if not axes:
+            raise ExperimentError("sweep needs at least one axis")
+        for name, values in axes.items():
+            if not values:
+                raise ExperimentError(f"axis {name!r} has no values")
+        self.axes = {name: list(values) for name, values in axes.items()}
+
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every parameter combination, in axis order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*self.axes.values())
+        ]
+
+    def run(
+        self,
+        factory: ScenarioFactory,
+        repetitions: int = 2,
+        base_seed: int = 0,
+    ) -> SweepResults:
+        """Run every grid point's scenario ``repetitions`` times."""
+        results = SweepResults()
+        for point in self.points():
+            scenario = factory(**point)
+            result = run_repeated(
+                scenario, repetitions=repetitions, base_seed=base_seed
+            )
+            results.rows.append(SweepRow(params=point, result=result))
+        return results

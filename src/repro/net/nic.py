@@ -1,0 +1,164 @@
+"""Network interface cards, including round-robin link bonding.
+
+The paper's sender is attached to the switch with two bonded 10 Gb/s
+links, packets sprayed round-robin, so the *switch* (not the sender NIC)
+is the bottleneck. :class:`Nic` reproduces that: it owns one or more
+egress :class:`~repro.net.link.Interface` objects and sprays packets
+across them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.errors import NetworkConfigError
+from repro.net.link import Interface
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import CounterSet
+
+
+class Nic:
+    """A host NIC with an MTU and one or more bonded egress interfaces.
+
+    ``tx_packet_gap_s`` models the host's per-packet CPU/DMA cost: the
+    transmit path emits at most one packet per gap, *across* all bonded
+    links. This is what keeps small-MTU configurations below line rate
+    (paper §4.4: 9000-byte MTU was needed "to achieve the full 10 Gb/s
+    line rate").
+    """
+
+    def __init__(
+        self,
+        interfaces: Sequence[Interface],
+        mtu_bytes: int = 1500,
+        name: str = "nic",
+        sim: Optional[Simulator] = None,
+        tx_packet_gap_s: float = 0.0,
+        tx_queue_packets: int = 1024,
+    ):
+        if not interfaces:
+            raise NetworkConfigError("NIC needs at least one interface")
+        if mtu_bytes < 576:
+            raise NetworkConfigError(f"MTU {mtu_bytes} below IPv4 minimum of 576")
+        if tx_packet_gap_s < 0:
+            raise NetworkConfigError(
+                f"tx packet gap must be >= 0, got {tx_packet_gap_s}"
+            )
+        if tx_packet_gap_s > 0 and sim is None:
+            raise NetworkConfigError("a paced NIC needs the simulator")
+        if tx_queue_packets <= 0:
+            raise NetworkConfigError(
+                f"tx queue must hold >= 1 packet, got {tx_queue_packets}"
+            )
+        self.interfaces: List[Interface] = list(interfaces)
+        self.mtu_bytes = mtu_bytes
+        self.name = name
+        self.sim = sim
+        self.tx_packet_gap_s = tx_packet_gap_s
+        #: host qdisc depth (Linux txqueuelen-style, drop-tail like
+        #: pfifo_fast); only enforced on the paced path
+        self.tx_queue_packets = tx_queue_packets
+        self._next_interface = 0
+        self._txq: Deque[Packet] = deque()
+        self._draining = False
+        self._phantom_slots = 0
+        self._flow_backlog: dict = {}
+        self._drain_listeners: List[Callable[[], None]] = []
+        self.counters = CounterSet()
+        #: invoked for every packet handed to the NIC — energy accounting hook
+        self.on_send: Optional[Callable[[Packet], None]] = None
+
+    # -- qdisc visibility (TCP Small Queues support) ---------------------
+
+    @property
+    def tx_backlog_packets(self) -> int:
+        """Packets waiting in the host qdisc."""
+        return len(self._txq)
+
+    def flow_backlog_bytes(self, flow_id: int) -> int:
+        """Bytes a specific flow has sitting in the host qdisc."""
+        return self._flow_backlog.get(flow_id, 0)
+
+    def add_drain_listener(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` whenever the qdisc drains a packet — the
+        wakeup TCP Small Queues uses to resume a backpressured sender."""
+        self._drain_listeners.append(callback)
+
+    @property
+    def bonded(self) -> bool:
+        """Whether this NIC sprays across multiple physical links."""
+        return len(self.interfaces) > 1
+
+    @property
+    def aggregate_rate_bps(self) -> float:
+        """Sum of member link rates."""
+        return sum(iface.link.rate_bps for iface in self.interfaces)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` on the next bonded interface (round-robin).
+
+        Returns False only for an immediate (unpaced) egress-queue drop;
+        with a transmit gap configured, packets queue at the host and the
+        method reports acceptance.
+        """
+        if packet.size_bytes > self.mtu_bytes:
+            raise NetworkConfigError(
+                f"{self.name}: packet of {packet.size_bytes}B exceeds "
+                f"MTU {self.mtu_bytes}B — segmentation is the TCP layer's job"
+            )
+        if self.on_send is not None:
+            self.on_send(packet)
+        self.counters.add("tx_packets")
+        self.counters.add("tx_bytes", packet.size_bytes)
+        if self.tx_packet_gap_s <= 0:
+            return self._dispatch(packet)
+        if len(self._txq) >= self.tx_queue_packets:
+            # The CPU fully processed this packet before the qdisc
+            # rejected it — that work is gone but the time was spent, so
+            # the transmit path loses one slot to it (this is what makes
+            # the no-backpressure baseline measurably *slower*, not just
+            # chattier: §4.3's "queuing at the sender host").
+            self._phantom_slots += 1
+            self.counters.add("tx_drops")
+            self.counters.add("qdisc_drops")
+            return False
+        self._txq.append(packet)
+        self._flow_backlog[packet.flow_id] = (
+            self._flow_backlog.get(packet.flow_id, 0) + packet.size_bytes
+        )
+        if not self._draining:
+            self._draining = True
+            self._drain()
+        return True
+
+    def _dispatch(self, packet: Packet) -> bool:
+        iface = self.interfaces[self._next_interface]
+        self._next_interface = (self._next_interface + 1) % len(self.interfaces)
+        accepted = iface.enqueue(packet)
+        if not accepted:
+            self.counters.add("tx_drops")
+        return accepted
+
+    def _drain(self) -> None:
+        if self._phantom_slots > 0:
+            # Burn a transmit slot on work the qdisc already discarded.
+            self._phantom_slots -= 1
+            assert self.sim is not None
+            self.sim.schedule(self.tx_packet_gap_s, self._drain)
+            return
+        if not self._txq:
+            self._draining = False
+            return
+        packet = self._txq.popleft()
+        backlog = self._flow_backlog.get(packet.flow_id, 0) - packet.size_bytes
+        if backlog > 0:
+            self._flow_backlog[packet.flow_id] = backlog
+        else:
+            self._flow_backlog.pop(packet.flow_id, None)
+        self._dispatch(packet)
+        for callback in self._drain_listeners:
+            callback()
+        assert self.sim is not None  # guaranteed by constructor check
+        self.sim.schedule(self.tx_packet_gap_s, self._drain)

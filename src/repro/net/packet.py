@@ -1,0 +1,128 @@
+"""Packet model.
+
+One :class:`Packet` models one on-the-wire frame: a TCP data segment or a
+(pure) ACK. Sizes include protocol headers so link serialization time and
+queue occupancy are computed on wire bytes, the quantity that matters for
+the bottleneck.
+
+ECN is modelled as the standard two-bit dance collapsed to booleans:
+``ecn_capable`` (ECT) set by the sender, ``ecn_marked`` (CE) set by a
+marking queue, and ``ecn_echo`` (ECE) reflected on the ACK — all that
+DCTCP needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Bytes of IP + TCP header on every segment (no options modelled beyond
+#: a fixed allowance for timestamps/SACK, as in common MSS arithmetic).
+TCP_IP_HEADER_BYTES = 40
+
+#: Ethernet framing overhead (header + FCS + preamble + IPG) charged on
+#: the wire. Kept separate from the IP packet size because MTU bounds the
+#: IP packet, not the frame.
+ETHERNET_OVERHEAD_BYTES = 38
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A single simulated frame.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifies the TCP connection this packet belongs to; used for
+        demux at the receiving host and per-flow accounting.
+    src, dst:
+        Host names, used by the switch's forwarding table.
+    seq:
+        For data segments, the byte offset of the first payload byte.
+    payload_bytes:
+        TCP payload length (0 for a pure ACK).
+    is_ack / ack_seq:
+        ACK flag and cumulative acknowledgement (next expected byte).
+    sacks:
+        Selectively-acknowledged byte ranges carried on an ACK, as
+        ``(start, end)`` half-open intervals.
+    sent_time:
+        Virtual time the segment was handed to the NIC; echoed on the ACK
+        (``echo_time``) so the sender can take RTT samples even for
+        retransmitted data (Karn's algorithm is still honoured by the
+        ``retransmitted`` flag).
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    seq: int = 0
+    payload_bytes: int = 0
+    is_ack: bool = False
+    ack_seq: int = 0
+    sacks: Tuple[Tuple[int, int], ...] = ()
+    ecn_capable: bool = False
+    ecn_marked: bool = False
+    ecn_echo: bool = False
+    #: on ACKs: how many of the newly acknowledged bytes were CE-marked
+    #: (DCTCP's fraction-of-marked-bytes feedback, collapsed to one field)
+    ecn_marked_bytes: int = 0
+    retransmitted: bool = False
+    #: receive window advertised on ACKs (None = field not carried)
+    rwnd_bytes: Optional[int] = None
+    #: in-band network telemetry (INT), stamped by the bottleneck egress
+    #: when enabled and echoed on ACKs — what HPCC consumes. One record
+    #: suffices on a single-bottleneck path.
+    int_qlen_bytes: Optional[int] = None
+    int_tx_bytes: Optional[float] = None
+    int_timestamp: Optional[float] = None
+    int_link_rate_bps: Optional[float] = None
+    #: scheduling priority for pFabric-style switches (lower = sooner);
+    #: senders set it to the flow's remaining bytes to approximate SRPT
+    priority: Optional[int] = None
+    sent_time: float = 0.0
+    echo_time: Optional[float] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        """IP packet size: payload plus TCP/IP headers."""
+        return self.payload_bytes + TCP_IP_HEADER_BYTES
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes occupied on the wire including Ethernet framing."""
+        return self.size_bytes + ETHERNET_OVERHEAD_BYTES
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last payload byte (== seq for pure ACKs)."""
+        return self.seq + self.payload_bytes
+
+    def describe(self) -> str:
+        """Short human-readable form for traces and test failures."""
+        if self.is_ack:
+            kind = f"ACK {self.ack_seq}"
+            if self.ecn_echo:
+                kind += " ECE"
+            if self.sacks:
+                kind += f" SACK{list(self.sacks)}"
+        else:
+            kind = f"DATA [{self.seq},{self.end_seq})"
+            if self.retransmitted:
+                kind += " RETX"
+            if self.ecn_marked:
+                kind += " CE"
+        return f"<{self.src}->{self.dst} flow={self.flow_id} {kind}>"
+
+
+def mss_for_mtu(mtu_bytes: int) -> int:
+    """Maximum segment size for a given MTU (MTU minus TCP/IP headers)."""
+    if mtu_bytes <= TCP_IP_HEADER_BYTES:
+        raise ValueError(
+            f"MTU {mtu_bytes} too small for {TCP_IP_HEADER_BYTES}B of headers"
+        )
+    return mtu_bytes - TCP_IP_HEADER_BYTES

@@ -1,0 +1,55 @@
+"""An output-queued switch.
+
+Models the testbed's Tofino at the level the paper exercises it: packets
+arrive, are looked up in a static forwarding table, and are queued on the
+destination's output port. Each output port is an
+:class:`~repro.net.link.Interface` (queue + link), so the bottleneck
+behaviour — queue growth, DropTail loss, ECN marking — happens here.
+
+Prior work cited by the paper finds switch power is essentially
+load-independent, so the switch contributes a constant power draw that
+our energy accounting deliberately excludes (the paper measures end-host
+CPU energy only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import NetworkConfigError
+from repro.net.link import Interface
+from repro.net.packet import Packet
+from repro.sim.trace import CounterSet
+
+
+class Switch:
+    """Static-forwarding output-queued switch."""
+
+    def __init__(self, name: str = "switch"):
+        self.name = name
+        self._ports: Dict[str, Interface] = {}
+        self.counters = CounterSet()
+
+    def add_port(self, dst_host: str, interface: Interface) -> None:
+        """Route packets destined to ``dst_host`` out of ``interface``."""
+        if dst_host in self._ports:
+            raise NetworkConfigError(f"{self.name}: duplicate route for {dst_host}")
+        self._ports[dst_host] = interface
+
+    def port_for(self, dst_host: str) -> Interface:
+        """The output interface serving ``dst_host``."""
+        try:
+            return self._ports[dst_host]
+        except KeyError:
+            raise NetworkConfigError(
+                f"{self.name}: no route to {dst_host!r} "
+                f"(known: {sorted(self._ports)})"
+            ) from None
+
+    def receive(self, packet: Packet) -> None:
+        """Forward an arriving packet to its output port."""
+        self.counters.add("rx_packets")
+        self.counters.add("rx_bytes", packet.size_bytes)
+        port = self.port_for(packet.dst)
+        if not port.enqueue(packet):
+            self.counters.add("forward_drops")

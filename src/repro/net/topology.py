@@ -1,0 +1,266 @@
+"""Topology builders.
+
+:func:`build_testbed` reproduces the paper's lab setup (§3): a sender and
+a receiver attached to one switch, the sender with two bonded 10 Gb/s
+links (round-robin spraying) so the switch's output port toward the
+receiver — not the sender NIC — is the bottleneck.
+
+All rates, delays, buffer sizes and the ECN marking threshold are
+parameters so experiments can deviate (Fig. 4's load sweep, ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.host import Host
+from repro.net.link import Interface, Link
+from repro.net.nic import Nic
+from repro.net.queue import DropTailQueue, EcnQueue, PriorityQueue
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.units import gbps, usec
+
+
+@dataclass
+class TestbedConfig:
+    """Parameters of the paper-style dumbbell testbed.
+
+    Defaults mirror §3 of the paper: 10 Gb/s links, 9000 B MTU, the
+    sender bonded over two links. Propagation delays are datacenter-scale
+    so the base RTT is ~40 µs before queueing.
+    """
+
+    link_rate_bps: float = gbps(10.0)
+    link_delay_s: float = usec(10.0)
+    mtu_bytes: int = 9000
+    sender_bonded_links: int = 2
+    #: bottleneck (switch -> receiver) buffer. Tofino-class switches have
+    #: tens of MB of shared buffer; 2 MB per port is a realistic dynamic
+    #: threshold and deep enough that 9000-byte MTUs get >200 packets.
+    buffer_bytes: int = 2 * 1024 * 1024
+    #: DCTCP-style CE marking threshold at the bottleneck; None disables ECN
+    ecn_threshold_bytes: Optional[int] = 100 * 1024
+    #: host per-packet processing floor (pps cap); see
+    #: repro.energy.calibration.HOST_MIN_PACKET_GAP_S for provenance
+    host_packet_gap_s: float = 2.35e-6
+    #: stamp in-band telemetry at the bottleneck (HPCC's switch support)
+    int_telemetry: bool = False
+    #: bottleneck scheduling: "fifo" (default) or "priority" (pFabric-
+    #: style SRPT approximation, the paper's §5 direction)
+    bottleneck_discipline: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.sender_bonded_links < 1:
+            raise ValueError("need at least one sender link")
+
+    @property
+    def base_rtt_s(self) -> float:
+        """Propagation-only round-trip time (sender->switch->receiver->back)."""
+        return 4 * self.link_delay_s
+
+
+@dataclass
+class Testbed:
+    """A wired-up testbed ready for flows to be attached."""
+
+    sim: Simulator
+    config: TestbedConfig
+    sender: Host
+    receiver: Host
+    switch: Switch
+    bottleneck: Interface
+    sender_interfaces: List[Interface] = field(default_factory=list)
+
+    @property
+    def bottleneck_rate_bps(self) -> float:
+        """Rate of the contended switch->receiver link."""
+        return self.bottleneck.link.rate_bps
+
+
+def _make_queue(config: TestbedConfig, name: str, ecn: bool) -> DropTailQueue:
+    if config.bottleneck_discipline == "priority":
+        return PriorityQueue(capacity_bytes=config.buffer_bytes, name=name)
+    if config.bottleneck_discipline != "fifo":
+        raise ValueError(
+            f"unknown bottleneck discipline {config.bottleneck_discipline!r}"
+        )
+    if ecn and config.ecn_threshold_bytes is not None:
+        return EcnQueue(
+            capacity_bytes=config.buffer_bytes,
+            mark_threshold_bytes=config.ecn_threshold_bytes,
+            name=name,
+        )
+    return DropTailQueue(capacity_bytes=config.buffer_bytes, name=name)
+
+
+def build_testbed(sim: Simulator, config: Optional[TestbedConfig] = None) -> Testbed:
+    """Construct the paper's two-server, one-switch testbed.
+
+    The returned :class:`Testbed` exposes the bottleneck interface so
+    experiments can inspect queue occupancy, drops and ECN marks.
+    """
+    config = config or TestbedConfig()
+    switch = Switch(name="tofino")
+    sender = Host(sim, "sender")
+    receiver = Host(sim, "receiver")
+
+    # Sender -> switch: N bonded links (packets sprayed round-robin).
+    sender_ifaces = []
+    for i in range(config.sender_bonded_links):
+        link = Link(sim, config.link_rate_bps, config.link_delay_s, f"snd-up-{i}")
+        link.connect(switch)
+        queue = DropTailQueue(config.buffer_bytes, name=f"snd-q-{i}")
+        sender_ifaces.append(Interface(sim, queue, link, name=f"snd-if-{i}"))
+    sender.attach_nic(
+        Nic(
+            sender_ifaces,
+            mtu_bytes=config.mtu_bytes,
+            name="sender-nic",
+            sim=sim,
+            tx_packet_gap_s=config.host_packet_gap_s,
+        )
+    )
+
+    # Switch -> receiver: the bottleneck. ECN-capable when configured.
+    down_link = Link(sim, config.link_rate_bps, config.link_delay_s, "sw-down")
+    down_link.connect(receiver)
+    bottleneck = Interface(
+        sim,
+        _make_queue(config, "bottleneck", ecn=True),
+        down_link,
+        name="bottleneck",
+        int_telemetry=config.int_telemetry,
+    )
+    switch.add_port("receiver", bottleneck)
+
+    # Receiver -> switch (ACK path) and switch -> sender.
+    ack_up_link = Link(sim, config.link_rate_bps, config.link_delay_s, "rcv-up")
+    ack_up_link.connect(switch)
+    ack_queue = DropTailQueue(config.buffer_bytes, name="rcv-q")
+    receiver.attach_nic(
+        Nic(
+            [Interface(sim, ack_queue, ack_up_link, name="rcv-if")],
+            mtu_bytes=config.mtu_bytes,
+            name="receiver-nic",
+            sim=sim,
+            tx_packet_gap_s=config.host_packet_gap_s,
+        )
+    )
+    to_sender_link = Link(sim, config.link_rate_bps, config.link_delay_s, "sw-up")
+    to_sender_link.connect(sender)
+    to_sender_queue = DropTailQueue(config.buffer_bytes, name="sw-snd-q")
+    switch.add_port(
+        "sender", Interface(sim, to_sender_queue, to_sender_link, name="sw-snd-if")
+    )
+
+    return Testbed(
+        sim=sim,
+        config=config,
+        sender=sender,
+        receiver=receiver,
+        switch=switch,
+        bottleneck=bottleneck,
+        sender_interfaces=sender_ifaces,
+    )
+
+
+@dataclass
+class IncastTestbed:
+    """An N-senders-to-one-receiver fan-in (the incast pattern).
+
+    §5 of the paper names incast as the workload its single-sender
+    results must be validated against; this topology provides it. Every
+    sender has its own host, NIC and uplink; the switch's port toward
+    the receiver is the shared bottleneck.
+    """
+
+    sim: Simulator
+    config: TestbedConfig
+    senders: List[Host]
+    receiver: Host
+    switch: Switch
+    bottleneck: Interface
+
+    @property
+    def fan_in(self) -> int:
+        return len(self.senders)
+
+
+def build_incast_testbed(
+    sim: Simulator,
+    n_senders: int,
+    config: Optional[TestbedConfig] = None,
+) -> IncastTestbed:
+    """Construct an N-to-1 incast topology around one switch."""
+    if n_senders < 1:
+        raise ValueError(f"need >= 1 sender, got {n_senders}")
+    config = config or TestbedConfig()
+    switch = Switch(name="tofino")
+    receiver = Host(sim, "receiver")
+
+    # Switch -> receiver: the shared bottleneck.
+    down_link = Link(sim, config.link_rate_bps, config.link_delay_s, "sw-down")
+    down_link.connect(receiver)
+    bottleneck = Interface(
+        sim,
+        _make_queue(config, "bottleneck", ecn=True),
+        down_link,
+        name="bottleneck",
+        int_telemetry=config.int_telemetry,
+    )
+    switch.add_port("receiver", bottleneck)
+
+    # Receiver -> switch (the shared ACK uplink).
+    ack_link = Link(sim, config.link_rate_bps, config.link_delay_s, "rcv-up")
+    ack_link.connect(switch)
+    receiver.attach_nic(
+        Nic(
+            [Interface(sim, DropTailQueue(config.buffer_bytes, "rcv-q"), ack_link)],
+            mtu_bytes=config.mtu_bytes,
+            name="receiver-nic",
+            sim=sim,
+            tx_packet_gap_s=config.host_packet_gap_s,
+        )
+    )
+
+    senders: List[Host] = []
+    for i in range(n_senders):
+        name = f"sender-{i}"
+        host = Host(sim, name)
+        up_link = Link(sim, config.link_rate_bps, config.link_delay_s, f"{name}-up")
+        up_link.connect(switch)
+        host.attach_nic(
+            Nic(
+                [
+                    Interface(
+                        sim,
+                        DropTailQueue(config.buffer_bytes, f"{name}-q"),
+                        up_link,
+                    )
+                ],
+                mtu_bytes=config.mtu_bytes,
+                name=f"{name}-nic",
+                sim=sim,
+                tx_packet_gap_s=config.host_packet_gap_s,
+            )
+        )
+        down = Link(sim, config.link_rate_bps, config.link_delay_s, f"sw-{name}")
+        down.connect(host)
+        switch.add_port(
+            name,
+            Interface(
+                sim, DropTailQueue(config.buffer_bytes, f"sw-{name}-q"), down
+            ),
+        )
+        senders.append(host)
+
+    return IncastTestbed(
+        sim=sim,
+        config=config,
+        senders=senders,
+        receiver=receiver,
+        switch=switch,
+        bottleneck=bottleneck,
+    )

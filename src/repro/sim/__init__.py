@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel: clock, events, timers, RNG, tracing."""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.timer import PeriodicTimer, Timer
+from repro.sim.trace import CounterSet, TimeSeries
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "PeriodicTimer",
+    "RngRegistry",
+    "derive_seed",
+    "TimeSeries",
+    "CounterSet",
+]

@@ -1,0 +1,109 @@
+"""Restartable one-shot timers on top of the event kernel.
+
+TCP needs timers that are constantly re-armed (retransmission timeout),
+stopped (when the last outstanding segment is acknowledged) and queried
+("is the RTO pending?"). :class:`Timer` wraps the cancel-and-reschedule
+dance so protocol code stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and stopped.
+
+    The callback fires at most once per :meth:`start`; restarting an armed
+    timer cancels the previous deadline, which is exactly the semantics of
+    a TCP retransmission timer being pushed out by each new ACK.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., None], *args: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed and has not yet fired."""
+        return self._event is not None and self._event.alive
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute virtual time the timer will fire, or None if unarmed."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"timer delay must be >= 0, got {delay}")
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed; a no-op otherwise."""
+        if self._event is not None and self._event.alive:
+            self._event.cancel()
+        self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args)
+
+
+class PeriodicTimer:
+    """A timer that fires every ``interval`` seconds until stopped.
+
+    Used by the energy meter's sampling loop and by paced senders.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """Whether the periodic timer is active."""
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking. First tick after ``initial_delay`` (default: one
+        full interval)."""
+        self.stop()
+        self._running = True
+        delay = self.interval if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._running = False
+        if self._event is not None and self._event.alive:
+            self._event.cancel()
+        self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback(*self._args)
+        if self._running:  # the callback may have stopped us
+            self._event = self._sim.schedule(self.interval, self._tick)

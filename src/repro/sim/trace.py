@@ -1,0 +1,120 @@
+"""Time-series recording for simulations.
+
+The paper's figures need per-interval throughput samples (Fig. 3), power
+samples (Fig. 2/4) and event counts (retransmissions, Fig. 8). Two small
+primitives cover all of them:
+
+* :class:`TimeSeries` — (time, value) samples with summary helpers.
+* :class:`CounterSet` — named monotonic counters (packets sent, bytes
+  acked, retransmissions, ...), the simulation analogue of ``netstat -s``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    name: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample. Times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"{self.name or 'series'}: time went backwards "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> float:
+        """Most recent value (raises IndexError when empty)."""
+        return self.values[-1]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values."""
+        if not self.values:
+            raise ValueError(f"{self.name or 'series'} is empty")
+        return sum(self.values) / len(self.values)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with start <= time < end, as a new series."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        return TimeSeries(
+            name=self.name, times=self.times[lo:hi], values=self.values[lo:hi]
+        )
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of value over time.
+
+        Integrating a power series (watts) over time yields energy
+        (joules) — the core operation of the RAPL emulation.
+        """
+        total = 0.0
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            total += 0.5 * (self.values[i] + self.values[i - 1]) * dt
+        return total
+
+    def value_at(self, time: float) -> float:
+        """Most recent sample value at or before ``time`` (step semantics)."""
+        idx = bisect_right(self.times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self.values[idx]
+
+    def resample(self, interval: float) -> "TimeSeries":
+        """Average into fixed ``interval``-wide bins (used by Fig. 3)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if not self.times:
+            return TimeSeries(name=self.name)
+        out = TimeSeries(name=self.name)
+        start = self.times[0]
+        end = self.times[-1]
+        t = start
+        while t < end or not len(out):
+            chunk = self.window(t, t + interval)
+            if len(chunk):
+                out.record(t, chunk.mean())
+            t += interval
+        return out
+
+
+class CounterSet:
+    """Named monotonic counters with a dict-like read interface."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters

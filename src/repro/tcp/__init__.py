@@ -1,0 +1,14 @@
+"""TCP stack: sender, receiver, RTT estimation, range bookkeeping."""
+
+from repro.tcp.ranges import RangeSet
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.sender import SegmentInfo, TcpSender
+
+__all__ = [
+    "RangeSet",
+    "RttEstimator",
+    "TcpReceiver",
+    "TcpSender",
+    "SegmentInfo",
+]

@@ -1,0 +1,183 @@
+"""TCP receiver: reassembly, delayed ACKs, SACK generation, ECN echo.
+
+The receiver side of the stack is deliberately simple — the paper's
+workloads are one-directional bulk transfers — but it implements the
+pieces that shape sender behaviour:
+
+* cumulative + selective acknowledgements (up to 3 SACK blocks),
+* delayed ACKs (every ``delack_segments`` full segments, with a timeout),
+* immediate duplicate ACKs on out-of-order arrival (what fast retransmit
+  keys on), and
+* DCTCP-style ECN feedback: each ACK reports how many of the newly
+  acknowledged bytes arrived CE-marked, plus the instantaneous CE echo
+  bit. A CE state change forces an immediate ACK, per the DCTCP paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.timer import Timer
+from repro.sim.trace import CounterSet
+from repro.tcp.ranges import RangeSet
+
+CompletionCallback = Callable[[float], None]
+
+#: Linux's minimum delayed-ACK timeout is 40 ms; datacenter stacks run
+#: far lower. 500 µs keeps ACK clocking tight at 10 Gb/s scale.
+DEFAULT_DELACK_TIMEOUT = 500e-6
+
+#: initial receive window before autotuning opens it (Linux default
+#: order of magnitude) and the tcp_rmem-style autotuning ceiling
+DEFAULT_INITIAL_RWND = 64 * 1024
+DEFAULT_MAX_RWND = 6 * 1024 * 1024
+
+
+class TcpReceiver:
+    """Receiving endpoint of one simulated TCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        peer: str,
+        expected_bytes: Optional[int] = None,
+        delack_segments: int = 2,
+        delack_timeout: float = DEFAULT_DELACK_TIMEOUT,
+        max_rwnd_bytes: int = DEFAULT_MAX_RWND,
+    ):
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.expected_bytes = expected_bytes
+        self.delack_segments = max(1, delack_segments)
+        self.max_rwnd_bytes = max_rwnd_bytes
+        self.received = RangeSet()
+        self.rcv_nxt = 0
+        self.bytes_received = 0
+        self.counters = CounterSet()
+        self.completed_at: Optional[float] = None
+        self._on_complete: List[CompletionCallback] = []
+        self._unacked_segments = 0
+        self._pending_echo_time: Optional[float] = None
+        self._ce_state = False  # last seen CE mark (DCTCP echo state)
+        self._marked_bytes_pending = 0
+        self._last_int: Optional[Packet] = None  # most recent INT carrier
+        self._delack_timer = Timer(sim, self._delack_expired)
+        host.register_flow(flow_id, self)
+
+    # -- public API -------------------------------------------------------
+
+    def on_complete(self, callback: CompletionCallback) -> None:
+        """Register a callback fired once ``expected_bytes`` have arrived."""
+        self._on_complete.append(callback)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the expected transfer has fully arrived."""
+        return self.completed_at is not None
+
+    # -- packet handling ----------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process one arriving data segment."""
+        if packet.is_ack:
+            # Bulk transfer is one-directional; stray ACKs are ignored.
+            self.counters.add("stray_acks")
+            return
+        self.counters.add("segments")
+        out_of_order = packet.seq > self.rcv_nxt
+        #: a non-empty reassembly queue means this segment may fill a gap,
+        #: which must be acknowledged immediately (RFC 5681 §4.2)
+        had_gap = bool(self.received)
+        duplicate = packet.end_seq <= self.rcv_nxt or self.received.contains(
+            packet.seq, packet.end_seq
+        )
+        newly = 0
+        if not duplicate:
+            newly = self.received.add(packet.seq, packet.end_seq)
+        else:
+            self.counters.add("duplicate_segments")
+        self.bytes_received += newly
+        self.rcv_nxt = self.received.first_missing_after(self.rcv_nxt)
+        self.received.trim_below(self.rcv_nxt)
+
+        ce_changed = packet.ecn_marked != self._ce_state
+        self._ce_state = packet.ecn_marked
+        if packet.ecn_marked:
+            self.counters.add("ce_marks")
+            self._marked_bytes_pending += packet.payload_bytes
+        self._pending_echo_time = packet.sent_time
+        if packet.int_timestamp is not None:
+            self._last_int = packet
+        self._unacked_segments += 1
+
+        must_ack_now = (
+            out_of_order
+            or duplicate
+            or had_gap
+            or ce_changed
+            or self._unacked_segments >= self.delack_segments
+            or self._transfer_finished()
+        )
+        if must_ack_now:
+            self._send_ack()
+        elif not self._delack_timer.pending:
+            self._delack_timer.start(DEFAULT_DELACK_TIMEOUT)
+
+        if self._transfer_finished() and self.completed_at is None:
+            self.completed_at = self.sim.now
+            for callback in self._on_complete:
+                callback(self.sim.now)
+
+    # -- internals ----------------------------------------------------------
+
+    def _transfer_finished(self) -> bool:
+        return (
+            self.expected_bytes is not None
+            and self.rcv_nxt >= self.expected_bytes
+        )
+
+    def _delack_expired(self) -> None:
+        if self._unacked_segments > 0:
+            self._send_ack()
+
+    @property
+    def advertised_rwnd(self) -> int:
+        """Dynamic-right-sizing autotuning: the window opens with the
+        data already received, from a small initial value up to the
+        tcp_rmem-style ceiling. This is what bounds a constant-cwnd
+        sender's initial burst on real systems."""
+        return min(
+            self.max_rwnd_bytes, DEFAULT_INITIAL_RWND + self.bytes_received
+        )
+
+    def _send_ack(self) -> None:
+        self._delack_timer.stop()
+        ack = Packet(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.peer,
+            is_ack=True,
+            ack_seq=self.rcv_nxt,
+            sacks=self.received.blocks_above(self.rcv_nxt),
+            ecn_echo=self._ce_state,
+            ecn_marked_bytes=self._marked_bytes_pending,
+            echo_time=self._pending_echo_time,
+            rwnd_bytes=self.advertised_rwnd,
+        )
+        if self._last_int is not None:
+            ack.int_qlen_bytes = self._last_int.int_qlen_bytes
+            ack.int_tx_bytes = self._last_int.int_tx_bytes
+            ack.int_timestamp = self._last_int.int_timestamp
+            ack.int_link_rate_bps = self._last_int.int_link_rate_bps
+            self._last_int = None
+        self._unacked_segments = 0
+        self._marked_bytes_pending = 0
+        self.counters.add("acks_sent")
+        self.host.send(ack)

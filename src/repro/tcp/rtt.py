@@ -1,0 +1,84 @@
+"""Round-trip-time estimation and retransmission timeout (RFC 6298).
+
+Implements the standard SRTT/RTTVAR exponentially-weighted estimator with
+the RFC 6298 constants, plus minimum-RTT tracking (needed by Vegas, BBR
+and DCTCP's gain arithmetic) and exponential RTO backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TcpStateError
+
+#: RFC 6298 smoothing constants.
+ALPHA = 1.0 / 8.0
+BETA = 1.0 / 4.0
+K = 4.0
+
+#: Datacenter-friendly clamp. The RFC minimum of 1 s would make a 40 µs
+#: RTT fabric unusable; Linux uses 200 ms but datacenter stacks configure
+#: far lower. The floor is configurable per connection.
+DEFAULT_MIN_RTO = 1e-3
+DEFAULT_MAX_RTO = 60.0
+DEFAULT_INITIAL_RTO = 0.1
+
+
+class RttEstimator:
+    """SRTT/RTTVAR/RTO state for one connection."""
+
+    def __init__(
+        self,
+        min_rto: float = DEFAULT_MIN_RTO,
+        max_rto: float = DEFAULT_MAX_RTO,
+        initial_rto: float = DEFAULT_INITIAL_RTO,
+    ):
+        if not 0 < min_rto <= max_rto:
+            raise TcpStateError(f"invalid RTO bounds [{min_rto}, {max_rto}]")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._initial_rto = initial_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.min_rtt: Optional[float] = None
+        self.latest_rtt: Optional[float] = None
+        self._backoff = 1
+        self.samples = 0
+
+    def on_sample(self, rtt: float) -> None:
+        """Fold one RTT measurement into the estimator."""
+        if rtt <= 0:
+            raise TcpStateError(f"RTT sample must be > 0, got {rtt}")
+        self.latest_rtt = rtt
+        self.samples += 1
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            # First measurement (RFC 6298 §2.2).
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - BETA) * self.rttvar + BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - ALPHA) * self.srtt + ALPHA * rtt
+        self._backoff = 1  # a valid sample clears backoff
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, seconds (with backoff applied)."""
+        if self.srtt is None:
+            base = self._initial_rto
+        else:
+            assert self.rttvar is not None
+            base = self.srtt + K * self.rttvar
+        rto = max(self.min_rto, base) * self._backoff
+        return min(rto, self.max_rto)
+
+    def backoff(self) -> None:
+        """Double the RTO after a retransmission timeout (Karn/Partridge)."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    @property
+    def backoff_factor(self) -> int:
+        """Current exponential backoff multiplier."""
+        return self._backoff

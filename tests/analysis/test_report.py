@@ -1,0 +1,97 @@
+"""Tests for the report generator and bootstrap CI."""
+
+import pytest
+
+from repro.analysis.report import ClaimRow, Report, format_mean_ci
+from repro.analysis.stats import bootstrap_ci, mean
+from repro.errors import AnalysisError
+
+
+class TestBootstrapCi:
+    def test_interval_contains_mean_for_tight_data(self):
+        values = [10.0, 10.1, 9.9, 10.05, 9.95]
+        lo, hi = bootstrap_ci(values)
+        assert lo <= mean(values) <= hi
+
+    def test_interval_narrows_with_less_variance(self):
+        tight = bootstrap_ci([10.0, 10.01, 9.99, 10.0])
+        wide = bootstrap_ci([5.0, 15.0, 8.0, 12.0])
+        assert (tight[1] - tight[0]) < (wide[1] - wide[0])
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_format_mean_ci(self):
+        text = format_mean_ci([1.0, 2.0, 3.0], unit="J")
+        assert "2.000" in text and "J" in text
+
+
+class TestReportStructure:
+    def make_report(self):
+        report = Report("test report")
+        sec = report.section("section one")
+        sec.add("claim a", "10", "11", True)
+        sec.add("claim b", "20", "5", False)
+        sec.preformatted = "raw table"
+        return report
+
+    def test_counts(self):
+        report = self.make_report()
+        assert report.claims_total == 2
+        assert report.claims_ok == 1
+
+    def test_render_contains_everything(self):
+        text = self.make_report().render()
+        assert "# test report" in text
+        assert "1/2 paper claims" in text
+        assert "claim a" in text and "✓" in text
+        assert "claim b" in text and "✗" in text
+        assert "raw table" in text
+
+    def test_claim_row_marks(self):
+        assert "✓" in ClaimRow("c", "p", "m", True).render()
+        assert "✗" in ClaimRow("c", "p", "m", False).render()
+
+    def test_section_all_ok(self):
+        report = Report("r")
+        sec = report.section("s")
+        sec.add("x", "1", "1", True)
+        assert sec.all_ok
+        sec.add("y", "1", "2", False)
+        assert not sec.all_ok
+
+
+class TestQuickReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.analysis.report import quick_report
+
+        # 8 MB is the smallest size at which the baseline's loss churn is
+        # in steady state (below that its energy penalty hasn't built up)
+        return quick_report(transfer_bytes=8_000_000, repetitions=1)
+
+    def test_all_claims_reproduce(self, report):
+        assert report.claims_ok == report.claims_total
+
+    def test_covers_the_headline_sections(self, report):
+        titles = " ".join(s.title for s in report.sections)
+        assert "Theorem 1" in titles
+        assert "Figure 1" in titles
+        assert "SRPT" in titles
+
+    def test_renders_markdown(self, report):
+        text = report.render()
+        assert text.startswith("# ")
+        assert "claims reproduced" in text

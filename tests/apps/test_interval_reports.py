@@ -1,0 +1,64 @@
+"""Tests for the iperf3-style interval reports."""
+
+import pytest
+
+from repro.apps.iperf import IperfSession, run_until_complete
+from repro.errors import ExperimentError
+
+
+class TestIntervalReports:
+    def run_session(self, sim, testbed, **kwargs):
+        session = IperfSession(
+            testbed, total_bytes=5_000_000, cca="cubic",
+            report_interval_s=1e-3, **kwargs,
+        )
+        run_until_complete(testbed, [session])
+        return session
+
+    def test_reports_cover_the_transfer(self, sim, testbed):
+        session = self.run_session(sim, testbed)
+        assert session.interval_reports
+        total = sum(r.bytes_acked for r in session.interval_reports)
+        assert total == 5_000_000
+
+    def test_intervals_contiguous(self, sim, testbed):
+        session = self.run_session(sim, testbed)
+        reports = session.interval_reports
+        for a, b in zip(reports, reports[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+
+    def test_bandwidth_sane(self, sim, testbed):
+        session = self.run_session(sim, testbed)
+        for report in session.interval_reports:
+            assert 0 <= report.bandwidth_bps < 25e9
+
+    def test_cwnd_positive(self, sim, testbed):
+        session = self.run_session(sim, testbed)
+        assert all(r.cwnd_bytes > 0 for r in session.interval_reports)
+
+    def test_final_partial_interval_emitted(self, sim, testbed):
+        session = self.run_session(sim, testbed)
+        last = session.interval_reports[-1]
+        assert last.end_s == pytest.approx(session.sender.completed_at)
+
+    def test_retransmissions_per_interval_sum(self, sim, testbed):
+        session = IperfSession(
+            testbed, total_bytes=5_000_000, cca="baseline",
+            report_interval_s=1e-3,
+        )
+        run_until_complete(testbed, [session], time_limit_s=60)
+        per_interval = sum(
+            r.retransmissions for r in session.interval_reports
+        )
+        assert per_interval == int(
+            session.sender.counters.get("retransmits")
+        )
+
+    def test_no_reports_without_interval(self, sim, testbed):
+        session = IperfSession(testbed, total_bytes=1_000_000)
+        run_until_complete(testbed, [session])
+        assert session.interval_reports == []
+
+    def test_invalid_interval_rejected(self, sim, testbed):
+        with pytest.raises(ExperimentError):
+            IperfSession(testbed, total_bytes=1000, report_interval_s=0.0)

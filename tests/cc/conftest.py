@@ -1,0 +1,77 @@
+"""CC-layer helpers: a scripted CcContext and AckEvent factory."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.cc.base import AckEvent
+
+
+class FakeContext:
+    """A hand-driven CcContext for unit-testing algorithms."""
+
+    def __init__(self, mss: int = 1460):
+        self._mss = mss
+        self._now = 0.0
+        self._srtt: Optional[float] = None
+        self._min_rtt: Optional[float] = None
+        self.charged = 0.0
+
+    @property
+    def mss(self) -> int:
+        return self._mss
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    @property
+    def min_rtt(self) -> Optional[float]:
+        return self._min_rtt
+
+    def charge(self, cost_units: float) -> None:
+        self.charged += cost_units
+
+    # -- script controls ---------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+    def set_rtt(self, srtt: float, min_rtt: Optional[float] = None) -> None:
+        self._srtt = srtt
+        self._min_rtt = min_rtt if min_rtt is not None else srtt
+
+
+def make_event(
+    acked=1460,
+    rtt=None,
+    flight=14600,
+    recovery=False,
+    ece=False,
+    marked=0,
+    rate=None,
+    app_limited=False,
+    cumulative=0,
+):
+    return AckEvent(
+        newly_acked_bytes=acked,
+        cumulative_ack=cumulative,
+        rtt_sample=rtt,
+        flight_bytes=flight,
+        in_recovery=recovery,
+        ecn_echo=ece,
+        ecn_marked_bytes=marked,
+        delivery_rate_bps=rate,
+        is_app_limited=app_limited,
+    )
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()

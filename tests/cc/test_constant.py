@@ -1,0 +1,47 @@
+"""Unit tests for the constant-cwnd no-CC baseline."""
+
+import pytest
+
+from repro.cc.constant import ConstantCwnd
+from tests.cc.conftest import make_event
+
+
+class TestConstantWindow:
+    def test_window_fixed_by_constructor(self, ctx):
+        cc = ConstantCwnd(ctx, window_segments=100)
+        assert cc.cwnd == 100 * ctx.mss
+
+    def test_default_window_large(self, ctx):
+        cc = ConstantCwnd(ctx)
+        assert cc.cwnd == ConstantCwnd.DEFAULT_WINDOW_SEGMENTS * ctx.mss
+
+    def test_never_grows(self, ctx):
+        cc = ConstantCwnd(ctx, window_segments=100)
+        for _ in range(50):
+            cc.on_ack(make_event(acked=14_600))
+        assert cc.cwnd == 100 * ctx.mss
+
+    def test_never_shrinks_on_loss(self, ctx):
+        cc = ConstantCwnd(ctx, window_segments=100)
+        cc.on_congestion_event(make_event())
+        cc.on_ecn(make_event(ece=True))
+        cc.on_rto()
+        cc.on_recovery_exit()
+        assert cc.cwnd == 100 * ctx.mss
+
+    def test_bypasses_tsq(self, ctx):
+        assert ConstantCwnd(ctx).respects_tsq is False
+
+    def test_cheapest_ack_cost(self, ctx):
+        from repro.cc.registry import PAPER_ALGORITHMS, get_class
+
+        baseline_cost = ConstantCwnd.ack_cost_units
+        for name in PAPER_ALGORITHMS:
+            if name == "baseline":
+                continue
+            assert get_class(name).ack_cost_units > baseline_cost
+
+    def test_charges_for_acks(self, ctx):
+        cc = ConstantCwnd(ctx)
+        cc.on_ack(make_event())
+        assert ctx.charged == pytest.approx(cc.ack_cost_units)

@@ -1,0 +1,58 @@
+"""Calibration contract: the per-CCA ACK-cost table.
+
+The cost table is calibrated so that, at the pps-bound MTU 1500 where
+every algorithm achieves the same FCT, the energy ordering reproduces
+the paper's Fig. 5 bar order. These tests pin that contract so a future
+cost tweak cannot silently reorder the figure.
+"""
+
+import pytest
+
+from repro.cc.registry import PAPER_ALGORITHMS, get_class
+
+#: the paper's Fig. 5 energy order at MTU 1500 (ascending)
+PAPER_FIG5_ORDER = (
+    "bbr",
+    "westwood",
+    "highspeed",
+    "scalable",
+    "reno",
+    "vegas",
+    "dctcp",
+    "cubic",
+)
+
+
+class TestCostTable:
+    def test_real_cca_costs_follow_fig5_order(self):
+        costs = [get_class(name).ack_cost_units for name in PAPER_FIG5_ORDER]
+        assert costs == sorted(costs), (
+            "ack-cost table no longer matches the paper's Fig. 5 ordering"
+        )
+
+    def test_costs_strictly_increasing(self):
+        costs = [get_class(name).ack_cost_units for name in PAPER_FIG5_ORDER]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_baseline_cheapest(self):
+        baseline = get_class("baseline").ack_cost_units
+        for name in PAPER_ALGORITHMS:
+            if name != "baseline":
+                assert get_class(name).ack_cost_units > baseline
+
+    def test_bbr2_most_expensive(self):
+        bbr2 = get_class("bbr2").ack_cost_units
+        for name in PAPER_ALGORITHMS:
+            if name != "bbr2":
+                assert get_class(name).ack_cost_units < bbr2
+
+    def test_all_costs_positive_and_sane(self):
+        for name in PAPER_ALGORITHMS:
+            cost = get_class(name).ack_cost_units
+            assert 0.1 <= cost <= 5.0, name
+
+    def test_production_ccas_in_efficient_band(self):
+        """Swift/DCQCN/HPCC are optimized production code, not outliers."""
+        for name in ("swift", "dcqcn", "hpcc"):
+            cost = get_class(name).ack_cost_units
+            assert 0.5 <= cost <= 1.5, name

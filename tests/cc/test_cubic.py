@@ -1,0 +1,93 @@
+"""Unit tests for CUBIC (RFC 8312)."""
+
+import pytest
+
+from repro.cc.cubic import CUBIC_BETA, Cubic
+from tests.cc.conftest import make_event
+
+
+class TestReduction:
+    def test_beta_reduction(self, ctx):
+        cc = Cubic(ctx)
+        cc.cwnd = 100_000
+        cc.ssthresh = 100_000
+        cc.on_congestion_event(make_event())
+        assert cc.cwnd == pytest.approx(100_000 * CUBIC_BETA)
+
+    def test_fast_convergence_lowers_wmax(self, ctx):
+        cc = Cubic(ctx)
+        cc.cwnd = 100_000
+        cc.ssthresh = 100_000
+        cc.on_congestion_event(make_event())
+        wmax_first = cc._w_max
+        # Second loss at a smaller window: fast convergence shrinks w_max
+        cc.on_congestion_event(make_event())
+        assert cc._w_max < wmax_first
+
+
+class TestCubicGrowth:
+    def prime(self, ctx, cwnd=100_000):
+        """A CUBIC instance out of slow start with an epoch started."""
+        cc = Cubic(ctx)
+        ctx.set_rtt(100e-6)
+        cc.cwnd = cwnd
+        cc.ssthresh = cwnd
+        cc.on_congestion_event(make_event())  # sets w_max, resets epoch
+        return cc
+
+    def test_concave_growth_toward_wmax(self, ctx):
+        cc = self.prime(ctx)
+        below = cc.cwnd
+        for _ in range(50):
+            ctx.advance(1e-3)
+            cc.on_ack(make_event(acked=1460))
+        assert cc.cwnd > below  # grows back toward w_max
+
+    def test_growth_accelerates_past_plateau(self, ctx):
+        """Far beyond K, one RTT's worth of ACKs grows far beyond Reno's
+        one-segment-per-RTT."""
+        cc = self.prime(ctx)
+        cc.on_ack(make_event(acked=1460))  # first ACK opens the epoch
+        ctx.advance(5.0)  # deep into the convex region
+        before = cc.cwnd
+        acked = 0
+        while acked < before:  # one full window of ACKs
+            cc.on_ack(make_event(acked=1460))
+            acked += 1460
+        assert cc.cwnd - before > 5 * 1460
+
+    def test_slow_start_before_first_loss(self, ctx):
+        cc = Cubic(ctx)
+        before = cc.cwnd
+        cc.on_ack(make_event(acked=before))
+        assert cc.cwnd == 2 * before
+
+
+class TestHystart:
+    def test_exits_slow_start_on_rtt_growth(self, ctx):
+        cc = Cubic(ctx)
+        ctx.set_rtt(100e-6, min_rtt=100e-6)
+        cc.cwnd = 32 * ctx.mss  # above HYSTART_LOW_WINDOW
+        cc.on_ack(make_event(acked=1460, rtt=300e-6))  # RTT tripled
+        assert not cc.in_slow_start
+
+    def test_no_exit_below_low_window(self, ctx):
+        cc = Cubic(ctx)
+        ctx.set_rtt(100e-6, min_rtt=100e-6)
+        cc.cwnd = 4 * ctx.mss
+        cc.on_ack(make_event(acked=1460, rtt=500e-6))
+        assert cc.in_slow_start
+
+    def test_no_exit_on_flat_rtt(self, ctx):
+        cc = Cubic(ctx)
+        ctx.set_rtt(100e-6, min_rtt=100e-6)
+        cc.cwnd = 32 * ctx.mss
+        cc.on_ack(make_event(acked=1460, rtt=110e-6))
+        assert cc.in_slow_start
+
+    def test_rto_resets_epoch(self, ctx):
+        cc = Cubic(ctx)
+        cc.cwnd = 100_000
+        cc.on_rto()
+        assert cc._epoch_start < 0
+        assert cc.cwnd == cc.min_cwnd

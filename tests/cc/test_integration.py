@@ -1,0 +1,84 @@
+"""Integration: every registered CCA completes a transfer on the testbed."""
+
+import pytest
+
+from repro.apps.iperf import IperfSession, run_until_complete
+from repro.cc.registry import PAPER_ALGORITHMS
+from repro.net.topology import TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+
+TRANSFER = 5_000_000  # 5 MB keeps each case fast
+
+
+@pytest.mark.parametrize("cca", PAPER_ALGORITHMS)
+def test_cca_completes_transfer(cca):
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig())
+    session = IperfSession(testbed, total_bytes=TRANSFER, cca=cca)
+    result = run_until_complete(testbed, [session], time_limit_s=30.0)[0]
+    assert result.bytes_transferred == TRANSFER
+    assert result.duration_s > 0
+    # even the baseline should beat 1 Gb/s on a 10 Gb/s path
+    assert result.mean_throughput_bps > 1e9
+
+
+@pytest.mark.parametrize("cca", ["cubic", "bbr", "dctcp"])
+def test_fast_ccas_approach_line_rate(cca):
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig())
+    session = IperfSession(testbed, total_bytes=20_000_000, cca=cca)
+    result = run_until_complete(testbed, [session], time_limit_s=30.0)[0]
+    assert result.mean_throughput_bps > 6e9
+
+
+def test_dctcp_uses_ecn_not_loss():
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig())
+    session = IperfSession(testbed, total_bytes=20_000_000, cca="dctcp")
+    run_until_complete(testbed, [session], time_limit_s=30.0)
+    assert testbed.bottleneck.queue.counters.get("ecn_marks") > 0
+    assert session.sender.counters.get("retransmits") == 0
+
+
+def test_baseline_is_lossy():
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig())
+    session = IperfSession(testbed, total_bytes=20_000_000, cca="baseline")
+    result = run_until_complete(testbed, [session], time_limit_s=60.0)[0]
+    assert result.retransmissions > 100
+
+
+def test_two_cubic_flows_share_fairly():
+    """Competing CUBIC flows split the bottleneck roughly evenly."""
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig())
+    a = IperfSession(testbed, total_bytes=20_000_000, cca="cubic")
+    b = IperfSession(testbed, total_bytes=20_000_000, cca="cubic")
+    results = run_until_complete(testbed, [a, b], time_limit_s=60.0)
+    rates = sorted(r.mean_throughput_bps for r in results)
+    assert rates[0] > 0.25 * rates[1]  # no starvation
+
+    from repro.core.fairness import jain_index
+
+    assert jain_index(rates) > 0.8
+
+
+def test_mtu_1500_is_pps_bound():
+    sim = Simulator()
+    testbed = build_testbed(sim, TestbedConfig(mtu_bytes=1500))
+    session = IperfSession(testbed, total_bytes=10_000_000, cca="cubic")
+    result = run_until_complete(testbed, [session], time_limit_s=30.0)[0]
+    assert result.mean_throughput_bps < 6e9  # well below line rate
+
+
+def test_bbr2_slower_than_bbr():
+    """The alpha release's conservatism shows up as a longer FCT."""
+    durations = {}
+    for cca in ("bbr", "bbr2"):
+        sim = Simulator()
+        testbed = build_testbed(sim, TestbedConfig())
+        session = IperfSession(testbed, total_bytes=20_000_000, cca=cca)
+        durations[cca] = run_until_complete(
+            testbed, [session], time_limit_s=30.0
+        )[0].duration_s
+    assert durations["bbr2"] > durations["bbr"]

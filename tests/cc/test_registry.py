@@ -1,0 +1,73 @@
+"""Unit tests for the CCA registry."""
+
+import pytest
+
+from repro.cc.base import CongestionControl
+from repro.cc.registry import (
+    PAPER_ALGORITHMS,
+    algorithm_names,
+    create,
+    factory,
+    get_class,
+    register,
+)
+from repro.errors import ReproError
+
+
+class TestLookup:
+    def test_all_paper_algorithms_registered(self):
+        for name in PAPER_ALGORITHMS:
+            assert get_class(name).name == name
+
+    def test_paper_set_is_ten_algorithms(self):
+        assert len(PAPER_ALGORITHMS) == 10
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ReproError, match="cubic"):
+            get_class("not-a-cca")
+
+    def test_algorithm_names_sorted(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+        assert "cubic" in names
+
+    def test_create_instantiates(self, ctx):
+        cc = create("reno", ctx)
+        assert cc.name == "reno"
+        assert isinstance(cc, CongestionControl)
+
+    def test_factory_closure(self, ctx):
+        make = factory("cubic")
+        assert make(ctx).name == "cubic"
+
+    def test_factory_kwargs(self, ctx):
+        make = factory("baseline", window_segments=42)
+        assert make(ctx).cwnd == 42 * ctx.mss
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        class Dup(CongestionControl):
+            name = "cubic"
+
+        with pytest.raises(ReproError):
+            register(Dup)
+
+    def test_unnamed_class_rejected(self):
+        class NoName(CongestionControl):
+            name = "base"
+
+        with pytest.raises(ReproError):
+            register(NoName)
+
+    def test_new_algorithm_registers_and_cleans_up(self, ctx):
+        class Custom(CongestionControl):
+            name = "custom-test-cca"
+
+        register(Custom)
+        try:
+            assert create("custom-test-cca", ctx).name == "custom-test-cca"
+        finally:
+            from repro.cc import registry
+
+            del registry._REGISTRY["custom-test-cca"]

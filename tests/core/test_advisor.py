@@ -1,0 +1,56 @@
+"""Unit tests for the EnergyAdvisor facade."""
+
+import pytest
+
+from repro.core.advisor import EnergyAdvisor
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def advisor():
+    return EnergyAdvisor(capacity_gbps=10.0)
+
+
+class TestConcavityPremise:
+    def test_calibrated_model_is_concave(self, advisor):
+        assert advisor.concavity_holds()
+
+
+class TestCompareAllocations:
+    def test_fair_vs_unfair(self, advisor):
+        cmp = advisor.compare_allocations([9.0, 1.0])
+        assert cmp.alternative_power_w < cmp.fair_power_w
+        assert cmp.savings_fraction > 0
+
+    def test_fair_allocation_zero_savings(self, advisor):
+        cmp = advisor.compare_allocations([5.0, 5.0])
+        assert cmp.savings_fraction == pytest.approx(0.0, abs=1e-12)
+
+    def test_over_capacity_rejected(self, advisor):
+        with pytest.raises(AnalysisError):
+            advisor.compare_allocations([8.0, 8.0])
+
+    def test_empty_rejected(self, advisor):
+        with pytest.raises(AnalysisError):
+            advisor.compare_allocations([])
+
+
+class TestRecommend:
+    def test_recommendation_saves_energy(self, advisor):
+        rec = advisor.recommend([10_000_000, 10_000_000, 10_000_000])
+        assert rec.serialized_energy_j < rec.fair_energy_j
+        assert 0 < rec.savings_fraction < 0.5
+
+    def test_schedule_is_srpt(self, advisor):
+        rec = advisor.recommend([30_000_000, 10_000_000, 20_000_000])
+        assert rec.schedule == ["xfer-1", "xfer-2", "xfer-0"]
+
+
+class TestAnnualizedValue:
+    def test_default_cost_model(self, advisor):
+        assert advisor.annualized_value(0.01) == pytest.approx(10e6)
+
+    def test_loaded_advisor_saves_less(self):
+        idle = EnergyAdvisor(load=0.0).compare_allocations([9.9, 0.1])
+        loaded = EnergyAdvisor(load=0.5).compare_allocations([9.9, 0.1])
+        assert loaded.savings_fraction < idle.savings_fraction

@@ -1,0 +1,56 @@
+"""Tests for the fairness-energy Pareto curve."""
+
+import pytest
+
+from repro.core.pareto import fairness_energy_curve
+from repro.energy.power_model import PowerModel
+from repro.errors import AnalysisError
+
+
+class TestCurveShape:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return fairness_energy_curve()
+
+    def test_power_monotone_in_fairness(self, curve):
+        assert curve.is_monotone()
+
+    def test_fair_point_most_expensive(self, curve):
+        fairest = max(curve.points, key=lambda p: p.fairness)
+        assert fairest.flow0_fraction == pytest.approx(0.5)
+        assert fairest.power_w == max(p.power_w for p in curve.points)
+
+    def test_price_of_fairness_positive(self, curve):
+        """Static (always-on) unfairness buys a few percent; the paper's
+        16% additionally needs the time-domain idle phase."""
+        assert 0.02 < curve.price_of_fairness() < 0.10
+
+    def test_symmetric_fractions_equal_power(self, curve):
+        by_fraction = {round(p.flow0_fraction, 3): p for p in curve.points}
+        assert by_fraction[0.25].power_w == pytest.approx(
+            by_fraction[0.75].power_w
+        )
+
+    def test_table_renders(self, curve):
+        assert "Jain index" in curve.format_table()
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(AnalysisError):
+            fairness_energy_curve(capacity_gbps=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(AnalysisError):
+            fairness_energy_curve(fractions=(0.0, 0.5))
+
+    def test_linear_model_flat_curve(self):
+        """Without concavity there is no price of fairness."""
+        model = PowerModel(gamma_net=1.0)
+        curve = fairness_energy_curve(model=model)
+        assert curve.price_of_fairness() == pytest.approx(0.0, abs=1e-9)
+
+    def test_loaded_host_flattens_curve(self):
+        idle = fairness_energy_curve(load=0.0)
+        loaded = fairness_energy_curve(load=0.75)
+        assert loaded.price_of_fairness() < idle.price_of_fairness()

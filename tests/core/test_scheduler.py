@@ -1,0 +1,77 @@
+"""Unit tests for the green (serialize-at-line-rate) scheduler."""
+
+import pytest
+
+from repro.core.scheduler import GreenScheduler, TransferRequest
+from repro.errors import AnalysisError
+from repro.units import gbps
+
+
+def requests(*sizes):
+    return [TransferRequest(f"t{i}", s) for i, s in enumerate(sizes)]
+
+
+@pytest.fixture
+def scheduler():
+    return GreenScheduler(capacity_bps=gbps(10.0))
+
+
+class TestScheduleOrdering:
+    def test_srpt_orders_by_size(self, scheduler):
+        schedule = scheduler.schedule(requests(3_000_000, 1_000_000, 2_000_000))
+        names = [s.request.name for s in schedule]
+        assert names == ["t1", "t2", "t0"]
+
+    def test_fifo_when_srpt_disabled(self, scheduler):
+        schedule = scheduler.schedule(
+            requests(3_000_000, 1_000_000), srpt=False
+        )
+        assert [s.request.name for s in schedule] == ["t0", "t1"]
+
+    def test_back_to_back_times(self, scheduler):
+        schedule = scheduler.schedule(requests(1_000_000, 1_000_000))
+        assert schedule[0].start_time_s == 0.0
+        assert schedule[1].start_time_s == pytest.approx(
+            schedule[0].end_time_s
+        )
+
+    def test_empty_rejected(self, scheduler):
+        with pytest.raises(AnalysisError):
+            scheduler.schedule([])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(AnalysisError):
+            GreenScheduler(capacity_bps=0)
+
+
+class TestEnergyPredictions:
+    def test_serialized_cheaper_for_equal_flows(self, scheduler):
+        reqs = requests(10_000_000, 10_000_000)
+        fair = scheduler.predicted_fair_energy_j(reqs)
+        serialized = scheduler.predicted_serialized_energy_j(reqs)
+        assert serialized < fair
+
+    def test_equal_two_flow_savings_match_paper(self, scheduler):
+        """Two equal flows: the analytic saving is the paper's ~16.3%."""
+        reqs = requests(10_000_000, 10_000_000)
+        saving = scheduler.predicted_savings_fraction(reqs)
+        assert saving == pytest.approx(0.163, abs=0.01)
+
+    def test_more_flows_save_more(self, scheduler):
+        two = scheduler.predicted_savings_fraction(
+            requests(10_000_000, 10_000_000)
+        )
+        four = scheduler.predicted_savings_fraction(
+            requests(*([10_000_000] * 4))
+        )
+        assert four > two
+
+    def test_single_flow_no_savings(self, scheduler):
+        saving = scheduler.predicted_savings_fraction(requests(10_000_000))
+        assert saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_unequal_sizes_still_save(self, scheduler):
+        saving = scheduler.predicted_savings_fraction(
+            requests(5_000_000, 20_000_000)
+        )
+        assert saving > 0

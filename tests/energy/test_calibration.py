@@ -1,0 +1,66 @@
+"""Unit tests for the calibration constants and the fitted curve."""
+
+import pytest
+
+from repro.energy import calibration as cal
+
+
+class TestAnchors:
+    def test_paper_anchor_values(self):
+        """These come verbatim from §4.1 of the paper."""
+        assert cal.P_IDLE_W == 21.49
+        assert cal.P_HALF_RATE_W == 34.23
+        assert cal.P_LINE_RATE_W == 35.82
+
+    def test_curve_passes_through_anchors(self):
+        assert cal.network_power_w(0) == 0.0
+        assert cal.P_IDLE_W + cal.network_power_w(5.0) == pytest.approx(
+            cal.P_HALF_RATE_W
+        )
+        assert cal.P_IDLE_W + cal.network_power_w(10.0) == pytest.approx(
+            cal.P_LINE_RATE_W
+        )
+
+    def test_gamma_is_strongly_concave(self):
+        """The fitted exponent must be far below 1 (power nearly
+        saturates by half rate — the paper's core observation)."""
+        assert 0.0 < cal.GAMMA_NET < 0.3
+
+    def test_marginal_power_decreasing(self):
+        """§4.1: +5 Gb/s from idle costs ~60%, from 5 Gb/s only ~5%."""
+        first_half = cal.network_power_w(5.0) - cal.network_power_w(0.0)
+        second_half = cal.network_power_w(10.0) - cal.network_power_w(5.0)
+        assert first_half > 5 * second_half
+
+
+class TestInterpolation:
+    def test_exact_knots(self):
+        assert cal.interpolate(cal.C_LOAD_TABLE, 0.25) == 33.5
+
+    def test_midpoint(self):
+        mid = cal.interpolate(cal.C_LOAD_TABLE, 0.375)
+        assert 33.5 < mid < 53.5
+
+    def test_clamps_below_and_above(self):
+        assert cal.interpolate(cal.C_LOAD_TABLE, -1.0) == 0.0
+        assert cal.interpolate(cal.C_LOAD_TABLE, 2.0) == 95.0
+
+    def test_attenuation_monotone_decreasing(self):
+        values = [
+            cal.interpolate(cal.S_ATTENUATION_TABLE, x / 10)
+            for x in range(11)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[0] == 1.0
+
+
+class TestReferenceRates:
+    def test_reference_packet_rate(self):
+        # 10 Gb/s at 9000-byte packets ~ 139 kpps
+        assert cal.reference_packet_rate(10.0) == pytest.approx(
+            10e9 / (9000 * 8)
+        )
+
+    def test_dollar_constants(self):
+        assert cal.RACK_COST_USD_PER_YEAR == 10_000
+        assert cal.RACKS_PER_DATACENTER == 100_000

@@ -1,0 +1,141 @@
+"""Unit tests for CPU package accounting and flow pinning."""
+
+import random
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.energy.cpu import CpuModel, CpuPackage
+from repro.energy.power_model import PowerModel
+from repro.errors import EnergyModelError
+from repro.net.host import Host
+from repro.net.packet import Packet
+
+
+@pytest.fixture
+def host(sim):
+    return Host(sim, "h")
+
+
+@pytest.fixture
+def cpu(sim, host):
+    return CpuModel(sim, host, packages=2)
+
+
+def packet(flow, payload=1000, retransmitted=False):
+    return Packet(
+        flow_id=flow, src="a", dst="b", payload_bytes=payload,
+        retransmitted=retransmitted,
+    )
+
+
+class TestPackageIntegration:
+    def test_idle_energy_is_idle_power_times_time(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        pkg.flush()
+        assert pkg.energy_j == pytest.approx(cal.P_IDLE_W * 1.0)
+
+    def test_flush_without_time_is_noop(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        pkg.flush()
+        assert pkg.energy_j == 0.0
+
+    def test_activity_raises_power(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        # 5 Gb/s worth of bytes over 1 virtual second
+        pkg._wire_bytes = int(5e9 / 8)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        pkg.flush()
+        assert pkg.energy_j > cal.P_HALF_RATE_W * 0.9
+
+    def test_background_load_change_flushes(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        pkg.set_background_load(0.5)
+        # first second accounted at idle
+        assert pkg.energy_j == pytest.approx(cal.P_IDLE_W, rel=0.01)
+
+    def test_invalid_load_rejected(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        with pytest.raises(EnergyModelError):
+            pkg.set_background_load(1.5)
+
+    def test_noise_perturbs_energy(self, sim):
+        energies = []
+        for seed in (1, 2):
+            from repro.sim.engine import Simulator
+
+            local = Simulator()
+            pkg = CpuPackage("p", PowerModel(), local)
+            pkg.noise_rng = random.Random(seed)
+            pkg.noise_sigma = 0.01
+            local.schedule(1.0, lambda: None)
+            local.run()
+            pkg.flush()
+            energies.append(pkg.energy_j)
+        assert energies[0] != energies[1]
+
+
+class TestFlowPinning:
+    def test_explicit_pin(self, sim, host, cpu):
+        cpu.pin_flow(7, 1)
+        assert cpu.package_for(7) is cpu.packages[1]
+
+    def test_auto_pin_round_robin(self, sim, host, cpu):
+        first = cpu.package_for(100)
+        second = cpu.package_for(200)
+        assert first is not second
+        assert cpu.package_for(100) is first  # stable
+
+    def test_events_charge_pinned_package(self, sim, host, cpu):
+        cpu.pin_flow(1, 0)
+        cpu.pin_flow(2, 1)
+        host.send = lambda p: True  # not used; we drive listeners directly
+        cpu.on_packet_sent(host, packet(1))
+        cpu.on_packet_sent(host, packet(2))
+        cpu.on_packet_sent(host, packet(2))
+        assert cpu.packages[0]._packet_events == 1
+        assert cpu.packages[1]._packet_events == 2
+
+    def test_cc_ops_follow_flow(self, sim, host, cpu):
+        cpu.pin_flow(5, 1)
+        cpu.on_cc_op(host, "cubic", 2.0, flow_id=5)
+        assert cpu.packages[1]._cc_units == 2.0
+
+    def test_retransmissions_counted(self, sim, host, cpu):
+        cpu.pin_flow(5, 0)
+        cpu.on_retransmit(host, packet(5, retransmitted=True))
+        assert cpu.packages[0]._retransmissions == 1
+
+
+class TestLifecycle:
+    def test_total_energy_sums_packages(self, sim, host, cpu):
+        cpu.start()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=0.5)
+        cpu.stop()
+        assert cpu.total_energy_j == pytest.approx(
+            2 * cal.P_IDLE_W * 0.5, rel=0.01
+        )
+
+    def test_sampler_records_power_series(self, sim, host):
+        cpu = CpuModel(sim, host, packages=1, sample_interval_s=0.1)
+        cpu.start()
+        sim.run(until=1.0)
+        cpu.stop()
+        series = cpu.packages[0].power_series
+        assert len(series) >= 9
+        assert series.values[0] == pytest.approx(cal.P_IDLE_W, rel=0.01)
+
+    def test_needs_at_least_one_package(self, sim, host):
+        with pytest.raises(EnergyModelError):
+            CpuModel(sim, host, packages=0)
+
+    def test_listener_attached_to_host(self, sim):
+        host = Host(sim, "x")
+        cpu = CpuModel(sim, host, packages=1)
+        assert cpu in host._listeners

@@ -1,0 +1,87 @@
+"""Tests for the DRAM RAPL domain."""
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.energy.cpu import CpuModel, CpuPackage
+from repro.energy.power_model import IntervalActivity, PowerModel
+from repro.energy.rapl import RaplDomain, RaplReader
+from repro.errors import EnergyModelError
+from repro.net.host import Host
+
+
+class TestDramPowerModel:
+    def test_idle_dram_power(self):
+        model = PowerModel()
+        activity = IntervalActivity(duration_s=1.0)
+        assert model.dram_power_w(activity) == pytest.approx(cal.DRAM_IDLE_W)
+
+    def test_throughput_adds_dram_power(self):
+        model = PowerModel()
+        busy = IntervalActivity(duration_s=1.0, wire_bytes=int(10e9 / 8))
+        assert model.dram_power_w(busy) == pytest.approx(
+            cal.DRAM_IDLE_W + 10 * cal.BETA_DRAM_W_PER_GBPS
+        )
+
+    def test_retransmissions_add_dram_power(self):
+        model = PowerModel()
+        lossy = IntervalActivity(duration_s=1.0, retransmissions=100_000)
+        clean = IntervalActivity(duration_s=1.0)
+        assert model.dram_power_w(lossy) > model.dram_power_w(clean) + 1.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(EnergyModelError):
+            PowerModel().dram_power_w(IntervalActivity(duration_s=0.0))
+
+
+class TestDramAccounting:
+    def test_dram_energy_integrates(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        pkg.flush()
+        assert pkg.dram_energy_j == pytest.approx(cal.DRAM_IDLE_W, rel=0.01)
+
+    def test_dram_domain_reads_dram_counter(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        pkg.energy_j = 100.0
+        pkg.dram_energy_j = 7.0
+        dram = RaplDomain(pkg, domain="dram")
+        package = RaplDomain(pkg, domain="package")
+        assert dram.read_counter() == int(7.0 / cal.RAPL_ENERGY_UNIT_J)
+        assert package.read_counter() == int(100.0 / cal.RAPL_ENERGY_UNIT_J)
+
+    def test_dram_domain_name_suffix(self, sim):
+        pkg = CpuPackage("host-pkg0", PowerModel(), sim)
+        assert RaplDomain(pkg, domain="dram").name == "host-pkg0-dram"
+
+    def test_unknown_domain_rejected(self, sim):
+        pkg = CpuPackage("p", PowerModel(), sim)
+        with pytest.raises(EnergyModelError):
+            RaplDomain(pkg, domain="uncore")
+
+    def test_reader_includes_dram_when_asked(self, sim):
+        cpu = CpuModel(sim, Host(sim, "h"), packages=1)
+        reader = RaplReader.for_cpu_models([cpu], include_dram=True)
+        names = set(reader.read_all())
+        assert names == {"h-pkg0", "h-pkg0-dram"}
+
+    def test_reader_package_only_by_default(self, sim):
+        cpu = CpuModel(sim, Host(sim, "h"), packages=1)
+        reader = RaplReader.for_cpu_models([cpu])
+        assert set(reader.read_all()) == {"h-pkg0"}
+
+    def test_paper_measurement_unaffected(self, sim):
+        """Adding the DRAM domain must not shift the package anchors."""
+        from repro.harness.experiment import FlowSpec, Scenario
+        from repro.harness.runner import run_once
+
+        m = run_once(
+            Scenario(
+                "anchor",
+                flows=[FlowSpec(5_000_000, "cubic", target_rate_bps=5e9)],
+                packages=1,
+                power_noise_sigma=0.0,
+            )
+        )
+        assert m.average_power_w == pytest.approx(cal.P_HALF_RATE_W, rel=0.03)

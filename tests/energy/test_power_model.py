@@ -1,0 +1,167 @@
+"""Unit tests for the package power model."""
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.energy.power_model import IntervalActivity, PowerModel
+from repro.errors import EnergyModelError
+
+
+def reference_activity(throughput_gbps, duration=1.0, load=0.0):
+    """Activity exactly matching the calibration reference (CUBIC@9000)."""
+    wire_bytes = int(throughput_gbps * 1e9 * duration / 8)
+    data_pkts = cal.reference_packet_rate(throughput_gbps) * duration
+    return IntervalActivity(
+        duration_s=duration,
+        wire_bytes=wire_bytes,
+        packet_events=int(data_pkts * cal.REF_EVENTS_PER_DATA_PACKET),
+        cc_cost_units=data_pkts
+        * cal.REF_ACKS_PER_PACKET
+        * cal.REF_CC_UNITS_PER_ACK,
+        retransmissions=0,
+        background_load=load,
+    )
+
+
+class TestReferenceConfiguration:
+    def test_idle_power(self):
+        model = PowerModel()
+        assert model.power_w(reference_activity(0.0)) == pytest.approx(
+            cal.P_IDLE_W, rel=1e-6
+        )
+
+    def test_half_rate_anchor(self):
+        model = PowerModel()
+        assert model.power_w(reference_activity(5.0)) == pytest.approx(
+            cal.P_HALF_RATE_W, rel=0.01
+        )
+
+    def test_line_rate_anchor(self):
+        model = PowerModel()
+        assert model.power_w(reference_activity(10.0)) == pytest.approx(
+            cal.P_LINE_RATE_W, rel=0.01
+        )
+
+    def test_smooth_curve_strictly_increasing(self):
+        model = PowerModel()
+        samples = [model.smooth_sending_power_w(t / 2) for t in range(21)]
+        assert all(b > a for a, b in zip(samples, samples[1:]))
+
+    def test_smooth_curve_strictly_concave(self):
+        model = PowerModel()
+        p = model.smooth_sending_power_w
+        for t in (1.0, 3.0, 5.0, 7.0, 9.0):
+            assert p(t) > (p(t - 1) + p(t + 1)) / 2
+
+
+class TestExcessTerms:
+    def test_small_mtu_costs_more_at_same_throughput(self):
+        model = PowerModel()
+        ref = reference_activity(5.0)
+        small_mtu = IntervalActivity(
+            duration_s=ref.duration_s,
+            wire_bytes=ref.wire_bytes,
+            packet_events=ref.packet_events * 6,  # 1500 vs 9000
+            cc_cost_units=ref.cc_cost_units * 6,
+            background_load=0.0,
+        )
+        assert model.power_w(small_mtu) > model.power_w(ref) + 3.0
+
+    def test_expensive_cca_draws_more(self):
+        model = PowerModel()
+        ref = reference_activity(5.0)
+        pricey = IntervalActivity(
+            duration_s=ref.duration_s,
+            wire_bytes=ref.wire_bytes,
+            packet_events=ref.packet_events,
+            cc_cost_units=ref.cc_cost_units * 2,
+            background_load=0.0,
+        )
+        assert model.power_w(pricey) > model.power_w(ref)
+
+    def test_retransmissions_cost_power(self):
+        model = PowerModel()
+        ref = reference_activity(5.0)
+        lossy = IntervalActivity(
+            duration_s=ref.duration_s,
+            wire_bytes=ref.wire_bytes,
+            packet_events=ref.packet_events,
+            cc_cost_units=ref.cc_cost_units,
+            retransmissions=50_000,
+            background_load=0.0,
+        )
+        assert model.power_w(lossy) > model.power_w(ref) + 0.5
+
+    def test_cheap_cca_floor_at_idle(self):
+        """Micro-work credits can't push below idle + load power."""
+        model = PowerModel()
+        credit = IntervalActivity(
+            duration_s=1.0,
+            wire_bytes=0,
+            packet_events=0,
+            cc_cost_units=-1e9,  # absurd credit
+            background_load=0.0,
+        )
+        assert model.power_w(credit) == pytest.approx(cal.P_IDLE_W)
+
+
+class TestLoadBehaviour:
+    def test_load_adds_power(self):
+        model = PowerModel()
+        idle = model.smooth_sending_power_w(0.0, load=0.0)
+        loaded = model.smooth_sending_power_w(0.0, load=0.5)
+        assert loaded == pytest.approx(idle + 53.5)
+
+    def test_load_attenuates_network_marginal(self):
+        model = PowerModel()
+        marginal_idle = model.smooth_sending_power_w(
+            10.0, 0.0
+        ) - model.smooth_sending_power_w(0.0, 0.0)
+        marginal_loaded = model.smooth_sending_power_w(
+            10.0, 0.75
+        ) - model.smooth_sending_power_w(0.0, 0.75)
+        assert marginal_loaded < 0.1 * marginal_idle
+
+
+class TestChord:
+    def test_chord_below_curve_interior(self):
+        model = PowerModel()
+        for t in (1.0, 2.5, 5.0, 7.5, 9.0):
+            assert model.full_speed_then_idle_power_w(
+                t
+            ) < model.smooth_sending_power_w(t)
+
+    def test_chord_matches_at_endpoints(self):
+        model = PowerModel()
+        assert model.full_speed_then_idle_power_w(0.0) == pytest.approx(
+            model.smooth_sending_power_w(0.0)
+        )
+        assert model.full_speed_then_idle_power_w(10.0) == pytest.approx(
+            model.smooth_sending_power_w(10.0)
+        )
+
+    def test_chord_out_of_range_rejected(self):
+        with pytest.raises(EnergyModelError):
+            PowerModel().full_speed_then_idle_power_w(11.0)
+
+
+class TestValidation:
+    def test_zero_duration_rejected(self):
+        with pytest.raises(EnergyModelError):
+            PowerModel().power_w(IntervalActivity(duration_s=0.0))
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(EnergyModelError):
+            PowerModel(gamma_net=1.5)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(EnergyModelError):
+            PowerModel(p_idle_w=-1.0)
+
+    def test_paper_fsti_savings_from_anchors(self):
+        """The §4.1 arithmetic: 2x34.23 vs (35.82 + 21.49) => ~16.3%."""
+        model = PowerModel()
+        fair = 2 * model.smooth_sending_power_w(5.0)
+        fsti = model.smooth_sending_power_w(10.0) + model.smooth_sending_power_w(0.0)
+        savings = (fair - fsti) / fair
+        assert savings == pytest.approx(0.163, abs=0.005)

@@ -1,0 +1,58 @@
+"""Unit tests for the stress (background load) tool."""
+
+import pytest
+
+from repro.energy.cpu import CpuModel
+from repro.energy.stress import StressLoad
+from repro.errors import EnergyModelError
+from repro.net.host import Host
+
+
+@pytest.fixture
+def cpu(sim):
+    return CpuModel(sim, Host(sim, "h"), packages=2)
+
+
+class TestStressLoad:
+    def test_start_applies_load(self, sim, cpu):
+        stress = StressLoad(sim, cpu, load=0.5)
+        stress.start()
+        assert stress.active
+        assert all(p.background_load == 0.5 for p in cpu.packages)
+
+    def test_stop_clears_load(self, sim, cpu):
+        stress = StressLoad(sim, cpu, load=0.5)
+        stress.start()
+        stress.stop()
+        assert not stress.active
+        assert all(p.background_load == 0.0 for p in cpu.packages)
+
+    def test_run_for_schedules_stop(self, sim, cpu):
+        stress = StressLoad(sim, cpu, load=0.25)
+        stress.run_for(1.0)
+        assert cpu.packages[0].background_load == 0.25
+        sim.run()
+        assert cpu.packages[0].background_load == 0.0
+
+    def test_invalid_load_rejected(self, sim, cpu):
+        with pytest.raises(EnergyModelError):
+            StressLoad(sim, cpu, load=1.1)
+
+    def test_from_cores(self, sim, cpu):
+        stress = StressLoad.from_cores(sim, cpu, busy_cores=8, total_cores=32)
+        assert stress.load == pytest.approx(0.25)
+
+    def test_from_cores_validation(self, sim, cpu):
+        with pytest.raises(EnergyModelError):
+            StressLoad.from_cores(sim, cpu, busy_cores=33, total_cores=32)
+
+    def test_loaded_power_higher(self, sim, cpu):
+        from repro.energy.meter import EnergyMeter
+
+        meter = EnergyMeter(sim, [cpu])
+        StressLoad(sim, cpu, load=0.75).start()
+        meter.start()
+        sim.run(until=1.0)
+        energy = meter.stop()
+        # 2 packages x (21.49 idle + 73.5 load)
+        assert energy == pytest.approx(2 * (21.49 + 73.5), rel=0.02)

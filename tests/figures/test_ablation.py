@@ -1,0 +1,50 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.figures.ablation import (
+    bbr2_alpha_ablation,
+    buffer_ablation,
+    concavity_ablation,
+    ecn_threshold_ablation,
+)
+
+
+class TestConcavityAblation:
+    def test_concave_curve_saves(self):
+        result = concavity_ablation()
+        assert result.concave_savings_fraction == pytest.approx(0.163, abs=0.01)
+
+    def test_linear_curve_saves_nothing(self):
+        result = concavity_ablation()
+        assert result.linear_savings_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBbr2Ablation:
+    def test_alpha_knobs_explain_overhead(self):
+        result = bbr2_alpha_ablation(transfer_bytes=6_000_000)
+        assert result.alpha_energy_j > result.mature_energy_j
+        assert result.alpha_overhead_vs_bbr > result.mature_overhead_vs_bbr
+        assert result.alpha_overhead_vs_bbr > 0.05
+
+
+class TestEcnThresholdAblation:
+    def test_reports_every_threshold(self):
+        out = ecn_threshold_ablation(
+            thresholds_bytes=(50 * 1024, 200 * 1024),
+            transfer_bytes=6_000_000,
+        )
+        assert set(out) == {50 * 1024, 200 * 1024}
+        assert all(e > 0 for e in out.values())
+
+
+class TestBufferAblation:
+    def test_reports_energy_and_retx(self):
+        out = buffer_ablation(
+            buffers_bytes=(256 * 1024, 2 * 1024 * 1024),
+            transfer_bytes=6_000_000,
+        )
+        assert len(out) == 2
+        for energy, retx in out.values():
+            assert energy > 0
+            assert retx >= 0

@@ -1,0 +1,97 @@
+"""Tests for the §5 extension experiments: SRPT, incast, load balancing."""
+
+import pytest
+
+from repro.figures.incast import run_incast_sweep
+from repro.figures.load_balance import (
+    balanced_utilizations,
+    consolidated_utilizations,
+    run_hardware_comparison,
+)
+from repro.figures.srpt import run_srpt_comparison
+
+SMALL_BATCH = (8_000_000, 4_000_000, 2_000_000)
+
+
+@pytest.fixture(scope="module")
+def srpt():
+    return run_srpt_comparison(batch=SMALL_BATCH)
+
+
+class TestSrpt:
+    def test_fair_is_most_expensive(self, srpt):
+        fair = srpt.points["fair"].energy_j
+        assert srpt.points["pfabric"].energy_j < fair
+        assert srpt.points["serialized"].energy_j < fair
+
+    def test_pfabric_improves_mean_fct(self, srpt):
+        assert srpt.fct_speedup_vs_fair("pfabric") > 1.1
+
+    def test_serialized_has_best_mean_fct(self, srpt):
+        assert (
+            srpt.points["serialized"].mean_fct_s
+            < srpt.points["pfabric"].mean_fct_s
+        )
+
+    def test_makespans_comparable(self, srpt):
+        """All three schedules keep the bottleneck busy; makespan is
+        roughly the aggregate serialization time."""
+        makespans = [p.makespan_s for p in srpt.points.values()]
+        assert max(makespans) < 1.5 * min(makespans)
+
+    def test_table_renders(self, srpt):
+        table = srpt.format_table()
+        assert "pfabric" in table and "serialized" in table
+
+
+class TestIncast:
+    def test_energy_grows_with_fan_in(self):
+        result = run_incast_sweep(
+            fan_ins=(1, 4), aggregate_bytes=8_000_000
+        )
+        assert result.point(4).energy_j > 2.5 * result.point(1).energy_j
+
+    def test_makespan_stable_at_fixed_aggregate(self):
+        result = run_incast_sweep(
+            fan_ins=(1, 4), aggregate_bytes=8_000_000
+        )
+        assert result.point(4).makespan_s == pytest.approx(
+            result.point(1).makespan_s, rel=0.3
+        )
+
+    def test_table_renders(self):
+        result = run_incast_sweep(fan_ins=(1, 2), aggregate_bytes=4_000_000)
+        assert "fan-in" in result.format_table()
+
+
+class TestLoadBalancePlacements:
+    def test_balanced_spreads_evenly(self):
+        assert balanced_utilizations(0.25, 4) == [0.25] * 4
+
+    def test_consolidated_fills_then_sleeps(self):
+        assert consolidated_utilizations(0.25, 4) == [1.0, 0.0, 0.0, 0.0]
+
+    def test_consolidated_partial_fill(self):
+        utils = consolidated_utilizations(0.375, 4)
+        assert utils == [1.0, 0.5, 0.0, 0.0]
+
+    def test_total_traffic_preserved(self):
+        for load in (0.1, 0.33, 0.8):
+            assert sum(consolidated_utilizations(load, 8)) == pytest.approx(
+                sum(balanced_utilizations(load, 8))
+            )
+
+
+class TestHardwareComparison:
+    def test_todays_hardware_indifferent_to_balance(self):
+        today, _ = run_hardware_comparison()
+        assert today.max_savings() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rate_adaptive_hardware_rewards_consolidation(self):
+        _, adaptive = run_hardware_comparison()
+        assert adaptive.max_savings() > 0.03
+
+    def test_savings_largest_at_low_load(self):
+        _, adaptive = run_hardware_comparison(loads=(0.125, 0.75))
+        low, high = adaptive.points
+        assert low.savings_fraction > high.savings_fraction

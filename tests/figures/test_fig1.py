@@ -1,0 +1,47 @@
+"""Tests for the Figure 1 pipeline (small sizes for speed)."""
+
+import pytest
+
+from repro.figures.fig1 import run_fig1
+
+TRANSFER = 4_000_000  # small but enough for stable shares
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(
+        transfer_bytes=TRANSFER,
+        fractions=(0.2, 0.5, 0.8),
+        repetitions=2,
+    )
+
+
+class TestFig1Shape:
+    def test_has_fair_and_fsti_points(self, fig1):
+        assert fig1.fair_point.label == "fair"
+        assert fig1.fsti_point.label == "full-speed-then-idle"
+
+    def test_fair_is_most_expensive(self, fig1):
+        fair_energy = fig1.fair_point.mean_energy_j
+        for point in fig1.points:
+            if point.label != "fair":
+                assert point.mean_energy_j < fair_energy
+
+    def test_fsti_is_cheapest(self, fig1):
+        fsti = fig1.fsti_point.mean_energy_j
+        for point in fig1.points:
+            assert point.mean_energy_j >= fsti * 0.999
+
+    def test_max_savings_near_paper(self, fig1):
+        assert 12.0 <= fig1.max_savings_percent <= 20.0
+
+    def test_savings_symmetric(self, fig1):
+        by_frac = {p.flow0_fraction: p for p in fig1.points}
+        low = fig1.savings_vs_fair_percent(by_frac[0.2])
+        high = fig1.savings_vs_fair_percent(by_frac[0.8])
+        assert low == pytest.approx(high, abs=1.5)
+
+    def test_table_renders(self, fig1):
+        table = fig1.format_table()
+        assert "fair" in table
+        assert "full-speed-then-idle" in table

@@ -1,0 +1,84 @@
+"""Unit tests for scenario descriptions and validation."""
+
+import pytest
+
+from repro.core.allocation import fig1_allocations, full_speed_then_idle
+from repro.errors import ExperimentError
+from repro.harness.experiment import FlowSpec, Scenario, scenario_from_plan
+from repro.units import gbps
+
+
+class TestFlowSpec:
+    def test_defaults(self):
+        flow = FlowSpec(1000)
+        assert flow.cca == "cubic"
+        assert flow.target_rate_bps is None
+        assert flow.after_flow is None
+
+    def test_size_validation(self):
+        with pytest.raises(ExperimentError):
+            FlowSpec(0)
+
+
+class TestScenarioValidation:
+    def test_needs_flows(self):
+        with pytest.raises(ExperimentError):
+            Scenario("empty", flows=[])
+
+    def test_load_bounds(self):
+        with pytest.raises(ExperimentError):
+            Scenario("x", flows=[FlowSpec(1000)], background_load=1.5)
+
+    def test_baseline_cannot_share_bottleneck(self):
+        """Paper footnote 2: the no-CC module would cause collapse."""
+        with pytest.raises(ExperimentError, match="footnote 2"):
+            Scenario(
+                "bad",
+                flows=[FlowSpec(1000, "baseline"), FlowSpec(1000, "cubic")],
+            )
+
+    def test_baseline_alone_allowed(self):
+        Scenario("ok", flows=[FlowSpec(1000, "baseline")])
+
+    def test_baseline_serialized_allowed(self):
+        """Chained flows never share the link, so baseline is fine."""
+        Scenario(
+            "ok",
+            flows=[
+                FlowSpec(1000, "baseline"),
+                FlowSpec(1000, "cubic", after_flow=0),
+            ],
+        )
+
+    def test_chain_bounds_checked(self):
+        with pytest.raises(ExperimentError):
+            Scenario("bad", flows=[FlowSpec(1000, after_flow=5)])
+
+    def test_self_chain_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario("bad", flows=[FlowSpec(1000, after_flow=0)])
+
+    def test_with_name(self):
+        s = Scenario("a", flows=[FlowSpec(1000)])
+        assert s.with_name("b").name == "b"
+        assert s.name == "a"
+
+
+class TestScenarioFromPlan:
+    def test_fsti_plan_chains(self):
+        plan = full_speed_then_idle(1000, gbps(10.0))
+        scenario = scenario_from_plan("x", plan)
+        assert scenario.flows[0].after_flow is None
+        assert scenario.flows[1].after_flow == 0
+
+    def test_limited_plan_keeps_caps_and_uncap(self):
+        plans = fig1_allocations(1000, gbps(10.0), fractions=(0.8,))
+        scenario = scenario_from_plan("x", plans[0])
+        capped = scenario.flows[1]
+        assert capped.target_rate_bps == pytest.approx(0.2 * gbps(10))
+        assert capped.uncap_after == 0
+
+    def test_kwargs_forwarded(self):
+        plan = full_speed_then_idle(1000, gbps(10.0))
+        scenario = scenario_from_plan("x", plan, mtu_bytes=1500)
+        assert scenario.mtu_bytes == 1500

@@ -1,0 +1,107 @@
+"""Integration tests for the scenario runner."""
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once, run_repeated
+from repro.units import gbps
+
+SIZE = 2_000_000
+
+
+def single_flow(**kwargs):
+    defaults = dict(name="single", flows=[FlowSpec(SIZE)])
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestRunOnce:
+    def test_measures_energy_and_duration(self):
+        m = run_once(single_flow())
+        assert m.energy_j > 0
+        assert m.duration_s > 0
+        assert m.average_power_w > cal.P_IDLE_W
+
+    def test_flow_results_attached(self):
+        m = run_once(single_flow())
+        assert len(m.flow_results) == 1
+        assert m.flow_results[0].bytes_transferred == SIZE
+
+    def test_deterministic_given_seed(self):
+        a = run_once(single_flow(), seed=7)
+        b = run_once(single_flow(), seed=7)
+        assert a.energy_j == pytest.approx(b.energy_j, rel=1e-12)
+
+    def test_seeds_vary_results(self):
+        a = run_once(single_flow(), seed=1)
+        b = run_once(single_flow(), seed=2)
+        assert a.energy_j != b.energy_j  # power noise differs
+
+    def test_noise_can_be_disabled(self):
+        scenario = single_flow(power_noise_sigma=0.0, start_jitter_s=0.0)
+        a = run_once(scenario, seed=1)
+        b = run_once(scenario, seed=2)
+        assert a.energy_j == pytest.approx(b.energy_j, rel=1e-9)
+
+    def test_packages_override(self):
+        one = run_once(single_flow(packages=1, power_noise_sigma=0.0))
+        two = run_once(single_flow(packages=2, power_noise_sigma=0.0))
+        # the second package only adds idle power
+        extra = two.energy_j - one.energy_j
+        assert extra == pytest.approx(
+            cal.P_IDLE_W * two.duration_s, rel=0.05
+        )
+
+    def test_background_load_raises_power(self):
+        quiet = run_once(single_flow(packages=1))
+        loaded = run_once(single_flow(packages=1, background_load=0.5))
+        assert loaded.average_power_w > quiet.average_power_w + 35
+
+    def test_chained_flows_serialize(self):
+        scenario = Scenario(
+            "chain",
+            flows=[FlowSpec(SIZE), FlowSpec(SIZE, after_flow=0)],
+        )
+        m = run_once(scenario)
+        first, second = m.flow_results
+        assert second.start_time >= first.end_time
+
+    def test_rate_cap_respected(self):
+        scenario = Scenario(
+            "capped",
+            flows=[FlowSpec(SIZE, target_rate_bps=gbps(1.0))],
+        )
+        m = run_once(scenario)
+        assert m.flow_results[0].mean_throughput_bps < gbps(1.5)
+
+    def test_probes_recorded_when_requested(self):
+        scenario = single_flow(probe_interval_s=1e-3)
+        m = run_once(scenario)
+        assert len(m.throughput_series) == 1
+        series = next(iter(m.throughput_series.values()))
+        assert len(series) > 0
+
+    def test_mtu_override(self):
+        fast = run_once(single_flow(mtu_bytes=9000))
+        slow = run_once(single_flow(mtu_bytes=1500))
+        assert slow.duration_s > fast.duration_s
+
+
+class TestRunRepeated:
+    def test_aggregates(self):
+        result = run_repeated(single_flow(), repetitions=3)
+        assert result.n == 3
+        assert result.mean_energy_j > 0
+        assert result.std_energy_j >= 0
+        assert result.mean_power_w > cal.P_IDLE_W
+
+    def test_std_reflects_noise(self):
+        result = run_repeated(single_flow(), repetitions=4)
+        assert result.std_energy_j > 0
+
+    def test_invalid_repetitions(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_repeated(single_flow(), repetitions=0)

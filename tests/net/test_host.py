@@ -1,0 +1,136 @@
+"""Unit tests for hosts: demux, listeners, counters."""
+
+import pytest
+
+from repro.errors import NetworkConfigError
+from repro.net.host import Host, HostListener
+from repro.net.link import Interface, Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.units import gbps
+
+
+class Endpoint:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+    def receive(self, packet):  # also usable as a link sink
+        self.packets.append(packet)
+
+
+class Recorder(HostListener):
+    def __init__(self):
+        self.sent = []
+        self.received = []
+        self.retransmits = []
+        self.cc_ops = []
+
+    def on_packet_sent(self, host, packet):
+        self.sent.append(packet)
+
+    def on_packet_received(self, host, packet):
+        self.received.append(packet)
+
+    def on_retransmit(self, host, packet):
+        self.retransmits.append(packet)
+
+    def on_cc_op(self, host, algorithm, cost_units, flow_id):
+        self.cc_ops.append((algorithm, cost_units, flow_id))
+
+
+def make_host(sim, name="h"):
+    host = Host(sim, name)
+    link = Link(sim, gbps(10), 0.0)
+    link.connect(Endpoint())  # discard
+    nic = Nic([Interface(sim, DropTailQueue(1_000_000), link)], mtu_bytes=9000)
+    host.attach_nic(nic)
+    return host
+
+
+def make_packet(flow=1, retransmitted=False):
+    return Packet(
+        flow_id=flow, src="a", dst="b", payload_bytes=100,
+        retransmitted=retransmitted,
+    )
+
+
+class TestDemux:
+    def test_receive_dispatches_by_flow(self, sim):
+        host = make_host(sim)
+        ep1, ep2 = Endpoint(), Endpoint()
+        host.register_flow(1, ep1)
+        host.register_flow(2, ep2)
+        host.receive(make_packet(flow=2))
+        assert ep1.packets == []
+        assert len(ep2.packets) == 1
+
+    def test_unroutable_counted_not_raised(self, sim):
+        host = make_host(sim)
+        host.receive(make_packet(flow=99))
+        assert host.counters.get("rx_unroutable") == 1
+
+    def test_duplicate_flow_rejected(self, sim):
+        host = make_host(sim)
+        host.register_flow(1, Endpoint())
+        with pytest.raises(NetworkConfigError):
+            host.register_flow(1, Endpoint())
+
+    def test_unregister_idempotent(self, sim):
+        host = make_host(sim)
+        host.register_flow(1, Endpoint())
+        host.unregister_flow(1)
+        host.unregister_flow(1)
+        host.receive(make_packet(flow=1))
+        assert host.counters.get("rx_unroutable") == 1
+
+
+class TestListeners:
+    def test_send_event_published(self, sim):
+        host = make_host(sim)
+        rec = Recorder()
+        host.add_listener(rec)
+        host.send(make_packet())
+        assert len(rec.sent) == 1
+
+    def test_retransmit_event_published(self, sim):
+        host = make_host(sim)
+        rec = Recorder()
+        host.add_listener(rec)
+        host.send(make_packet(retransmitted=True))
+        assert len(rec.retransmits) == 1
+        assert host.counters.get("retransmissions") == 1
+
+    def test_cc_op_event_carries_flow(self, sim):
+        host = make_host(sim)
+        rec = Recorder()
+        host.add_listener(rec)
+        host.notify_cc_op("cubic", 1.35, flow_id=7)
+        assert rec.cc_ops == [("cubic", 1.35, 7)]
+
+    def test_send_stamps_time(self, sim):
+        host = make_host(sim)
+        sim.schedule(1.0, lambda: host.send(make_packet()))
+        p = make_packet()
+        sim.schedule(2.0, lambda: host.send(p))
+        sim.run()
+        assert p.sent_time == 2.0
+
+
+class TestWiring:
+    def test_send_without_nic_raises(self, sim):
+        host = Host(sim, "bare")
+        with pytest.raises(NetworkConfigError):
+            host.send(make_packet())
+
+    def test_mtu_without_nic_raises(self, sim):
+        host = Host(sim, "bare")
+        with pytest.raises(NetworkConfigError):
+            _ = host.mtu_bytes
+
+    def test_mtu_reflects_nic(self, sim):
+        host = make_host(sim)
+        assert host.mtu_bytes == 9000

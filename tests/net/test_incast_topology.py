@@ -1,0 +1,69 @@
+"""Tests for the N-to-1 incast topology."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.topology import TestbedConfig, build_incast_testbed
+
+
+class TestBuild:
+    def test_fan_in_count(self, sim):
+        testbed = build_incast_testbed(sim, 4)
+        assert testbed.fan_in == 4
+        assert len(testbed.senders) == 4
+
+    def test_needs_at_least_one_sender(self, sim):
+        with pytest.raises(ValueError):
+            build_incast_testbed(sim, 0)
+
+    def test_unique_sender_names(self, sim):
+        testbed = build_incast_testbed(sim, 8)
+        names = {h.name for h in testbed.senders}
+        assert len(names) == 8
+
+    def test_every_sender_reaches_receiver(self, sim):
+        testbed = build_incast_testbed(sim, 3)
+        got = []
+
+        class Probe:
+            def handle_packet(self, packet):
+                got.append(packet.src)
+
+        for i in range(3):
+            testbed.receiver.register_flow(i, Probe())
+        for i, host in enumerate(testbed.senders):
+            host.send(
+                Packet(flow_id=i, src=host.name, dst="receiver", payload_bytes=100)
+            )
+        sim.run()
+        assert sorted(got) == ["sender-0", "sender-1", "sender-2"]
+
+    def test_ack_path_back_to_each_sender(self, sim):
+        testbed = build_incast_testbed(sim, 2)
+        got = []
+
+        class Probe:
+            def __init__(self, name):
+                self.name = name
+
+            def handle_packet(self, packet):
+                got.append(self.name)
+
+        for i, host in enumerate(testbed.senders):
+            host.register_flow(i, Probe(host.name))
+            testbed.receiver.send(
+                Packet(flow_id=i, src="receiver", dst=host.name, is_ack=True)
+            )
+        sim.run()
+        assert sorted(got) == ["sender-0", "sender-1"]
+
+    def test_shared_bottleneck(self, sim):
+        """All senders funnel through one switch->receiver interface."""
+        testbed = build_incast_testbed(sim, 4)
+        assert testbed.switch.port_for("receiver") is testbed.bottleneck
+
+    def test_config_respected(self, sim):
+        config = TestbedConfig(mtu_bytes=1500)
+        testbed = build_incast_testbed(sim, 2, config)
+        assert all(h.mtu_bytes == 1500 for h in testbed.senders)
+        assert testbed.receiver.mtu_bytes == 1500

@@ -1,0 +1,122 @@
+"""Unit tests for links and egress interfaces."""
+
+import pytest
+
+from repro.errors import NetworkConfigError
+from repro.net.link import Interface, Link
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.units import BITS_PER_BYTE, gbps
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def make_packet(payload=1000):
+    return Packet(flow_id=1, src="a", dst="b", payload_bytes=payload)
+
+
+class TestLink:
+    def test_serialization_time(self, sim):
+        link = Link(sim, rate_bps=gbps(10), delay_s=0.0)
+        p = make_packet(1000)
+        expected = p.wire_bytes * BITS_PER_BYTE / gbps(10)
+        assert link.serialization_time(p) == pytest.approx(expected)
+
+    def test_invalid_rate_and_delay(self, sim):
+        with pytest.raises(NetworkConfigError):
+            Link(sim, rate_bps=0, delay_s=0.0)
+        with pytest.raises(NetworkConfigError):
+            Link(sim, rate_bps=1e9, delay_s=-1.0)
+
+    def test_no_sink_raises(self, sim):
+        link = Link(sim, rate_bps=1e9, delay_s=0.0)
+        with pytest.raises(NetworkConfigError):
+            link.deliver_after_serialization(make_packet())
+
+
+class TestInterface:
+    def make(self, sim, rate=gbps(10), delay=10e-6, capacity=100_000, gap=0.0):
+        link = Link(sim, rate, delay)
+        sink = Sink()
+        link.connect(sink)
+        iface = Interface(
+            sim, DropTailQueue(capacity), link, min_packet_gap_s=gap
+        )
+        return iface, sink
+
+    def test_single_packet_delivery_time(self, sim):
+        iface, sink = self.make(sim)
+        p = make_packet(1000)
+        iface.enqueue(p)
+        sim.run()
+        ser = iface.link.serialization_time(p)
+        assert sim.now == pytest.approx(ser + 10e-6)
+        assert sink.received == [p]
+
+    def test_back_to_back_serialization(self, sim):
+        iface, sink = self.make(sim)
+        a, b = make_packet(1000), make_packet(1000)
+        iface.enqueue(a)
+        iface.enqueue(b)
+        sim.run()
+        assert sink.received == [a, b]
+        ser = iface.link.serialization_time(a)
+        # second packet waits for the first to finish serializing
+        assert sim.now == pytest.approx(2 * ser + 10e-6)
+
+    def test_queue_overflow_drops(self, sim):
+        iface, sink = self.make(sim, capacity=1100)
+        sent = [iface.enqueue(make_packet(1000)) for _ in range(4)]
+        sim.run()
+        # one in flight + one queued; the rest dropped
+        assert sent.count(True) == 2
+        assert len(sink.received) == 2
+
+    def test_on_drop_hook(self, sim):
+        dropped = []
+        link = Link(sim, gbps(10), 0.0)
+        link.connect(Sink())
+        iface = Interface(
+            sim,
+            DropTailQueue(1100),
+            link,
+            on_drop=dropped.append,
+        )
+        for _ in range(4):
+            iface.enqueue(make_packet(1000))
+        assert len(dropped) == 2
+
+    def test_on_dequeue_hook_fires_per_transmission(self, sim):
+        seen = []
+        link = Link(sim, gbps(10), 0.0)
+        link.connect(Sink())
+        iface = Interface(
+            sim, DropTailQueue(100_000), link, on_dequeue=seen.append
+        )
+        for _ in range(3):
+            iface.enqueue(make_packet())
+        sim.run()
+        assert len(seen) == 3
+
+    def test_min_packet_gap_paces_small_packets(self, sim):
+        """With a gap larger than serialization, the gap dominates."""
+        gap = 5e-6
+        iface, sink = self.make(sim, delay=0.0, gap=gap)
+        for _ in range(3):
+            iface.enqueue(make_packet(100))  # tiny: ser << gap
+        sim.run()
+        assert sim.now == pytest.approx(3 * gap)
+
+    def test_busy_flag(self, sim):
+        iface, _sink = self.make(sim)
+        assert not iface.busy
+        iface.enqueue(make_packet())
+        assert iface.busy
+        sim.run()
+        assert not iface.busy

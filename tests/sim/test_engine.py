@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run_advances_clock(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_in_past_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.001, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_callback_args_passed(self, sim):
+        got = []
+        sim.schedule(0.1, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_alive_reflects_state(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        assert event.alive
+        event.cancel()
+        assert not event.alive
+
+    def test_executed_event_not_alive(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not event.alive
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0  # clock advanced to the window edge
+
+    def test_run_until_then_resume(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_events_bound(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_run_not_reentrant(self, sim):
+        def recurse():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, recurse)
+        sim.run()
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_peek_time(self, sim):
+        assert sim.peek_time() is None
+        event = sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+        event.cancel()
+        assert sim.peek_time() is None
+
+    def test_events_executed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5

@@ -1,0 +1,40 @@
+"""TCP-layer test helpers: a stub host capturing outbound packets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+
+
+class StubHost(Host):
+    """A Host that records sends instead of using a NIC."""
+
+    def __init__(self, sim, name="stub"):
+        super().__init__(sim, name)
+        self.outbox = []
+
+    def send(self, packet):
+        packet.sent_time = self.sim.now
+        self.counters.add("tx_packets")
+        if packet.retransmitted:
+            self.counters.add("retransmissions")
+            for listener in self._listeners:
+                listener.on_retransmit(self, packet)
+        for listener in self._listeners:
+            listener.on_packet_sent(self, packet)
+        self.outbox.append(packet)
+        return True
+
+    def pop_all(self):
+        out, self.outbox = self.outbox, []
+        return out
+
+    @property
+    def mtu_bytes(self):
+        return 1500
+
+
+@pytest.fixture
+def stub_host(sim):
+    return StubHost(sim)

@@ -1,0 +1,118 @@
+"""Unit tests for the RangeSet interval bookkeeping."""
+
+import pytest
+
+from repro.tcp.ranges import RangeSet
+
+
+class TestAdd:
+    def test_disjoint_ranges(self):
+        rs = RangeSet()
+        assert rs.add(0, 10) == 10
+        assert rs.add(20, 30) == 10
+        assert list(rs) == [(0, 10), (20, 30)]
+
+    def test_merge_overlapping(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        assert rs.add(5, 15) == 5
+        assert list(rs) == [(0, 15)]
+
+    def test_merge_adjacent(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(10, 20)
+        assert list(rs) == [(0, 20)]
+
+    def test_duplicate_adds_zero_new_bytes(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        assert rs.add(0, 10) == 0
+        assert rs.add(2, 8) == 0
+
+    def test_bridging_merge(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 30)
+        assert rs.add(5, 25) == 10
+        assert list(rs) == [(0, 30)]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeSet().add(5, 5)
+
+    def test_total_bytes(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 25)
+        assert rs.total_bytes == 15
+
+
+class TestQueries:
+    def test_contains(self):
+        rs = RangeSet()
+        rs.add(10, 20)
+        assert rs.contains(10, 20)
+        assert rs.contains(12, 18)
+        assert not rs.contains(5, 15)
+        assert not rs.contains(15, 25)
+
+    def test_contains_empty_set(self):
+        assert not RangeSet().contains(0, 1)
+
+    def test_covers_point(self):
+        rs = RangeSet()
+        rs.add(10, 20)
+        assert rs.covers_point(10)
+        assert rs.covers_point(19)
+        assert not rs.covers_point(20)  # half-open
+
+    def test_first_missing_after(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 30)
+        assert rs.first_missing_after(0) == 10
+        assert rs.first_missing_after(10) == 10
+        assert rs.first_missing_after(25) == 30
+        assert rs.first_missing_after(50) == 50
+
+    def test_first_missing_chains_through_contiguous(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(10, 20)
+        assert rs.first_missing_after(0) == 20
+
+
+class TestMaintenance:
+    def test_trim_below(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 30)
+        rs.trim_below(25)
+        assert list(rs) == [(25, 30)]
+
+    def test_trim_below_everything(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.trim_below(100)
+        assert not rs
+
+    def test_blocks_above_returns_highest(self):
+        """SACK blocks report the most recent (highest) ranges first-hand."""
+        rs = RangeSet()
+        for start in (10, 30, 50, 70, 90):
+            rs.add(start, start + 5)
+        blocks = rs.blocks_above(0, limit=3)
+        assert blocks == ((50, 55), (70, 75), (90, 95))
+
+    def test_blocks_above_excludes_cumulative(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 30)
+        assert rs.blocks_above(0) == ((20, 30),)
+
+    def test_bool(self):
+        rs = RangeSet()
+        assert not rs
+        rs.add(0, 1)
+        assert rs

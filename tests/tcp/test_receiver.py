@@ -1,0 +1,132 @@
+"""Unit tests for the TCP receiver: ACK generation, SACK, ECN echo."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.tcp.receiver import TcpReceiver
+
+
+def data(seq, length, flow=1, marked=False, sent_time=0.0):
+    return Packet(
+        flow_id=flow,
+        src="sender",
+        dst="stub",
+        seq=seq,
+        payload_bytes=length,
+        ecn_marked=marked,
+        sent_time=sent_time,
+    )
+
+
+@pytest.fixture
+def receiver(sim, stub_host):
+    return TcpReceiver(
+        sim, stub_host, flow_id=1, peer="sender", expected_bytes=10_000,
+        delack_segments=2,
+    )
+
+
+class TestCumulativeAck:
+    def test_in_order_delayed_ack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        assert stub_host.outbox == []  # first segment: delayed
+        receiver.handle_packet(data(1000, 1000))
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert acks[0].ack_seq == 2000
+
+    def test_delack_timer_flushes_single_segment(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        sim.run()  # let the delack timer fire
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert acks[0].ack_seq == 1000
+
+    def test_bytes_received_counts_once(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        receiver.handle_packet(data(0, 1000))  # duplicate
+        assert receiver.bytes_received == 1000
+        assert receiver.counters.get("duplicate_segments") == 1
+
+
+class TestOutOfOrder:
+    def test_gap_triggers_immediate_dupack_with_sack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        receiver.handle_packet(data(1000, 1000))
+        stub_host.pop_all()
+        receiver.handle_packet(data(3000, 1000))  # hole at 2000
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert acks[0].ack_seq == 2000
+        assert acks[0].sacks == ((3000, 4000),)
+
+    def test_hole_fill_advances_cumulative(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        receiver.handle_packet(data(2000, 1000))
+        stub_host.pop_all()
+        receiver.handle_packet(data(1000, 1000))  # fills hole
+        acks = stub_host.pop_all()
+        assert acks[-1].ack_seq == 3000
+        assert acks[-1].sacks == ()
+
+    def test_duplicate_triggers_immediate_ack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000))
+        receiver.handle_packet(data(1000, 1000))
+        stub_host.pop_all()
+        receiver.handle_packet(data(0, 1000))  # spurious retransmit
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert acks[0].ack_seq == 2000
+
+
+class TestEcn:
+    def test_ce_state_change_forces_ack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000, marked=True))
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert acks[0].ecn_echo
+
+    def test_marked_bytes_reported(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000, marked=True))
+        acks = stub_host.pop_all()
+        assert acks[0].ecn_marked_bytes == 1000
+
+    def test_marked_bytes_reset_after_ack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000, marked=True))
+        stub_host.pop_all()
+        receiver.handle_packet(data(1000, 1000, marked=True))
+        receiver.handle_packet(data(2000, 1000, marked=True))
+        acks = stub_host.pop_all()
+        total = sum(a.ecn_marked_bytes for a in acks)
+        assert total == 2000  # only the bytes since the previous ACK
+
+    def test_ce_clear_also_forces_ack(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000, marked=True))
+        stub_host.pop_all()
+        receiver.handle_packet(data(1000, 1000, marked=False))
+        acks = stub_host.pop_all()
+        assert len(acks) == 1
+        assert not acks[0].ecn_echo
+
+
+class TestCompletion:
+    def test_completion_callback_fires_once(self, sim, stub_host, receiver):
+        done = []
+        receiver.on_complete(done.append)
+        for seq in range(0, 10_000, 1000):
+            receiver.handle_packet(data(seq, 1000))
+        assert len(done) == 1
+        assert receiver.complete
+        assert receiver.completed_at == sim.now
+
+    def test_echo_time_reflected(self, sim, stub_host, receiver):
+        receiver.handle_packet(data(0, 1000, sent_time=1.25))
+        receiver.handle_packet(data(1000, 1000, sent_time=1.5))
+        acks = stub_host.pop_all()
+        assert acks[0].echo_time == 1.5
+
+    def test_stray_ack_ignored(self, sim, stub_host, receiver):
+        receiver.handle_packet(
+            Packet(flow_id=1, src="x", dst="stub", is_ack=True, ack_seq=5)
+        )
+        assert receiver.counters.get("stray_acks") == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the RFC 6298 RTT estimator."""
+
+import pytest
+
+from repro.errors import TcpStateError
+from repro.tcp.rtt import RttEstimator
+
+
+class TestSampling:
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+
+    def test_ewma_smoothing(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.2)
+        # srtt = 7/8*0.1 + 1/8*0.2
+        assert est.srtt == pytest.approx(0.1125)
+
+    def test_min_rtt_tracked(self):
+        est = RttEstimator()
+        for rtt in (0.10, 0.05, 0.20):
+            est.on_sample(rtt)
+        assert est.min_rtt == pytest.approx(0.05)
+
+    def test_latest_rtt(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.3)
+        assert est.latest_rtt == pytest.approx(0.3)
+
+    def test_non_positive_sample_rejected(self):
+        with pytest.raises(TcpStateError):
+            RttEstimator().on_sample(0.0)
+
+    def test_sample_count(self):
+        est = RttEstimator()
+        for _ in range(3):
+            est.on_sample(0.1)
+        assert est.samples == 3
+
+
+class TestRto:
+    def test_initial_rto_before_samples(self):
+        est = RttEstimator(initial_rto=0.25)
+        assert est.rto == pytest.approx(0.25)
+
+    def test_rto_formula(self):
+        est = RttEstimator(min_rto=1e-4)
+        est.on_sample(0.1)
+        # rto = srtt + 4*rttvar = 0.1 + 4*0.05
+        assert est.rto == pytest.approx(0.3)
+
+    def test_min_rto_floor(self):
+        est = RttEstimator(min_rto=0.5)
+        est.on_sample(0.001)
+        assert est.rto >= 0.5
+
+    def test_max_rto_ceiling(self):
+        est = RttEstimator(max_rto=1.0)
+        est.on_sample(10.0)
+        assert est.rto == 1.0
+
+    def test_backoff_doubles(self):
+        est = RttEstimator(min_rto=1e-4, max_rto=100.0)
+        est.on_sample(0.1)
+        base = est.rto
+        est.backoff()
+        assert est.rto == pytest.approx(2 * base)
+        est.backoff()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_backoff_capped(self):
+        est = RttEstimator()
+        for _ in range(20):
+            est.backoff()
+        assert est.backoff_factor == 64
+
+    def test_sample_clears_backoff(self):
+        est = RttEstimator(min_rto=1e-4)
+        est.on_sample(0.1)
+        est.backoff()
+        est.on_sample(0.1)
+        assert est.backoff_factor == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(TcpStateError):
+            RttEstimator(min_rto=2.0, max_rto=1.0)

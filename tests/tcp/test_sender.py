@@ -1,0 +1,148 @@
+"""Unit tests for the TCP sender: windowing, ACK processing, completion."""
+
+import pytest
+
+from repro.cc.registry import factory
+from repro.errors import TcpStateError
+from repro.net.packet import Packet
+from repro.tcp.sender import TcpSender
+
+
+def make_sender(sim, host, total=100_000, cca="reno", **kwargs):
+    sender = TcpSender(
+        sim, host, flow_id=1, dst="receiver",
+        cca_factory=factory(cca), total_bytes=total, **kwargs
+    )
+    return sender
+
+
+def ack(ack_seq, flow=1, sacks=(), echo=None, ece=False, marked=0):
+    return Packet(
+        flow_id=flow, src="receiver", dst="stub", is_ack=True,
+        ack_seq=ack_seq, sacks=tuple(sacks), echo_time=echo,
+        ecn_echo=ece, ecn_marked_bytes=marked,
+    )
+
+
+class TestInitialSend:
+    def test_sends_initial_window(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        sender.start()
+        sent = stub_host.pop_all()
+        # IW10 at MSS 1460 = 14600 bytes
+        assert len(sent) == 10
+        assert sent[0].seq == 0
+        assert all(p.payload_bytes == 1460 for p in sent)
+
+    def test_does_not_send_before_start(self, sim, stub_host):
+        make_sender(sim, stub_host)
+        assert stub_host.outbox == []
+
+    def test_short_transfer_partial_segment(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, total=2000)
+        sender.start()
+        sent = stub_host.pop_all()
+        assert [p.payload_bytes for p in sent] == [1460, 540]
+
+    def test_mss_from_host_mtu(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        assert sender.mss == 1460
+
+    def test_write_extends_stream(self, sim, stub_host):
+        sender = TcpSender(
+            sim, stub_host, flow_id=1, dst="r",
+            cca_factory=factory("reno"), total_bytes=None,
+        )
+        sender.start()
+        assert stub_host.pop_all() == []
+        sender.write(1460)
+        assert len(stub_host.pop_all()) == 1
+
+
+class TestAckProcessing:
+    def test_ack_advances_window(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        sender.start()
+        stub_host.pop_all()
+        sender.handle_packet(ack(2920))
+        assert sender.snd_una == 2920
+        assert sender.delivered_bytes == 2920
+        # slow start grows cwnd, so new segments flow
+        assert len(stub_host.pop_all()) >= 2
+
+    def test_ack_beyond_snd_nxt_rejected(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        sender.start()
+        with pytest.raises(TcpStateError):
+            sender.handle_packet(ack(10**9))
+
+    def test_rtt_sample_from_echo(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        sender.start()
+        stub_host.pop_all()
+        sim.schedule(0.05, lambda: sender.handle_packet(ack(1460, echo=0.0)))
+        sim.run(until=0.06)
+        assert sender.rtt.srtt == pytest.approx(0.05)
+
+    def test_bytes_in_flight_accounting(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, total=14600)
+        sender.start()
+        assert sender.bytes_in_flight == 14600
+        sender.handle_packet(ack(7300))
+        assert sender.bytes_in_flight == 14600 - 7300
+
+    def test_data_packet_ignored(self, sim, stub_host):
+        sender = make_sender(sim, stub_host)
+        sender.start()
+        sender.handle_packet(
+            Packet(flow_id=1, src="x", dst="stub", seq=0, payload_bytes=10)
+        )
+        assert sender.counters.get("unexpected_data") == 1
+
+
+class TestCompletion:
+    def test_completion_on_final_ack(self, sim, stub_host):
+        done = []
+        sender = make_sender(sim, stub_host, total=2920)
+        sender.on_complete(done.append)
+        sender.start()
+        sender.handle_packet(ack(2920))
+        assert sender.complete
+        assert done == [sim.now]
+        assert sender.flow_completion_time == sim.now
+
+    def test_no_send_after_complete(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, total=1460)
+        sender.start()
+        stub_host.pop_all()
+        sender.handle_packet(ack(1460))
+        sender.write(1000)
+        assert stub_host.pop_all() == []
+
+    def test_rto_timer_stopped_on_completion(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, total=1460)
+        sender.start()
+        sender.handle_packet(ack(1460))
+        sim.run()  # no timers should fire / hang
+        assert sender.counters.get("rtos") == 0
+
+
+class TestEcnHandling:
+    def test_ece_triggers_single_reduction_per_rtt(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, cca="reno")
+        sender.start()
+        stub_host.pop_all()
+        sender.rtt.on_sample(0.1)
+        cwnd_before = sender.cca.cwnd
+        sender.handle_packet(ack(1460, ece=True))
+        after_first = sender.cca.cwnd
+        assert after_first < cwnd_before
+        # second ECE within the same RTT: no further cut
+        sender.handle_packet(ack(2920, ece=True))
+        assert sender.cca.cwnd >= after_first
+        assert sender.counters.get("ecn_reductions") == 1
+
+    def test_ecn_capable_flag_on_segments(self, sim, stub_host):
+        sender = make_sender(sim, stub_host, cca="dctcp", ecn_capable=True)
+        sender.start()
+        assert all(p.ecn_capable for p in stub_host.pop_all())

@@ -1,0 +1,50 @@
+"""Tests for the greenenvy CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.bytes == 12_500_000
+        assert args.reps == 3
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig1", "--bytes", "1000", "--reps", "1", "--seed", "9"]
+        )
+        assert (args.bytes, args.reps, args.seed) == (1000, 1, 9)
+
+    def test_advise_sizes(self):
+        args = build_parser().parse_args(["advise", "100", "200"])
+        assert args.sizes == ["100", "200"]
+
+
+class TestCommands:
+    def test_theorem_command(self, capsys):
+        assert main(["theorem", "--trials", "50"]) == 0
+        assert "CONFIRMED" in capsys.readouterr().out
+
+    def test_advise_command(self, capsys):
+        assert main(["advise", "10000000", "20000000"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+        assert "M/year" in out
+
+    def test_fig1_command_tiny(self, capsys):
+        code = main(["fig1", "--bytes", "2000000", "--reps", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full-speed-then-idle" in out
+        assert "max savings" in out
+
+    def test_fig3_command_tiny(self, capsys):
+        assert main(["fig3", "--bytes", "2000000"]) == 0
+        out = capsys.readouterr().out
+        assert "fair" in out and "fsti" in out

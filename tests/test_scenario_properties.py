@@ -1,0 +1,85 @@
+"""Hypothesis property tests at the whole-scenario level.
+
+Random scenarios (sizes, CCAs, MTUs, flow counts) must always complete,
+conserve bytes, and produce physical energy readings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.registry import PAPER_ALGORITHMS
+from repro.energy import calibration as cal
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once
+
+#: concurrent-safe algorithms (the baseline may not share a bottleneck)
+CONCURRENT_CCAS = tuple(c for c in PAPER_ALGORITHMS if c != "baseline")
+
+
+class TestRandomScenarios:
+    @given(
+        size_kb=st.integers(min_value=100, max_value=4000),
+        cca=st.sampled_from(PAPER_ALGORITHMS),
+        mtu=st.sampled_from([1500, 3000, 9000]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_flow_always_completes(self, size_kb, cca, mtu):
+        scenario = Scenario(
+            "prop-single",
+            flows=[FlowSpec(size_kb * 1000, cca)],
+            mtu_bytes=mtu,
+            packages=1,
+            time_limit_s=120.0,
+        )
+        m = run_once(scenario, seed=size_kb)
+        result = m.flow_results[0]
+        assert result.bytes_transferred == size_kb * 1000
+        assert m.energy_j > 0
+        assert m.average_power_w >= cal.P_IDLE_W * 0.9
+        assert m.average_power_w < 150.0
+
+    @given(
+        n_flows=st.integers(min_value=2, max_value=4),
+        cca=st.sampled_from(CONCURRENT_CCAS),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_concurrent_flows_all_complete(self, n_flows, cca, seed):
+        scenario = Scenario(
+            "prop-multi",
+            flows=[FlowSpec(1_500_000, cca) for _ in range(n_flows)],
+            time_limit_s=120.0,
+        )
+        m = run_once(scenario, seed=seed)
+        assert len(m.flow_results) == n_flows
+        for result in m.flow_results:
+            assert result.bytes_transferred == 1_500_000
+
+    @given(
+        fraction=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_split_cheaper_or_equal_to_fair(self, fraction, seed):
+        """The Fig. 1 property holds for arbitrary split fractions."""
+        from repro.core.allocation import limited_flow_split
+        from repro.harness.experiment import scenario_from_plan
+        from repro.units import gbps
+
+        size = 4_000_000
+        plan = limited_flow_split(size, gbps(10.0), fraction)
+        unfair = run_once(
+            scenario_from_plan("prop-unfair", plan), seed=seed
+        )
+        fair = run_once(
+            Scenario(
+                "prop-fair",
+                flows=[
+                    FlowSpec(size, "cubic", target_rate_bps=gbps(5.0)),
+                    FlowSpec(size, "cubic", target_rate_bps=gbps(5.0)),
+                ],
+            ),
+            seed=seed,
+        )
+        assert unfair.energy_j <= fair.energy_j * 1.02

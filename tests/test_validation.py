@@ -1,0 +1,62 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.validation import Check, run_validation, validation_passed
+
+
+class TestValidation:
+    def test_all_checks_pass_on_shipped_calibration(self):
+        checks = run_validation()
+        failing = [c.name for c in checks if not c.ok]
+        assert not failing, f"calibration broken: {failing}"
+
+    def test_covers_the_anchor_trio(self):
+        names = " | ".join(c.name for c in run_validation())
+        assert "idle power" in names
+        assert "half-rate" in names
+        assert "line-rate" in names
+
+    def test_covers_theorem_premise_and_savings(self):
+        names = " | ".join(c.name for c in run_validation())
+        assert "concavity" in names
+        assert "full-speed-then-idle" in names
+        assert "datacenter scale" in names
+
+    def test_validation_passed_helper(self):
+        good = [Check("a", "1", "1", True)]
+        bad = good + [Check("b", "1", "2", False)]
+        assert validation_passed(good)
+        assert not validation_passed(bad)
+
+    def test_check_count_stable(self):
+        """Adding checks is fine; silently losing them is not."""
+        assert len(run_validation()) >= 10
+
+
+class TestCliCommands:
+    def test_validate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_loadbalance_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["loadbalance"]) == 0
+        out = capsys.readouterr().out
+        assert "rate-adaptive" in out
+
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        code = main(
+            ["report", "--bytes", "8000000", "--reps", "1",
+             "-o", str(target)]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert text.startswith("# Green With Envy")
+        assert "claims reproduced" in text
