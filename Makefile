@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the full gate CI runs:
+# tier-1 tests, the domain linter, and (when installed) ruff + mypy.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test lint ruff mypy bench
+
+check: test lint ruff mypy
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.cli lint src
+
+# ruff/mypy ship in the `lint` extra (pip install -e .[lint]); skip
+# gracefully where they are not installed so `make check` stays usable
+# in the dependency-free environment the library itself targets.
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -30,6 +30,8 @@ Quick start::
     print(f"full-speed-then-idle saves {saved:.1%}")   # ~16%
 """
 
+from __future__ import annotations
+
 from repro.errors import (
     AnalysisError,
     EnergyModelError,

@@ -1,5 +1,7 @@
 """Analysis: statistics, concavity diagnostics, table formatting."""
 
+from __future__ import annotations
+
 from repro.analysis.concavity import (
     chord_always_below,
     chord_gap,

@@ -15,6 +15,9 @@ from repro.core.fairness import jain_index
 from repro.errors import AnalysisError
 from repro.sim.trace import TimeSeries
 
+#: keeps Jain's index defined when a flow's share is exactly zero
+_EPS = 1e-9
+
 
 def fairness_over_time(
     series: Sequence[TimeSeries],
@@ -40,7 +43,7 @@ def fairness_over_time(
         floor = [max(v, 0.0) for v in values]
         if sum(floor) <= 0:
             continue
-        out.append((series[0].times[i], jain_index([v + 1e-9 for v in floor])))
+        out.append((series[0].times[i], jain_index([v + _EPS for v in floor])))
     if not out:
         raise AnalysisError("no active samples")
     return out

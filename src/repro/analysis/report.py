@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis.stats import bootstrap_ci, mean
+from repro.units import MILLION
 
 
 @dataclass
@@ -197,8 +198,8 @@ def quick_report(
     sec.add(
         "1% fleet-wide saving",
         "~$10M/year",
-        f"${dollars / 1e6:.0f}M/year",
-        abs(dollars - 10e6) < 1e6,
+        f"${dollars / MILLION:.0f}M/year",
+        abs(dollars - 10 * MILLION) < MILLION,
     )
 
     # -- §5 SRPT ----------------------------------------------------------

@@ -71,7 +71,7 @@ def bootstrap_ci(
     more defensible summary for the small (n=10) repetition counts its
     methodology uses, so the report generator offers both.
     """
-    import random
+    from repro.sim.rng import RngRegistry
 
     if not values:
         raise AnalysisError("bootstrap of empty sequence")
@@ -79,7 +79,7 @@ def bootstrap_ci(
         raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
     if len(values) == 1:
         return values[0], values[0]
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("bootstrap-resample")
     n = len(values)
     means = sorted(
         sum(rng.choice(values) for _ in range(n)) / n

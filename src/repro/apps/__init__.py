@@ -1,5 +1,7 @@
 """Traffic applications: iperf3-style sessions and throughput probes."""
 
+from __future__ import annotations
+
 from repro.apps.iperf import (
     ECN_ALGORITHMS,
     IntervalReport,

@@ -22,12 +22,12 @@ from repro.sim.timer import PeriodicTimer
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 from repro.cc.registry import factory as cca_factory
-from repro.units import BITS_PER_BYTE
+from repro.units import BITS_PER_BYTE, usec
 
 _flow_ids = itertools.count(1)
 
 #: application write-pacing tick for rate-limited sessions
-WRITE_INTERVAL_S = 200e-6
+WRITE_INTERVAL_S = usec(200)
 
 #: CCAs that negotiate ECN on the connection by default
 ECN_ALGORITHMS = frozenset({"dctcp", "bbr2", "dcqcn"})

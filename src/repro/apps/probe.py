@@ -20,7 +20,7 @@ from repro.sim.timer import PeriodicTimer
 from repro.sim.trace import TimeSeries
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
-from repro.units import BITS_PER_BYTE
+from repro.units import BITS_PER_BYTE, msec
 
 Endpoint = Union[TcpSender, TcpReceiver]
 
@@ -38,7 +38,7 @@ class ThroughputProbe:
         self,
         sim: Simulator,
         endpoint: Endpoint,
-        interval_s: float = 1e-3,
+        interval_s: float = msec(1.0),
         name: str = "",
     ):
         self.sim = sim

@@ -19,11 +19,15 @@ noted per distribution.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.sim.rng import RngRegistry
+from repro.units import gbps
+
+if TYPE_CHECKING:
+    import random
 
 #: (size_bytes, cumulative probability) knots — web search (DCTCP Fig. 4)
 WEB_SEARCH_CDF: Sequence[Tuple[int, float]] = (
@@ -81,7 +85,7 @@ def sample_flow_size(
 def mean_flow_size(cdf: Sequence[Tuple[int, float]], samples: int = 20_000,
                    seed: int = 0) -> float:
     """Monte-Carlo mean of the distribution (used to size arrival rates)."""
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("flow-size-mean")
     return sum(sample_flow_size(cdf, rng) for _ in range(samples)) / samples
 
 
@@ -121,7 +125,7 @@ class Workload:
 def generate_workload(
     distribution: str = "web-search",
     target_load: float = 0.5,
-    capacity_bps: float = 10e9,
+    capacity_bps: float = gbps(10.0),
     duration_s: float = 0.05,
     seed: int = 0,
     max_flows: int = 2000,
@@ -136,7 +140,7 @@ def generate_workload(
     if not 0.0 < target_load < 1.0:
         raise ExperimentError(f"load must be in (0, 1), got {target_load}")
     cdf = DISTRIBUTIONS[distribution]
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("workload-arrivals")
     mean_size = mean_flow_size(cdf, seed=seed)
     arrival_rate = target_load * capacity_bps / (mean_size * 8.0)
     flows: List[FlowArrival] = []

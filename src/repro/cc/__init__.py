@@ -1,5 +1,7 @@
 """Congestion control algorithms: the paper's evaluation set, pluggable."""
 
+from __future__ import annotations
+
 from repro.cc.base import AckEvent, CcContext, CongestionControl
 from repro.cc.bbr import Bbr
 from repro.cc.bbr2 import Bbr2

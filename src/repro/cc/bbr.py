@@ -22,7 +22,10 @@ from typing import Optional
 
 from repro.cc.base import AckEvent, CongestionControl
 from repro.cc.filters import WindowedFilter
-from repro.units import BITS_PER_BYTE
+from repro.units import BITS_PER_BYTE, msec
+
+#: RTT assumed before the first sample (also the bw-filter window floor)
+FALLBACK_RTT_S = msec(1.0)
 
 #: 2/ln(2), the STARTUP gain that doubles delivery rate each round.
 STARTUP_GAIN = 2.885
@@ -66,9 +69,9 @@ class Bbr(CongestionControl):
 
     def _update_model(self, event: AckEvent) -> None:
         now = self.ctx.now
-        srtt = self.ctx.srtt or 1e-3
+        srtt = self.ctx.srtt or FALLBACK_RTT_S
         # Keep the bw window ~bw_window_rounds RTTs wide.
-        self._bw_filter.window_s = max(self.bw_window_rounds * srtt, 1e-3)
+        self._bw_filter.window_s = max(self.bw_window_rounds * srtt, FALLBACK_RTT_S)
         if event.delivery_rate_bps is not None and not event.is_app_limited:
             self._bw_filter.update(now, event.delivery_rate_bps)
         if event.rtt_sample is not None and event.rtt_sample > 0:
@@ -86,14 +89,14 @@ class Bbr(CongestionControl):
         bw = self._bw_filter.get(self.ctx.now)
         if bw is None or bw <= 0:
             # Before any sample: derive from the initial window.
-            rtt = self._min_rtt or self.ctx.min_rtt or 1e-3
+            rtt = self._min_rtt or self.ctx.min_rtt or FALLBACK_RTT_S
             return self.cwnd * BITS_PER_BYTE / rtt
         return bw
 
     @property
     def bdp_bytes(self) -> float:
         """Bandwidth-delay product from the model."""
-        rtt = self._min_rtt or self.ctx.min_rtt or 1e-3
+        rtt = self._min_rtt or self.ctx.min_rtt or FALLBACK_RTT_S
         return self.bw_bps * rtt / BITS_PER_BYTE
 
     # -- state machine --------------------------------------------------
@@ -105,7 +108,7 @@ class Bbr(CongestionControl):
             self._full_bw_count = 0
             return
         now = self.ctx.now
-        srtt = self.ctx.srtt or 1e-3
+        srtt = self.ctx.srtt or FALLBACK_RTT_S
         if now - self._round_start_time >= srtt:
             self._round_start_time = now
             self._full_bw_count += 1
@@ -120,7 +123,7 @@ class Bbr(CongestionControl):
             if event.flight_bytes <= self.bdp_bytes:
                 self._enter_probe_bw()
         elif self.state == "PROBE_BW":
-            rtt = self._min_rtt or 1e-3
+            rtt = self._min_rtt or FALLBACK_RTT_S
             if now - self._cycle_stamp > rtt:
                 self._cycle_stamp = now
                 self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)

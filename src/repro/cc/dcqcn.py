@@ -19,17 +19,18 @@ reflected in a low per-ACK CPU cost.
 from __future__ import annotations
 
 from repro.cc.base import AckEvent, CongestionControl
+from repro.units import gbps, mbps, to_gbps, usec
 
 #: alpha gain (DCQCN g)
 DCQCN_G = 1.0 / 16.0
 #: additive increase of the target rate, bits/s per update period
-DCQCN_RAI_BPS = 400e6
+DCQCN_RAI_BPS = mbps(400)
 #: update period: alpha decay / rate increase cadence, seconds
-DCQCN_UPDATE_PERIOD_S = 100e-6
+DCQCN_UPDATE_PERIOD_S = usec(100)
 #: minimum sending rate
-DCQCN_MIN_RATE_BPS = 100e6
+DCQCN_MIN_RATE_BPS = mbps(100)
 #: line rate the sender starts at (RoCE NICs start at full rate)
-DCQCN_START_RATE_BPS = 10e9
+DCQCN_START_RATE_BPS = gbps(10)
 
 
 class Dcqcn(CongestionControl):
@@ -110,4 +111,4 @@ class Dcqcn(CongestionControl):
     @property
     def current_rate_gbps(self) -> float:
         """RC in Gb/s (for tests and traces)."""
-        return self.rc_bps / 1e9
+        return to_gbps(self.rc_bps)

@@ -24,14 +24,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import AckEvent, CongestionControl
-from repro.units import BITS_PER_BYTE
+from repro.units import BITS_PER_BYTE, usec
 
 #: target utilization eta
 HPCC_ETA = 0.95
 #: additive increase, segments (keeps flows from starving at U ~ eta)
 HPCC_WAI_SEGMENTS = 0.5
 #: base RTT assumed by the utilization formula (the testbed's)
-HPCC_BASE_RTT_S = 40e-6
+HPCC_BASE_RTT_S = usec(40)
 #: bound on the per-ACK multiplicative adjustment
 HPCC_MAX_STEP = 4.0
 

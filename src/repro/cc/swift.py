@@ -26,12 +26,13 @@ import math
 from typing import Optional
 
 from repro.cc.base import AckEvent, CongestionControl
+from repro.units import usec
 
 #: fabric base target delay, seconds (Swift uses ~25-50 us fabrics; our
 #: testbed's base RTT is 40 us)
-SWIFT_BASE_TARGET_S = 70e-6
+SWIFT_BASE_TARGET_S = usec(70)
 #: flow-scaling range added to the target for small windows
-SWIFT_FS_RANGE_S = 60e-6
+SWIFT_FS_RANGE_S = usec(60)
 SWIFT_FS_MIN_W = 0.1   # segments
 SWIFT_FS_MAX_W = 400.0
 #: additive increase, segments per RTT

@@ -54,11 +54,13 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.figures.fig3 import run_fig3
 
+    from repro.units import to_gbps
+
     result = run_fig3(transfer_bytes=args.bytes, seed=args.seed)
     for panel in ("fair", "fsti"):
         print(f"\n== {panel} ==")
         for flow, series in result.panel(panel):
-            samples = " ".join(f"{v / 1e9:.1f}" for v in series.values)
+            samples = " ".join(f"{to_gbps(v):.1f}" for v in series.values)
             print(f"flow {flow} (Gb/s per ms): {samples}")
         means = ", ".join(f"{m:.2f}" for m in result.mean_throughputs_gbps(panel))
         print(f"window-average throughputs: {means} Gb/s")
@@ -225,8 +227,33 @@ def _cmd_mechanisms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintUsageError,
+        iter_rules,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        width = max(len(rule.name) for rule in iter_rules())
+        for rule in iter_rules():
+            print(f"{rule.name:<{width}}  [{rule.family}] {rule.description}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        result = run_lint(args.paths, select=select)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.clean else 1
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import EnergyAdvisor
+    from repro.units import MILLION
 
     advisor = EnergyAdvisor()
     rec = advisor.recommend([int(b) for b in args.sizes])
@@ -235,7 +262,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     print(f"serialized energy:  {rec.serialized_energy_j:.2f} J")
     print(f"saving:             {100 * rec.savings_fraction:.1f}%")
     value = advisor.annualized_value(rec.savings_fraction)
-    print(f"at 100k-rack scale: ${value / 1e6:.1f}M/year")
+    print(f"at 100k-rack scale: ${value / MILLION:.1f}M/year")
     return 0
 
 
@@ -273,6 +300,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flows", type=int, default=2)
     p.add_argument("--trials", type=int, default=1000)
     p.set_defaults(func=_cmd_theorem)
+
+    p = sub.add_parser(
+        "lint",
+        help="simulator-correctness static analysis (units, determinism, "
+        "CCA contract, API hygiene)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--select", help="comma-separated rule names to run (default: all)"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="list available rules and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("advise", help="green-schedule a batch of transfers")
     p.add_argument("sizes", nargs="+", help="transfer sizes in bytes")

@@ -1,5 +1,7 @@
 """The paper's primary contribution: energy-aware allocation analysis."""
 
+from __future__ import annotations
+
 from repro.core.advisor import AllocationComparison, EnergyAdvisor, Recommendation
 from repro.core.allocation import (
     AllocationPlan,

@@ -24,6 +24,7 @@ from repro.core.scheduler import GreenScheduler, TransferRequest
 from repro.core.theorem import is_strictly_concave_on, total_power
 from repro.energy.power_model import PowerModel
 from repro.errors import AnalysisError
+from repro.units import gbps
 
 
 @dataclass
@@ -87,7 +88,7 @@ class EnergyAdvisor:
             TransferRequest(name=f"xfer-{i}", size_bytes=size)
             for i, size in enumerate(transfer_sizes_bytes)
         ]
-        scheduler = GreenScheduler(self.capacity_gbps * 1e9, self.model)
+        scheduler = GreenScheduler(gbps(self.capacity_gbps), self.model)
         fair = scheduler.predicted_fair_energy_j(requests)
         serialized = scheduler.predicted_serialized_energy_j(requests)
         return Recommendation(

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.energy.power_model import PowerModel
 from repro.errors import AnalysisError
-from repro.units import BITS_PER_BYTE
+from repro.units import BITS_PER_BYTE, to_gbps
 
 
 @dataclass
@@ -73,7 +73,7 @@ class GreenScheduler:
     # -- analytic energy predictions ------------------------------------
 
     def _line_rate_gbps(self) -> float:
-        return self.capacity_bps / 1e9
+        return to_gbps(self.capacity_bps)
 
     def predicted_serialized_energy_j(
         self, requests: Sequence[TransferRequest]
@@ -113,7 +113,7 @@ class GreenScheduler:
             share_bps = self.capacity_bps / n
             smallest = active[0]
             dt = smallest * BITS_PER_BYTE / share_bps
-            share_gbps = share_bps / 1e9
+            share_gbps = to_gbps(share_bps)
             power_each = self.model.smooth_sending_power_w(share_gbps)
             total_energy += n * power_each * dt
             clock += dt

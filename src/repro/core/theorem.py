@@ -20,10 +20,13 @@ curves and allocations) and by the Theorem-1 benchmark.
 
 from __future__ import annotations
 
-import random
-from typing import Callable, List, Sequence
+from typing import TYPE_CHECKING, Callable, List, Sequence
 
 from repro.errors import AnalysisError
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    import random
 
 PowerCurve = Callable[[float], float]
 
@@ -106,7 +109,7 @@ def worst_allocation_is_fair(
 ) -> bool:
     """Monte-Carlo confirmation: no sampled allocation beats the fair
     share's power draw."""
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("theorem1-allocations")
     fair_power = total_power(p, fair_allocation(capacity, n))
     for _ in range(trials):
         alloc = random_allocation(capacity, n, rng)

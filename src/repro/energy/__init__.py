@@ -1,5 +1,7 @@
 """Energy substrate: calibrated power model, CPU accounting, RAPL emulation."""
 
+from __future__ import annotations
+
 from repro.energy.cpu import CpuModel, CpuPackage
 from repro.energy.meter import EnergyMeter
 from repro.energy.power_model import IntervalActivity, PowerModel

@@ -21,6 +21,8 @@ for the reference configuration.
 from __future__ import annotations
 
 import math
+
+from repro.units import gbps, usec
 from typing import Sequence, Tuple
 
 # ---------------------------------------------------------------------------
@@ -110,7 +112,7 @@ REF_EVENTS_PER_DATA_PACKET = 1.0 + REF_ACKS_PER_PACKET
 
 def reference_packet_rate(throughput_gbps: float) -> float:
     """Data-packet rate (pps) implied by the reference MTU at ``t`` Gb/s."""
-    return throughput_gbps * 1e9 / (REF_MTU_BYTES * 8.0)
+    return gbps(throughput_gbps) / (REF_MTU_BYTES * 8.0)
 
 
 # ---------------------------------------------------------------------------
@@ -121,18 +123,18 @@ def reference_packet_rate(throughput_gbps: float) -> float:
 #: ~5 Gb/s pps-limited throughput draws ~8-10 W more than MTU 9000 at the
 #: same throughput, yielding the paper's 13.4-31.9 % energy savings band
 #: for 1500 -> 9000 (Fig. 5).
-BETA_PKT_W_PER_PPS = 28e-6
+BETA_PKT_W_PER_PPS = usec(28)
 
 #: W per excess CC cost-unit per second. Calibrated so the Fig. 6 power
 #: spread across CCAs at MTU 1500 is ~14 %.
-BETA_CC_W_PER_UNIT_PER_S = 9e-6
+BETA_CC_W_PER_UNIT_PER_S = usec(9)
 
 #: W per retransmission per second (queue churn + memory accesses at the
 #: sender, §4.3's explanation for the baseline's cost). Kept small: the
 #: dominant energy cost of retransmissions is the *time* they waste, not
 #: their instantaneous power (Fig. 6 shows lossy algorithms do not draw
 #: proportionally more power).
-BETA_RETX_W_PER_RPS = 40e-6
+BETA_RETX_W_PER_RPS = usec(40)
 
 # ---------------------------------------------------------------------------
 # host packet-processing capacity (§4.4: "an MTU of 9000 bytes ... to
@@ -144,7 +146,7 @@ BETA_RETX_W_PER_RPS = 40e-6
 #: minimum spacing between packets a host can sustain (CPU/DMA per-packet
 #: cost). 1576 wire bytes / 2.35 us ~= 5.4 Gb/s at MTU 1500; MTU >= 3000
 #: reaches line rate.
-HOST_MIN_PACKET_GAP_S = 2.35e-6
+HOST_MIN_PACKET_GAP_S = usec(2.35)
 
 # ---------------------------------------------------------------------------
 # DRAM domain (RAPL exposes it separately from the package; the paper's
@@ -157,7 +159,7 @@ DRAM_IDLE_W = 3.0
 #: W per Gb/s of payload moved through memory (copy + DMA traffic)
 BETA_DRAM_W_PER_GBPS = 0.35
 #: W per retransmission per second (requeued buffers are re-read)
-BETA_DRAM_RETX_W_PER_RPS = 20e-6
+BETA_DRAM_RETX_W_PER_RPS = usec(20)
 
 # ---------------------------------------------------------------------------
 # RAPL emulation (§3: Intel RAPL interface, Sandy-Bridge-era unit)

@@ -26,8 +26,9 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.timer import PeriodicTimer
 from repro.sim.trace import TimeSeries
+from repro.units import msec
 
-DEFAULT_SAMPLE_INTERVAL_S = 5e-3
+DEFAULT_SAMPLE_INTERVAL_S = msec(5.0)
 
 
 class CpuPackage:

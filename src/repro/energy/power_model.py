@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.energy import calibration as cal
 from repro.errors import EnergyModelError
+from repro.units import to_gbps
 
 
 @dataclass
@@ -36,7 +37,7 @@ class IntervalActivity:
         """Average wire throughput attributed to the package, Gb/s."""
         if self.duration_s <= 0:
             return 0.0
-        return self.wire_bytes * 8.0 / self.duration_s / 1e9
+        return to_gbps(self.wire_bytes * 8.0 / self.duration_s)
 
 
 class PowerModel:

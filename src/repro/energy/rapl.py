@@ -22,6 +22,7 @@ from typing import Dict, List
 from repro.energy import calibration as cal
 from repro.energy.cpu import CpuModel, CpuPackage
 from repro.errors import EnergyModelError
+from repro.units import joules_to_uj
 
 
 class RaplDomain:
@@ -74,7 +75,7 @@ class RaplDomain:
 
     def read_energy_uj(self) -> float:
         """Read the counter scaled to microjoules (the sysfs view)."""
-        return self.read_counter() * self.energy_unit_j * 1e6
+        return joules_to_uj(self.read_counter() * self.energy_unit_j)
 
 
 def energy_delta_j(

@@ -1,5 +1,7 @@
 """Per-figure reproduction pipelines (Figures 1-8 plus ablations)."""
 
+from __future__ import annotations
+
 from repro.figures.ablation import (
     Bbr2AlphaAblation,
     ConcavityAblation,

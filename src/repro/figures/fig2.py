@@ -24,6 +24,7 @@ from repro.energy.meter import EnergyMeter
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.net.topology import TestbedConfig, build_testbed
 from repro.sim.engine import Simulator
+from repro.units import gbps
 
 DEFAULT_WINDOW_S = 0.02
 DEFAULT_THROUGHPUTS_GBPS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
@@ -106,11 +107,11 @@ def _point_scenario(
     load: float,
 ) -> Scenario:
     """A single-flow scenario moving ``target * window`` bits."""
-    payload = int(target_gbps * 1e9 * window_s / 8)
+    payload = int(gbps(target_gbps) * window_s / 8)
     flow = FlowSpec(
         total_bytes=payload,
         cca=cca,
-        target_rate_bps=None if burst else target_gbps * 1e9,
+        target_rate_bps=None if burst else gbps(target_gbps),
     )
     return Scenario(
         name=f"fig2-{'burst' if burst else 'smooth'}-{target_gbps:g}",

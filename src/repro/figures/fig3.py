@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
 from repro.sim.trace import TimeSeries
-from repro.units import gbps
+from repro.units import gbps, msec, to_gbps
 
 DEFAULT_TRANSFER_BYTES = 12_500_000
 DEFAULT_CAPACITY_BPS = gbps(10.0)
@@ -51,7 +51,7 @@ class Fig3Result:
                 else duration
             )
             total_bits = sum(ts.values) * interval
-            result.append(total_bits / duration / 1e9)
+            result.append(to_gbps(total_bits / duration))
         return result
 
 
@@ -59,7 +59,7 @@ def run_fig3(
     transfer_bytes: int = DEFAULT_TRANSFER_BYTES,
     capacity_bps: float = DEFAULT_CAPACITY_BPS,
     cca: str = "cubic",
-    probe_interval_s: float = 1e-3,
+    probe_interval_s: float = msec(1.0),
     seed: int = 0,
 ) -> Fig3Result:
     """Produce both Figure 3 panels (one run each; it's a timeseries)."""

@@ -27,6 +27,7 @@ from repro.analysis.convergence import mean_fairness
 from repro.analysis.tables import format_table
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
+from repro.units import msec
 
 
 @dataclass
@@ -83,7 +84,7 @@ def run_pairing(
     scenario = Scenario(
         f"friend-{cca_a}-vs-{cca_b}",
         flows=[FlowSpec(transfer_bytes, cca_a), FlowSpec(transfer_bytes, cca_b)],
-        probe_interval_s=1e-3,
+        probe_interval_s=msec(1.0),
     )
     m = run_once(scenario, seed=seed)
     results = m.flow_results

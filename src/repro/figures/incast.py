@@ -29,6 +29,7 @@ from repro.net.topology import TestbedConfig, build_incast_testbed
 from repro.sim.engine import Simulator
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
+from repro.units import to_msec
 
 
 @dataclass
@@ -69,7 +70,7 @@ class IncastResult:
             (
                 p.fan_in,
                 p.energy_j,
-                p.makespan_s * 1e3,
+                to_msec(p.makespan_s),
                 p.retransmissions,
                 p.bottleneck_drops,
             )

@@ -28,6 +28,7 @@ from typing import Dict
 from repro.analysis.tables import format_table
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import RunMeasurement, run_once
+from repro.units import to_msec
 
 
 @dataclass
@@ -55,7 +56,7 @@ class MptcpResult:
                     name,
                     m.energy_j,
                     m.average_power_w,
-                    m.duration_s * 1e3,
+                    to_msec(m.duration_s),
                 )
             )
         return format_table(

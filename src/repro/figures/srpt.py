@@ -29,6 +29,7 @@ from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import RunMeasurement, run_once
+from repro.units import to_msec
 
 #: the batch: mixed sizes like a rack's outbound queue (bytes)
 DEFAULT_BATCH = (20_000_000, 10_000_000, 5_000_000, 2_500_000)
@@ -78,8 +79,8 @@ class SrptResult:
                     name,
                     p.energy_j,
                     100 * self.energy_savings_vs_fair(name),
-                    p.mean_fct_s * 1e3,
-                    p.makespan_s * 1e3,
+                    to_msec(p.mean_fct_s),
+                    to_msec(p.makespan_s),
                 )
             )
         return format_table(

@@ -25,6 +25,7 @@ from repro.apps.workload import Workload, generate_workload
 from repro.figures.srpt import PFABRIC_WINDOW_SEGMENTS
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import RunMeasurement, run_once
+from repro.units import to_msec
 
 
 @dataclass
@@ -72,8 +73,8 @@ class WorkloadEnergyResult:
                 (
                     name,
                     p.energy_j,
-                    p.mean_fct_s * 1e3,
-                    p.tail_fct_s * 1e3,
+                    to_msec(p.mean_fct_s),
+                    to_msec(p.tail_fct_s),
                 )
             )
         return format_table(

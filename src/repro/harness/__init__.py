@@ -1,5 +1,7 @@
 """Experiment orchestration: scenarios, runner, repetition statistics."""
 
+from __future__ import annotations
+
 from repro.harness.experiment import FlowSpec, Scenario, scenario_from_plan
 from repro.harness.runner import (
     RepeatedResult,

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.core.allocation import AllocationPlan
 from repro.errors import ExperimentError
+from repro.units import msec, usec
 
 
 @dataclass
@@ -58,11 +59,11 @@ class Scenario:
     #: error bars come from exactly this kind of run-to-run variation
     power_noise_sigma: float = 0.004
     #: per-rep flow start jitter in seconds (decorrelates repetitions)
-    start_jitter_s: float = 5e-6
+    start_jitter_s: float = usec(5.0)
     #: wall clock ceiling for the virtual experiment
     time_limit_s: float = 600.0
     #: sampling interval for CPU power integration
-    sample_interval_s: float = 1e-3
+    sample_interval_s: float = msec(1.0)
     #: CPU packages to model/meter (None = max(2, n_flows)); single-flow
     #: power figures use 1 so the reading is per-flow, like the paper's
     packages: Optional[int] = None

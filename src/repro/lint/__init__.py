@@ -1,0 +1,44 @@
+"""``repro.lint`` — simulator-correctness static analysis (simlint).
+
+The reproduction's headline numbers rest on two conventions nothing in
+Python enforces: every quantity is in SI base units (:mod:`repro.units`)
+and all randomness flows through seeded named streams
+(:mod:`repro.sim.rng`). This package is an AST-based linter that turns
+those conventions — plus the CCA plug-in contract and a few API-hygiene
+basics — into mechanically checked rules.
+
+Four rule families:
+
+* **units** — unit-suffix mismatches in arithmetic and at call sites,
+  raw exponent literals (``1e9``, ``1024**3``) outside ``units.py``
+* **determinism** — unseeded entropy sources (``import random``,
+  ``time.time()``, ``os.urandom``) outside ``sim/rng.py``; iteration
+  over unordered sets in the simulator packages
+* **cca-contract** — every :class:`~repro.cc.base.CongestionControl`
+  subclass must set ``name``, be registered, and override ``on_ack``
+* **api-hygiene** — mutable default arguments, bare ``except:``,
+  missing ``from __future__ import annotations``
+
+Run it as ``greenenvy lint src`` (exit 0 clean, 1 findings, 2 usage
+error) or programmatically via :func:`run_lint`. Findings are
+suppressed per line with ``# simlint: ignore[rule-name]``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Finding, LintUsageError, ModuleInfo, Rule
+from repro.lint.engine import LintResult, all_rule_names, iter_rules, run_lint
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "LintUsageError",
+    "ModuleInfo",
+    "Rule",
+    "all_rule_names",
+    "iter_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,129 @@
+"""simlint engine: file discovery, rule dispatch, suppression filtering.
+
+Parsing happens once per file; rules see :class:`ModuleInfo` objects
+plus a shared :class:`LintContext` for cross-module questions. Findings
+on lines carrying a matching ``# simlint: ignore[...]`` comment are
+dropped here so individual rules stay comment-oblivious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.core import Finding, LintContext, LintUsageError, ModuleInfo, Rule
+from repro.lint.rules import ALL_RULES
+
+#: pseudo-rule reported when a target file does not parse
+PARSE_ERROR_RULE = "parse-error"
+
+#: directories never descended into during discovery
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_rules() -> List[Rule]:
+    """All registered rules (stable order: by family, then name)."""
+    return sorted(ALL_RULES, key=lambda r: (r.family, r.name))
+
+
+def all_rule_names() -> List[str]:
+    """Names of every registered rule."""
+    return [rule.name for rule in iter_rules()]
+
+
+def _iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def _display_path(path: Path) -> str:
+    """Path as printed in findings: relative to CWD when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    rules = iter_rules()
+    if select is None:
+        return rules
+    known = {rule.name for rule in rules}
+    requested = [name.strip() for name in select if name.strip()]
+    unknown = sorted(set(requested) - known)
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    if not requested:
+        raise LintUsageError("empty rule selection")
+    return [rule for rule in rules if rule.name in requested]
+
+
+def run_lint(
+    paths: Iterable[str], select: Optional[Sequence[str]] = None
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``select`` optionally restricts to a subset of rule names (raises
+    :class:`LintUsageError` for unknown names, as does a missing path).
+    Unparseable files surface as ``parse-error`` findings rather than
+    aborting the run.
+    """
+    rules = _select_rules(select)
+    files: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise LintUsageError(f"no such file or directory: {raw}")
+        files.extend(_iter_python_files(root))
+
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        display = _display_path(path)
+        try:
+            modules.append(ModuleInfo.parse(path, display))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule=PARSE_ERROR_RULE,
+                    family="engine",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+
+    ctx = LintContext(modules)
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module, ctx):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    return LintResult(
+        findings=sorted(findings),
+        files_checked=len(files),
+        rules_run=[rule.name for rule in rules],
+    )

@@ -1,0 +1,252 @@
+"""Determinism family: every run must be replayable from its seed.
+
+The paper's methodology repeats every scenario and reports standard
+deviations; the reproduction additionally promises bit-identical reruns
+given the same ``--seed``. That only holds if *all* entropy flows
+through :class:`repro.sim.rng.RngRegistry` streams and no code reads
+wall clocks or kernel entropy. These rules ban the escape hatches:
+
+* ``import random`` anywhere but ``sim/rng.py`` (type-only imports
+  under ``if TYPE_CHECKING:`` are allowed — accepting a
+  ``random.Random`` stream as a parameter is the blessed pattern),
+* the module-level global RNG (``random.random()`` et al.), which is
+  process-wide state even when the import is legal,
+* wall-clock reads (``time.time``, ``datetime.now``) — simulators must
+  use virtual time,
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``), and
+* iteration over unordered ``set`` values in the simulator packages
+  (``sim/``, ``net/``, ``cc/``, ``tcp/``), where hash-order dependence
+  silently reorders event processing between interpreter runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, LintContext, ModuleInfo, Rule, dotted_name
+
+#: directories whose iteration order feeds the event loop
+SIM_DIRECTORIES = ("sim", "net", "cc", "tcp")
+
+#: attribute reads on the ``random`` module that use the global RNG
+GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "expovariate", "gauss", "normalvariate",
+        "lognormvariate", "betavariate", "paretovariate", "triangular",
+        "vonmisesvariate", "weibullvariate", "getrandbits", "randbytes",
+        "seed",
+    }
+)
+
+WALL_CLOCK_FUNCTIONS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "now", "utcnow", "today",
+    }
+)
+
+
+def _is_rng_module(module: ModuleInfo) -> bool:
+    return module.display_path.endswith("sim/rng.py")
+
+
+def _in_type_checking_block(module: ModuleInfo, node: ast.AST) -> bool:
+    """Whether ``node`` sits under ``if TYPE_CHECKING:``."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.If):
+            test = dotted_name(ancestor.test)
+            if test in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                return True
+    return False
+
+
+class ImportRandom(Rule):
+    """``import random`` outside ``sim/rng.py``."""
+
+    name = "det-import-random"
+    family = "determinism"
+    description = (
+        "`import random` outside sim/rng.py; draw from a seeded "
+        "RngRegistry stream (type-only imports under TYPE_CHECKING are ok)"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if _is_rng_module(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                hit = any(alias.name == "random" for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                hit = node.module == "random"
+            else:
+                continue
+            if hit and not _in_type_checking_block(module, node):
+                yield self.finding(
+                    module,
+                    node,
+                    "import of `random` outside sim/rng.py; accept a "
+                    "stream from RngRegistry instead (move the import "
+                    "under `if TYPE_CHECKING:` if it is annotation-only)",
+                )
+
+
+class GlobalRng(Rule):
+    """Calls to the process-wide global RNG (``random.random()`` etc.)."""
+
+    name = "det-global-rng"
+    family = "determinism"
+    description = (
+        "call to the module-level global RNG (random.random, "
+        "random.choice, ...); use a named RngRegistry stream"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in GLOBAL_RNG_FUNCTIONS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{callee}()` draws from the shared global RNG; use "
+                    f"a seeded RngRegistry stream",
+                )
+
+
+class WallClock(Rule):
+    """Wall-clock reads; simulator code must use virtual time."""
+
+    name = "det-wall-clock"
+    family = "determinism"
+    description = (
+        "wall-clock read (time.time(), datetime.now(), ...); use the "
+        "simulator's virtual clock"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in WALL_CLOCK_FUNCTIONS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of wall-clock `time.{alias.name}`; "
+                            f"use the simulator's virtual clock",
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            if parts[0] in ("time", "datetime") and parts[-1] in (
+                WALL_CLOCK_FUNCTIONS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{callee}()` reads the wall clock; experiments must "
+                    f"be a pure function of their seed",
+                )
+
+
+class OsEntropy(Rule):
+    """Kernel entropy sources (``os.urandom``, ``uuid.uuid4``, secrets)."""
+
+    name = "det-entropy"
+    family = "determinism"
+    description = (
+        "OS entropy source (os.urandom, uuid.uuid4, secrets.*); derive "
+        "ids/draws from the master seed instead"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            entropic = (
+                (parts[0] == "os" and parts[-1] == "urandom")
+                or (parts[0] == "uuid" and parts[-1] in ("uuid1", "uuid4"))
+                or parts[0] == "secrets"
+            )
+            if entropic:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{callee}()` is non-deterministic OS entropy; derive "
+                    f"from RngRegistry (hash the master seed and a name)",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it is an unordered set expression."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return f"a `{node.func.id}(...)` value"
+    return None
+
+
+class SetIteration(Rule):
+    """Iteration over unordered sets inside the simulator packages."""
+
+    name = "det-set-iteration"
+    family = "determinism"
+    description = (
+        "iterating an unordered set in sim/net/cc/tcp; hash order varies "
+        "across runs — sort it or use a list/dict"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if not any(module.in_directory(d) for d in SIM_DIRECTORIES):
+            return
+        for node in ast.walk(module.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # list(set(...)) / tuple(set(...)) launder hash order into
+                # an innocently ordered-looking sequence.
+                if node.func.id in ("list", "tuple") and node.args:
+                    iters.append(node.args[0])
+            for candidate in iters:
+                described = _is_set_expr(candidate)
+                if described is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"iterates {described}; set order depends on hash "
+                        f"seeds — use sorted(...) or an ordered container",
+                    )
+
+
+DETERMINISM_RULES = [
+    ImportRandom(),
+    GlobalRng(),
+    WallClock(),
+    OsEntropy(),
+    SetIteration(),
+]

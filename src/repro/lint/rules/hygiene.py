@@ -1,0 +1,125 @@
+"""API-hygiene family: small Python footguns with outsized blast radius.
+
+These are generic (not simulator-specific) but each one has bitten a
+CCA-comparison harness somewhere: a mutable default argument shares
+state across *flows*; a bare ``except:`` swallows ``KeyboardInterrupt``
+and simulator invariant errors alike; and a module without
+``from __future__ import annotations`` breaks the project's typing
+conventions (string annotations are what let determinism-critical
+modules import ``random`` under ``TYPE_CHECKING`` only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, LintContext, ModuleInfo, Rule
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CONSTRUCTORS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+class MutableDefault(Rule):
+    """Mutable default argument values."""
+
+    name = "api-mutable-default"
+    family = "api-hygiene"
+    description = (
+        "mutable default argument ([]/{}/set()); shared across calls — "
+        "default to None and create inside"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default `{module.segment(default)}` in "
+                        f"`{label}`; one instance is shared by every call",
+                    )
+
+
+class BareExcept(Rule):
+    """``except:`` with no exception type."""
+
+    name = "api-bare-except"
+    family = "api-hygiene"
+    description = (
+        "bare `except:` catches SystemExit/KeyboardInterrupt and hides "
+        "simulator invariant errors; name the exception type"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:`; catch a specific exception (at "
+                    "minimum `except Exception:`)",
+                )
+
+
+class MissingFutureAnnotations(Rule):
+    """Module lacks ``from __future__ import annotations``."""
+
+    name = "api-missing-future"
+    family = "api-hygiene"
+    description = (
+        "module lacks `from __future__ import annotations` (required for "
+        "TYPE_CHECKING-only imports and cheap annotations)"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        statements = module.tree.body
+        # docstring-only (or empty) modules have nothing to annotate
+        meaningful = [
+            s
+            for s in statements
+            if not (
+                isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant)
+            )
+        ]
+        if not meaningful:
+            return
+        for stmt in statements:
+            if (
+                isinstance(stmt, ast.ImportFrom)
+                and stmt.module == "__future__"
+                and any(alias.name == "annotations" for alias in stmt.names)
+            ):
+                return
+        yield self.finding(
+            module,
+            meaningful[0],
+            "missing `from __future__ import annotations` at module top",
+        )
+
+
+HYGIENE_RULES = [MutableDefault(), BareExcept(), MissingFutureAnnotations()]

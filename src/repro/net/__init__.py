@@ -1,5 +1,7 @@
 """Network substrate: packets, queues, links, NICs, switch, hosts, topology."""
 
+from __future__ import annotations
+
 from repro.net.host import FlowEndpoint, Host, HostListener
 from repro.net.link import Interface, Link, PacketSink
 from repro.net.nic import Nic

@@ -44,7 +44,7 @@ class TestbedConfig:
     ecn_threshold_bytes: Optional[int] = 100 * 1024
     #: host per-packet processing floor (pps cap); see
     #: repro.energy.calibration.HOST_MIN_PACKET_GAP_S for provenance
-    host_packet_gap_s: float = 2.35e-6
+    host_packet_gap_s: float = usec(2.35)
     #: stamp in-band telemetry at the bottleneck (HPCC's switch support)
     int_telemetry: bool = False
     #: bottleneck scheduling: "fifo" (default) or "priority" (pFabric-

@@ -1,5 +1,7 @@
 """Discrete-event simulation kernel: clock, events, timers, RNG, tracing."""
 
+from __future__ import annotations
+
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.timer import PeriodicTimer, Timer

@@ -1,5 +1,7 @@
 """TCP stack: sender, receiver, RTT estimation, range bookkeeping."""
 
+from __future__ import annotations
+
 from repro.tcp.ranges import RangeSet
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.rtt import RttEstimator

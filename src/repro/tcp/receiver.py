@@ -23,12 +23,13 @@ from repro.sim.engine import Simulator
 from repro.sim.timer import Timer
 from repro.sim.trace import CounterSet
 from repro.tcp.ranges import RangeSet
+from repro.units import usec
 
 CompletionCallback = Callable[[float], None]
 
 #: Linux's minimum delayed-ACK timeout is 40 ms; datacenter stacks run
 #: far lower. 500 µs keeps ACK clocking tight at 10 Gb/s scale.
-DEFAULT_DELACK_TIMEOUT = 500e-6
+DEFAULT_DELACK_TIMEOUT = usec(500)
 
 #: initial receive window before autotuning opens it (Linux default
 #: order of magnitude) and the tcp_rmem-style autotuning ceiling

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import TcpStateError
+from repro.units import msec
 
 #: RFC 6298 smoothing constants.
 ALPHA = 1.0 / 8.0
@@ -19,7 +20,7 @@ K = 4.0
 #: Datacenter-friendly clamp. The RFC minimum of 1 s would make a 40 µs
 #: RTT fabric unusable; Linux uses 200 ms but datacenter stacks configure
 #: far lower. The floor is configurable per connection.
-DEFAULT_MIN_RTO = 1e-3
+DEFAULT_MIN_RTO = msec(1.0)
 DEFAULT_MAX_RTO = 60.0
 DEFAULT_INITIAL_RTO = 0.1
 

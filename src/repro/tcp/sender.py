@@ -33,6 +33,7 @@ from repro.sim.timer import Timer
 from repro.sim.trace import CounterSet
 from repro.cc.base import AckEvent, CongestionControl
 from repro.tcp.ranges import RangeSet
+from repro.units import msec
 from repro.tcp.rtt import RttEstimator
 from repro.units import BITS_PER_BYTE
 
@@ -79,7 +80,7 @@ class TcpSender:
         total_bytes: Optional[int] = None,
         mss: Optional[int] = None,
         ecn_capable: bool = False,
-        min_rto: float = 1e-3,
+        min_rto: float = msec(1.0),
         tsq_limit_bytes: int = 256 * 1024,
     ):
         self.sim = sim

@@ -70,13 +70,25 @@ MSEC = 1e-3
 
 
 def usec(value: float) -> float:
-    """Convert microseconds to seconds."""
-    return value * USEC
+    """Convert microseconds to seconds.
+
+    Implemented as division by 1e6 (exactly representable) so
+    ``usec(40)`` rounds identically to the literal ``40e-6``.
+    """
+    return value / 1e6
 
 
 def msec(value: float) -> float:
-    """Convert milliseconds to seconds."""
-    return value * MSEC
+    """Convert milliseconds to seconds.
+
+    Division by 1e3 for the same correct-rounding reason as :func:`usec`.
+    """
+    return value / 1e3
+
+
+def to_msec(seconds: float) -> float:
+    """Convert seconds to milliseconds (table/figure display unit)."""
+    return seconds * 1e3
 
 
 # --- energy ---------------------------------------------------------------
@@ -88,6 +100,17 @@ KILOJOULE = 1e3
 def joules_to_kj(value: float) -> float:
     """Convert joules to kilojoules (the unit of the paper's Fig. 5/7/8)."""
     return value / KILOJOULE
+
+
+def joules_to_uj(value: float) -> float:
+    """Convert joules to microjoules (the RAPL counter's native unit)."""
+    return value * 1e6
+
+
+# --- reporting scales -----------------------------------------------------
+
+#: not an SI unit — the scale for "$M/year"-style report lines
+MILLION = 1e6
 
 
 def transmission_time(size_bytes: int, rate_bps: float) -> float:

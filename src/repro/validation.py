@@ -14,6 +14,7 @@ from typing import List
 from repro.core.theorem import is_strictly_concave_on, theorem1_savings
 from repro.energy import calibration as cal
 from repro.energy.power_model import PowerModel
+from repro.units import MILLION
 
 
 @dataclass
@@ -111,8 +112,8 @@ def run_validation() -> List[Check]:
     add(
         "1% at datacenter scale",
         "$10M/year",
-        f"${dollars / 1e6:.1f}M/year",
-        _close(dollars, 10e6, 0.01),
+        f"${dollars / MILLION:.1f}M/year",
+        _close(dollars, 10 * MILLION, 0.01),
     )
     return checks
 

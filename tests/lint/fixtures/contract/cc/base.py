@@ -1,0 +1,13 @@
+"""Stand-in CongestionControl base class (lint fixture, never run)."""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    name = "base"
+
+    def on_ack(self, acked_bytes, rtt_s):
+        return None
+
+    def on_loss(self):
+        return None

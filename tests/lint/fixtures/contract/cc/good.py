@@ -1,0 +1,12 @@
+"""A contract-abiding CCA subclass (lint fixture, never run)."""
+
+from __future__ import annotations
+
+from base import CongestionControl
+
+
+class GoodCca(CongestionControl):
+    name = "good"
+
+    def on_ack(self, acked_bytes, rtt_s):
+        self.cwnd = max(1, self.cwnd + acked_bytes)

@@ -1,0 +1,10 @@
+"""Transitive subclass: inherits ``on_ack`` from GoodCca, not the base
+(lint fixture, never run)."""
+
+from __future__ import annotations
+
+from good import GoodCca
+
+
+class GoodChild(GoodCca):
+    name = "good-child"

@@ -1,0 +1,11 @@
+"""Registry referencing the compliant CCAs only (lint fixture)."""
+
+from __future__ import annotations
+
+from good import GoodCca
+from good_child import GoodChild
+
+REGISTRY = {
+    GoodCca.name: GoodCca,
+    GoodChild.name: GoodChild,
+}

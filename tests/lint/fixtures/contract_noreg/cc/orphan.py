@@ -1,0 +1,18 @@
+"""cc/ directory without a registry.py: registration is not checkable,
+so cca-unregistered must stay silent (lint fixture, never run)."""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    name = "base"
+
+    def on_ack(self, acked_bytes, rtt_s):
+        return None
+
+
+class Orphan(CongestionControl):
+    name = "orphan"
+
+    def on_ack(self, acked_bytes, rtt_s):
+        self.cwnd = max(1, self.cwnd + acked_bytes)

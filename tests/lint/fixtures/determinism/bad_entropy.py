@@ -1,0 +1,28 @@
+"""Seeded violations for the determinism family (lint fixture, never run)."""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import uuid
+from time import monotonic  # det-wall-clock: wall-clock import
+
+
+def draw():
+    return random.random()  # det-global-rng
+
+
+def stamp():
+    return time.time()  # det-wall-clock
+
+
+def token():
+    return os.urandom(8)  # det-entropy
+
+
+def flow_id():
+    return uuid.uuid4()  # det-entropy
+
+
+_ = monotonic

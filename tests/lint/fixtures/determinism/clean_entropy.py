@@ -1,0 +1,20 @@
+"""Deterministic counterpart of ``bad_entropy.py`` (lint fixture).
+
+The blessed pattern: accept a seeded stream as a parameter and keep the
+``random`` import annotation-only under ``TYPE_CHECKING``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import random
+
+
+def draw(rng: "random.Random") -> float:
+    return rng.random()
+
+
+def flow_id(rng: "random.Random") -> int:
+    return rng.getrandbits(32)

@@ -1,0 +1,11 @@
+"""Hash-order-dependent iteration in a sim/ package (lint fixture)."""
+
+from __future__ import annotations
+
+
+def drain(events):
+    for event in {1, 2, 3}:  # det-set-iteration: set literal
+        events.append(event)
+    order = list(set(events))  # det-set-iteration: laundered set order
+    doubled = [e * 2 for e in {e for e in events}]  # det-set-iteration
+    return order, doubled

@@ -1,0 +1,10 @@
+"""Order-stable counterpart of ``bad_sets.py`` (lint fixture)."""
+
+from __future__ import annotations
+
+
+def drain(events):
+    order = sorted(set(events))
+    for event in order:
+        events.append(event)
+    return [e * 2 for e in order]

@@ -1,0 +1,13 @@
+"""The one module allowed to import ``random`` (lint fixture).
+
+Mirrors ``src/repro/sim/rng.py``: the path suffix ``sim/rng.py`` is the
+det-import-random exemption.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,4 @@
+"""Unparseable fixture: the engine must report parse-error, not crash."""
+
+def broken(:
+    pass

@@ -1,0 +1,17 @@
+"""Seeded violations for the api-hygiene family (lint fixture).
+
+Deliberately missing ``from __future__ import annotations``
+(api-missing-future).
+"""
+
+
+def collect(samples=[]):  # api-mutable-default
+    try:
+        samples.append(1)
+    except:  # api-bare-except
+        pass
+    return samples
+
+
+def tally(counts={}, *, labels=set()):  # api-mutable-default (twice)
+    return counts, labels

@@ -1,0 +1,17 @@
+"""Hygienic counterpart of ``bad_hygiene.py`` (lint fixture)."""
+
+from __future__ import annotations
+
+
+def collect(samples=None):
+    if samples is None:
+        samples = []
+    try:
+        samples.append(1)
+    except AttributeError:
+        pass
+    return samples
+
+
+def tally(counts=None, *, labels=None):
+    return counts or {}, labels or set()

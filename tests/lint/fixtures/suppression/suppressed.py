@@ -1,0 +1,8 @@
+"""Suppression-comment semantics (lint fixture, never run)."""
+
+from __future__ import annotations
+
+RATE_BPS = 1e9  # simlint: ignore[units-raw-literal] -- calibration constant
+SIZE_BYTES = 1024 ** 3  # simlint: ignore
+WINDOW_BPS = 2e9  # simlint: ignore[det-import-random] -- wrong rule, no effect
+LEFTOVER_BPS = 4e9

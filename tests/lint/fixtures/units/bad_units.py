@@ -1,0 +1,27 @@
+"""Seeded violations for the units rule family (lint fixture, never run)."""
+
+from __future__ import annotations
+
+LINK_RATE_BPS = 1e9  # units-raw-literal: large exponent literal
+BUFFER_BYTES = 1024 ** 3  # units-raw-literal: raw power literal
+POLL_INTERVAL = 1e-3  # units-raw-literal: small literal, not a tolerance
+
+
+def send(rate_bps, duration_s):
+    return rate_bps * duration_s / 8.0
+
+
+def mixed_arithmetic(delay_ms, timeout_s):
+    return delay_ms + timeout_s  # units-suffix-mismatch
+
+
+def mixed_compare(rate_gbps, floor_bps):
+    return rate_gbps < floor_bps  # units-suffix-mismatch
+
+
+def keyword_mismatch(link_gbps):
+    return send(rate_bps=link_gbps, duration_s=1.0)  # units-call-mismatch
+
+
+def positional_mismatch(link_gbps, window_ms):
+    return send(link_gbps, window_ms)  # units-call-mismatch (twice)

@@ -1,0 +1,31 @@
+"""Unit-respecting counterpart of ``bad_units.py`` (lint fixture)."""
+
+from __future__ import annotations
+
+import math
+
+
+def send(rate_bps, duration_s):
+    return rate_bps * duration_s / 8.0
+
+
+def consistent_arithmetic(delay_s, timeout_s):
+    return delay_s + timeout_s
+
+
+def explicit_conversion(delay_ms, timeout_s):
+    delay_s = delay_ms / 1000.0
+    return delay_s + timeout_s
+
+
+def matched_call(link_bps, window_s):
+    return send(rate_bps=link_bps, duration_s=window_s)
+
+
+def tolerant(value, expected, rel_tol=1e-9):
+    if abs(value - expected) < 1e-6:
+        return True
+    return math.isclose(value, expected, rel_tol=rel_tol, abs_tol=1e-12)
+
+
+eps = 1e-9

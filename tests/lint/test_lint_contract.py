@@ -1,0 +1,58 @@
+"""The cca-contract family: name, registration, on_ack, cwnd sign."""
+
+from collections import Counter
+
+CONTRACT = [
+    "cca-missing-name",
+    "cca-unregistered",
+    "cca-override-on-ack",
+    "cca-negative-cwnd",
+]
+
+
+def _by_rule(result):
+    return Counter(f.rule for f in result.findings)
+
+
+class TestBadSubclass:
+    def test_every_contract_rule_fires_on_bad_cca(self, lint):
+        # lint the whole cc/ dir so registry.py is in the module set
+        counts = _by_rule(lint("contract", select=CONTRACT))
+        assert counts == {
+            "cca-missing-name": 1,
+            "cca-unregistered": 1,
+            "cca-override-on-ack": 1,
+            "cca-negative-cwnd": 1,
+        }
+
+    def test_findings_point_at_bad_module_only(self, lint):
+        result = lint("contract", select=CONTRACT)
+        assert all(f.path.endswith("cc/bad.py") for f in result.findings)
+
+
+class TestCompliantSubclasses:
+    def test_good_ccas_are_clean(self, lint):
+        assert lint(
+            "contract/cc/base.py",
+            "contract/cc/good.py",
+            "contract/cc/good_child.py",
+            "contract/cc/registry.py",
+            select=CONTRACT,
+        ).clean
+
+    def test_on_ack_inherited_below_base_counts(self, lint):
+        # GoodChild(GoodCca) has no on_ack of its own; the override on
+        # GoodCca (an ancestor *below* the base class) satisfies the rule
+        result = lint("contract", select=["cca-override-on-ack"])
+        assert not any("GoodChild" in f.message for f in result.findings)
+
+
+class TestRegistryScope:
+    def test_unregistered_skipped_without_registry_module(self, lint):
+        assert lint("contract_noreg", select=["cca-unregistered"]).clean
+
+    def test_base_class_itself_is_never_flagged(self, lint):
+        result = lint("contract", select=CONTRACT)
+        assert not any(
+            "CongestionControl " in f.message for f in result.findings
+        )

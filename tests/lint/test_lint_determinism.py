@@ -1,0 +1,48 @@
+"""The determinism family: entropy escapes and hash-order iteration."""
+
+from collections import Counter
+
+DET = [
+    "det-import-random",
+    "det-global-rng",
+    "det-wall-clock",
+    "det-entropy",
+    "det-set-iteration",
+]
+
+
+def _by_rule(result):
+    return Counter(f.rule for f in result.findings)
+
+
+class TestEntropyRules:
+    def test_bad_fixture_trips_each_entropy_rule(self, lint):
+        counts = _by_rule(lint("determinism/bad_entropy.py", select=DET))
+        assert counts["det-import-random"] == 1
+        assert counts["det-global-rng"] == 1
+        assert counts["det-wall-clock"] == 2  # time.time() + from-import
+        assert counts["det-entropy"] == 2  # os.urandom + uuid.uuid4
+
+    def test_type_checking_import_is_allowed(self, lint):
+        assert lint("determinism/clean_entropy.py", select=DET).clean
+
+    def test_sim_rng_module_is_exempt(self, lint):
+        assert lint("determinism/sim/rng.py", select=DET).clean
+
+
+class TestSetIteration:
+    def test_fires_inside_sim_directory(self, lint):
+        result = lint(
+            "determinism/sim/bad_sets.py", select=["det-set-iteration"]
+        )
+        assert _by_rule(result)["det-set-iteration"] == 3
+
+    def test_sorted_iteration_is_clean(self, lint):
+        assert lint(
+            "determinism/sim/clean_sets.py", select=["det-set-iteration"]
+        ).clean
+
+    def test_silent_outside_simulator_packages(self, lint):
+        assert lint(
+            "determinism/outside_scope.py", select=["det-set-iteration"]
+        ).clean

@@ -1,0 +1,92 @@
+"""Engine behavior: discovery, selection, suppression, the src/ gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintUsageError, all_rule_names, run_lint
+from repro.lint.engine import PARSE_ERROR_RULE, iter_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRuleRegistry:
+    def test_fifteen_rules_in_four_families(self):
+        rules = iter_rules()
+        assert len(rules) == 15
+        assert {r.family for r in rules} == {
+            "units", "determinism", "cca-contract", "api-hygiene",
+        }
+
+    def test_rules_have_names_and_descriptions(self):
+        for rule in iter_rules():
+            assert rule.name and rule.family and rule.description
+
+    def test_stable_order(self):
+        keys = [(r.family, r.name) for r in iter_rules()]
+        assert keys == sorted(keys)
+
+
+class TestSelection:
+    def test_unknown_rule_is_usage_error(self, fixtures_dir):
+        with pytest.raises(LintUsageError, match="unknown rule"):
+            run_lint([str(fixtures_dir)], select=["no-such-rule"])
+
+    def test_empty_selection_is_usage_error(self, fixtures_dir):
+        with pytest.raises(LintUsageError, match="empty"):
+            run_lint([str(fixtures_dir)], select=["  "])
+
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(LintUsageError, match="no such file"):
+            run_lint(["definitely/not/here"])
+
+    def test_select_restricts_rules_run(self, lint):
+        result = lint("units/clean_units.py", select=["units-raw-literal"])
+        assert result.rules_run == ["units-raw-literal"]
+
+
+class TestSuppression:
+    def test_matching_and_blanket_comments_suppress(self, lint):
+        result = lint("suppression/suppressed.py", select=["units-raw-literal"])
+        lines = sorted(f.line for f in result.findings)
+        # 1e9 (targeted ignore) and 1024**3 (blanket ignore) are silenced;
+        # the wrong-rule ignore and the bare literal are not
+        assert len(lines) == 2
+        messages = " ".join(f.message for f in result.findings)
+        assert "2e9" in messages and "4e9" in messages
+
+    def test_suppression_is_per_rule(self, lint):
+        # an ignore[det-import-random] comment must not silence units rules
+        result = lint("suppression/suppressed.py", select=["units-raw-literal"])
+        assert any("2e9" in f.message for f in result.findings)
+
+
+class TestParseErrors:
+    def test_broken_file_yields_parse_error_finding(self, lint):
+        result = lint("engine/broken.py")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == PARSE_ERROR_RULE
+        assert finding.family == "engine"
+        assert "does not parse" in finding.message
+
+    def test_broken_file_does_not_abort_the_run(self, lint):
+        result = lint("engine/broken.py", "units/clean_units.py")
+        assert result.files_checked == 2
+        assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+
+
+class TestCleanFixtures:
+    def test_clean_fixtures_pass_every_rule(self, lint, clean_fixture_names):
+        result = lint(*clean_fixture_names)
+        assert result.clean, "\n".join(f.format() for f in result.findings)
+
+
+class TestSourceTreeGate:
+    """The tier-1 gate: the shipped source must lint clean."""
+
+    def test_src_lints_clean(self):
+        result = run_lint([str(REPO_ROOT / "src")])
+        assert result.clean, "\n".join(f.format() for f in result.findings)
+        assert result.files_checked > 90
+        assert result.rules_run == all_rule_names()

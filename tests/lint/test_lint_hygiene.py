@@ -1,0 +1,31 @@
+"""The api-hygiene family: mutable defaults, bare excepts, future import."""
+
+from collections import Counter
+
+HYGIENE = ["api-mutable-default", "api-bare-except", "api-missing-future"]
+
+
+class TestBadFixture:
+    def test_counts(self, lint):
+        result = lint("hygiene/bad_hygiene.py", select=HYGIENE)
+        counts = Counter(f.rule for f in result.findings)
+        assert counts["api-mutable-default"] == 3  # [], {}, set()
+        assert counts["api-bare-except"] == 1
+        assert counts["api-missing-future"] == 1
+
+    def test_mutable_default_names_the_function(self, lint):
+        result = lint("hygiene/bad_hygiene.py", select=["api-mutable-default"])
+        assert any("`collect`" in f.message for f in result.findings)
+        assert any("`tally`" in f.message for f in result.findings)
+
+
+class TestCleanFixture:
+    def test_clean(self, lint):
+        assert lint("hygiene/clean_hygiene.py", select=HYGIENE).clean
+
+    def test_docstring_only_modules_need_no_future_import(self, tmp_path):
+        from repro.lint import run_lint
+
+        stub = tmp_path / "doc_only.py"
+        stub.write_text('"""Docstring only."""\n')
+        assert run_lint([str(stub)], select=["api-missing-future"]).clean

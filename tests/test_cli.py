@@ -1,8 +1,13 @@
 """Tests for the greenenvy CLI."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+LINT_FIXTURES = Path(__file__).resolve().parent / "lint" / "fixtures"
 
 
 class TestParser:
@@ -48,3 +53,69 @@ class TestCommands:
         assert main(["fig3", "--bytes", "2000000"]) == 0
         out = capsys.readouterr().out
         assert "fair" in out and "fsti" in out
+
+
+class TestLintCommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage error."""
+
+    def test_clean_path_exits_zero(self, capsys):
+        code = main(["lint", str(LINT_FIXTURES / "units" / "clean_units.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(["lint", str(LINT_FIXTURES / "units" / "bad_units.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "units-raw-literal" in out
+        assert "bad_units.py" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "--select", "no-such-rule", "src"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["lint", "definitely/not/here"])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_json_format_emits_schema(self, capsys):
+        code = main(
+            ["lint", "--format", "json",
+             str(LINT_FIXTURES / "hygiene" / "bad_hygiene.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["finding_count"] == len(payload["findings"]) > 0
+
+    def test_select_restricts_rules(self, capsys):
+        code = main(
+            ["lint", "--select", "api-bare-except",
+             str(LINT_FIXTURES / "hygiene" / "bad_hygiene.py")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "api-bare-except" in out
+        assert "api-mutable-default" not in out
+
+    def test_suppression_comments_respected(self, capsys):
+        code = main(
+            ["lint", str(LINT_FIXTURES / "suppression" / "suppressed.py")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "4e9" in out  # unsuppressed literal still reported
+        assert "1e9" not in out  # targeted ignore honored
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("units", "determinism", "cca-contract", "api-hygiene"):
+            assert family in out
+
+    def test_default_path_is_src_and_clean(self, capsys, monkeypatch):
+        monkeypatch.chdir(Path(__file__).resolve().parents[1])
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
