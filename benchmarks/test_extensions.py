@@ -28,7 +28,7 @@ def test_production_cca_energy_benchmark(benchmark):
         for cca in ("cubic", "baseline") + PRODUCTION_ALGORITHMS:
             scenario = Scenario(
                 name=f"prod-{cca}",
-                flows=[FlowSpec(20_000_000, cca)],
+                flows=[FlowSpec(20_000_000, cca=cca)],
                 packages=1,
                 int_telemetry=(cca == "hpcc"),
             )

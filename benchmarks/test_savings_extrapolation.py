@@ -19,15 +19,15 @@ def test_savings_extrapolation(benchmark):
         fair = Scenario(
             "fair",
             flows=[
-                FlowSpec(TWO_FLOW_BYTES, "cubic", target_rate_bps=gbps(5.0)),
-                FlowSpec(TWO_FLOW_BYTES, "cubic", target_rate_bps=gbps(5.0)),
+                FlowSpec(TWO_FLOW_BYTES, cca="cubic", target_rate_bps=gbps(5.0)),
+                FlowSpec(TWO_FLOW_BYTES, cca="cubic", target_rate_bps=gbps(5.0)),
             ],
         )
         fsti = Scenario(
             "fsti",
             flows=[
-                FlowSpec(TWO_FLOW_BYTES, "cubic"),
-                FlowSpec(TWO_FLOW_BYTES, "cubic", after_flow=0),
+                FlowSpec(TWO_FLOW_BYTES, cca="cubic"),
+                FlowSpec(TWO_FLOW_BYTES, cca="cubic", after_flow=0),
             ],
         )
         return (

@@ -19,12 +19,12 @@ Quick start::
     from repro.harness import Scenario, FlowSpec, run_once
 
     fair = Scenario("fair", flows=[
-        FlowSpec(12_500_000, "cubic", target_rate_bps=5e9),
-        FlowSpec(12_500_000, "cubic", target_rate_bps=5e9),
+        FlowSpec(12_500_000, cca="cubic", target_rate_bps=5e9),
+        FlowSpec(12_500_000, cca="cubic", target_rate_bps=5e9),
     ])
     fsti = Scenario("greedy", flows=[
-        FlowSpec(12_500_000, "cubic"),
-        FlowSpec(12_500_000, "cubic", after_flow=0),
+        FlowSpec(12_500_000, cca="cubic"),
+        FlowSpec(12_500_000, cca="cubic", after_flow=0),
     ])
     saved = 1 - run_once(fsti).energy_j / run_once(fair).energy_j
     print(f"full-speed-then-idle saves {saved:.1%}")   # ~16%

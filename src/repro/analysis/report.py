@@ -168,7 +168,7 @@ def quick_report(
     for cca in ("cubic", "baseline", "bbr2", "bbr"):
         result = run_repeated(
             Scenario(
-                f"report-{cca}", flows=[FlowSpec(transfer_bytes, cca)],
+                f"report-{cca}", flows=[FlowSpec(transfer_bytes, cca=cca)],
                 packages=1,
             ),
             repetitions=repetitions,

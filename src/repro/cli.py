@@ -31,11 +31,26 @@ def _add_common(parser: argparse.ArgumentParser, default_bytes: int) -> None:
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
 
 
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    """Executor-layer knobs: results are identical whatever their values."""
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for the simulations (default: serial; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory; reruns with "
+        "unchanged parameters replay stored measurements",
+    )
+
+
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from repro.figures.fig1 import run_fig1
 
     result = run_fig1(
-        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed
+        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(result.format_table())
     print(f"\nmax savings vs fair: {result.max_savings_percent:.1f}% "
@@ -46,7 +61,10 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from repro.figures.fig2 import run_fig2
 
-    result = run_fig2(repetitions=args.reps, base_seed=args.seed)
+    result = run_fig2(
+        repetitions=args.reps, base_seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     print(result.format_table())
     return 0
 
@@ -70,7 +88,10 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.figures.fig4 import run_fig4
 
-    result = run_fig4(repetitions=args.reps, base_seed=args.seed)
+    result = run_fig4(
+        repetitions=args.reps, base_seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     print(result.format_table())
     for load in result.loads():
         print(
@@ -88,7 +109,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.figures.grid import run_cca_mtu_grid
 
     grid = run_cca_mtu_grid(
-        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed
+        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     if getattr(args, "json", None):
         from repro.analysis.export import save_json
@@ -256,7 +278,8 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.units import MILLION
 
     advisor = EnergyAdvisor()
-    rec = advisor.recommend([int(b) for b in args.sizes])
+    # Accept scientific notation ("1e9") as the usage examples promise.
+    rec = advisor.recommend([int(float(b)) for b in args.sizes])
     print(f"schedule (serialized, SRPT): {' -> '.join(rec.schedule)}")
     print(f"fair-share energy:  {rec.fair_energy_j:.2f} J")
     print(f"serialized energy:  {rec.serialized_energy_j:.2f} J")
@@ -277,10 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig1", help="unfairness vs energy savings sweep")
     _add_common(p, default_bytes=12_500_000)
+    _add_parallel(p)
     p.set_defaults(func=_cmd_fig1)
 
     p = sub.add_parser("fig2", help="power vs throughput curves")
     _add_common(p, default_bytes=0)
+    _add_parallel(p)
     p.set_defaults(func=_cmd_fig2)
 
     p = sub.add_parser("fig3", help="fair vs serialized throughput timeseries")
@@ -289,10 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig4", help="loaded-host power curves")
     _add_common(p, default_bytes=0)
+    _add_parallel(p)
     p.set_defaults(func=_cmd_fig4)
 
     p = sub.add_parser("grid", help="CCA x MTU grid (figures 5-8)")
     _add_common(p, default_bytes=25_000_000)
+    _add_parallel(p)
     p.add_argument("--json", help="also dump raw measurements to this file")
     p.set_defaults(func=_cmd_grid)
 

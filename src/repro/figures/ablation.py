@@ -142,7 +142,7 @@ def ecn_threshold_ablation(
     for threshold in thresholds_bytes:
         scenario = Scenario(
             name=f"ablation-ecn-{threshold}",
-            flows=[FlowSpec(transfer_bytes, "dctcp")],
+            flows=[FlowSpec(transfer_bytes, cca="dctcp")],
             ecn_threshold_bytes=threshold,
             packages=1,
         )
@@ -161,7 +161,7 @@ def buffer_ablation(
     for buffer_bytes in buffers_bytes:
         scenario = Scenario(
             name=f"ablation-buffer-{buffer_bytes}",
-            flows=[FlowSpec(transfer_bytes, cca)],
+            flows=[FlowSpec(transfer_bytes, cca=cca)],
             buffer_bytes=buffer_bytes,
             packages=1,
         )

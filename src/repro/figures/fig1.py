@@ -14,13 +14,17 @@ axis (DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
-from repro.core.allocation import fig1_allocations
+from repro.core.allocation import AllocationPlan, fig1_allocations
 from repro.core.savings import savings_percent
-from repro.harness.experiment import scenario_from_plan
-from repro.harness.runner import RepeatedResult, run_repeated
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor
+from repro.harness.experiment import Scenario, scenario_from_plan
+from repro.harness.runner import RepeatedResult
+from repro.harness.sweep import Sweep
 from repro.units import gbps
 
 #: paper: 10 Gbit per flow; default scale 1/100
@@ -99,19 +103,38 @@ def run_fig1(
     cca: str = "cubic",
     repetitions: int = 3,
     base_seed: int = 0,
+    *,
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Union[None, str, Path, ResultCache] = None,
 ) -> Fig1Result:
-    """Reproduce the Fig. 1 sweep."""
-    points: List[Fig1Point] = []
-    for plan in fig1_allocations(transfer_bytes, capacity_bps, fractions):
-        scenario = scenario_from_plan(f"fig1-{plan.name}", plan, cca=cca)
-        result = run_repeated(scenario, repetitions=repetitions, base_seed=base_seed)
-        points.append(
-            Fig1Point(
-                label=plan.name,
-                flow0_fraction=plan.flow0_fraction
-                if plan.name != "full-speed-then-idle"
-                else None,
-                result=result,
-            )
+    """Reproduce the Fig. 1 sweep.
+
+    One :class:`~repro.harness.sweep.Sweep` over the allocation plans;
+    ``jobs``/``cache_dir`` parallelize and cache the underlying
+    simulations without changing any result.
+    """
+    plans = list(fig1_allocations(transfer_bytes, capacity_bps, fractions))
+
+    def plan_scenario(plan: AllocationPlan) -> Scenario:
+        return scenario_from_plan(f"fig1-{plan.name}", plan, cca=cca)
+
+    results = Sweep({"plan": plans}).run(
+        plan_scenario,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        executor=executor,
+        jobs=jobs,
+        cache=cache_dir,
+    )
+    points = [
+        Fig1Point(
+            label=row["plan"].name,
+            flow0_fraction=row["plan"].flow0_fraction
+            if row["plan"].name != "full-speed-then-idle"
+            else None,
+            result=row.result,
         )
+        for row in results.rows
+    ]
     return Fig1Result(points=points)

@@ -124,6 +124,26 @@ def _point_scenario(
     )
 
 
+def _window_point(
+    target_gbps: float, runs, window_s: float, load: float
+) -> Fig2Point:
+    """Summarize repeated runs as power over the *fixed window*.
+
+    Normalize to the window: after completion the package idles at
+    p(0), which the window's time-average must include (the flow may
+    finish early in burst mode), so both series share the same
+    denominator.
+    """
+    from repro.analysis.stats import mean, sample_std
+
+    powers = []
+    for m in runs:
+        leftover = max(0.0, window_s - m.duration_s)
+        energy = m.energy_j + _idle_power_for(load) * leftover
+        powers.append(energy / max(window_s, m.duration_s))
+    return Fig2Point(target_gbps, mean(powers), sample_std(powers))
+
+
 def _measure_series(
     throughputs: Sequence[float],
     window_s: float,
@@ -132,30 +152,41 @@ def _measure_series(
     repetitions: int,
     base_seed: int,
     load: float = 0.0,
+    executor=None,
+    jobs=None,
+    cache=None,
 ) -> List[Fig2Point]:
-    """Measure one series. Power is energy over the *fixed window* (the
-    flow may finish early in burst mode; the host idles until the window
-    closes), so both series share the same denominator."""
-    from repro.analysis.stats import mean, sample_std
-    from repro.harness.runner import run_once
+    """Measure one series, fanning all (target, repetition) simulations
+    through the executor layer at once. Idle (zero-throughput) points
+    meter an empty testbed directly — too cheap to parallelize."""
+    from repro.harness.executor import WorkItem, run_work_items
 
+    targets = [t for t in throughputs if t > 0]
+    items = [
+        WorkItem(
+            scenario=_point_scenario(target, window_s, burst, cca, load),
+            seed=base_seed + rep,
+        )
+        for target in targets
+        for rep in range(repetitions)
+    ]
+    measurements = run_work_items(
+        items, executor=executor, jobs=jobs, cache=cache
+    )
+    by_target = {
+        target: measurements[i * repetitions : (i + 1) * repetitions]
+        for i, target in enumerate(targets)
+    }
     points: List[Fig2Point] = []
     for target in throughputs:
         if target <= 0:
             points.append(
                 _measure_idle_power(window_s, repetitions, base_seed, load)
             )
-            continue
-        scenario = _point_scenario(target, window_s, burst, cca, load)
-        powers = []
-        for rep in range(repetitions):
-            m = run_once(scenario, seed=base_seed + rep)
-            # Normalize to the fixed window: after completion the package
-            # idles at p(0), which the window's time-average must include.
-            leftover = max(0.0, window_s - m.duration_s)
-            energy = m.energy_j + _idle_power_for(load) * leftover
-            powers.append(energy / max(window_s, m.duration_s))
-        points.append(Fig2Point(target, mean(powers), sample_std(powers)))
+        else:
+            points.append(
+                _window_point(target, by_target[target], window_s, load)
+            )
     return points
 
 
@@ -171,14 +202,20 @@ def run_fig2(
     cca: str = "cubic",
     repetitions: int = 3,
     base_seed: int = 0,
+    *,
+    executor=None,
+    jobs=None,
+    cache_dir=None,
 ) -> Fig2Result:
     """Reproduce both Figure 2 series."""
     smooth = _measure_series(
         throughputs_gbps, window_s, burst=False, cca=cca,
         repetitions=repetitions, base_seed=base_seed,
+        executor=executor, jobs=jobs, cache=cache_dir,
     )
     burst = _measure_series(
         throughputs_gbps, window_s, burst=True, cca=cca,
         repetitions=repetitions, base_seed=base_seed + 1000,
+        executor=executor, jobs=jobs, cache=cache_dir,
     )
     return Fig2Result(smooth=smooth, full_speed_then_idle=burst)

@@ -66,16 +66,16 @@ def run_fig3(
     fair = Scenario(
         "fig3-fair",
         flows=[
-            FlowSpec(transfer_bytes, cca, target_rate_bps=capacity_bps / 2),
-            FlowSpec(transfer_bytes, cca, target_rate_bps=capacity_bps / 2),
+            FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
+            FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
         ],
         probe_interval_s=probe_interval_s,
     )
     fsti = Scenario(
         "fig3-fsti",
         flows=[
-            FlowSpec(transfer_bytes, cca),
-            FlowSpec(transfer_bytes, cca, after_flow=0),
+            FlowSpec(transfer_bytes, cca=cca),
+            FlowSpec(transfer_bytes, cca=cca, after_flow=0),
         ],
         probe_interval_s=probe_interval_s,
     )

@@ -5,15 +5,30 @@
 as the host gets busier, but full-speed-then-idle still saves ~1 % at
 25 % load and ~0.17 % at 75 % — which the paper extrapolates to
 ~$10M/year for a 100k-rack datacenter.
+
+The load x bitrate matrix is declared as one
+:class:`~repro.harness.sweep.Sweep` (axes: load, target bitrate) rather
+than nested loops, so the whole figure parallelizes and caches through
+the executor layer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
-from repro.figures.fig2 import Fig2Point, _measure_series
+from repro.figures.fig2 import (
+    Fig2Point,
+    _measure_idle_power,
+    _point_scenario,
+    _window_point,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor
+from repro.harness.experiment import Scenario
+from repro.harness.sweep import Sweep
 
 DEFAULT_LOADS = (0.0, 0.25, 0.50, 0.75)
 DEFAULT_THROUGHPUTS_GBPS = (0.0, 2.0, 4.0, 5.0, 6.0, 8.0, 10.0)
@@ -69,17 +84,37 @@ def run_fig4(
     cca: str = "cubic",
     repetitions: int = 3,
     base_seed: int = 0,
+    *,
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Union[None, str, Path, ResultCache] = None,
 ) -> Fig4Result:
     """Measure the smooth-power curve at each background load."""
+    positive = [t for t in throughputs_gbps if t > 0]
+
+    def point_scenario(load: float, target_gbps: float) -> Scenario:
+        return _point_scenario(target_gbps, window_s, False, cca, load)
+
+    results = Sweep({"load": list(loads), "target_gbps": positive}).run(
+        point_scenario,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        executor=executor,
+        jobs=jobs,
+        cache=cache_dir,
+    )
     curves: Dict[float, List[Fig2Point]] = {}
     for load in loads:
-        curves[load] = _measure_series(
-            throughputs_gbps,
-            window_s,
-            burst=False,
-            cca=cca,
-            repetitions=repetitions,
-            base_seed=base_seed,
-            load=load,
-        )
+        points: List[Fig2Point] = []
+        for target in throughputs_gbps:
+            if target <= 0:
+                points.append(
+                    _measure_idle_power(window_s, repetitions, base_seed, load)
+                )
+            else:
+                row = results.one(load=load, target_gbps=target)
+                points.append(
+                    _window_point(target, row.result.runs, window_s, load)
+                )
+        curves[load] = points
     return Fig4Result(curves=curves, window_s=window_s)

@@ -83,7 +83,7 @@ def run_pairing(
     """One head-to-head run: both flows start together, same payload."""
     scenario = Scenario(
         f"friend-{cca_a}-vs-{cca_b}",
-        flows=[FlowSpec(transfer_bytes, cca_a), FlowSpec(transfer_bytes, cca_b)],
+        flows=[FlowSpec(transfer_bytes, cca=cca_a), FlowSpec(transfer_bytes, cca=cca_b)],
         probe_interval_s=msec(1.0),
     )
     m = run_once(scenario, seed=seed)

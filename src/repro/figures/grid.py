@@ -12,11 +12,15 @@ Scaling: transfers default to 1/1000 of the paper's 50 GB (DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.cc.registry import PAPER_ALGORITHMS
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor
 from repro.harness.experiment import FlowSpec, Scenario
-from repro.harness.runner import RepeatedResult, run_repeated
+from repro.harness.runner import RepeatedResult
+from repro.harness.sweep import Sweep
 
 #: 50 GB scaled by 1/1000
 DEFAULT_TRANSFER_BYTES = 50_000_000
@@ -98,20 +102,39 @@ def run_cca_mtu_grid(
     repetitions: int = 3,
     base_seed: int = 0,
     time_limit_s: float = 600.0,
+    *,
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Union[None, str, Path, ResultCache] = None,
 ) -> CcaMtuGrid:
-    """Run the full CCA x MTU grid (the §4.3-§4.5 experiment)."""
-    cells: List[GridCell] = []
-    for cca in ccas:
-        for mtu in mtus:
-            scenario = Scenario(
-                name=f"grid-{cca}-mtu{mtu}",
-                flows=[FlowSpec(transfer_bytes, cca)],
-                mtu_bytes=mtu,
-                packages=1,
-                time_limit_s=time_limit_s,
-            )
-            result = run_repeated(
-                scenario, repetitions=repetitions, base_seed=base_seed
-            )
-            cells.append(GridCell(cca=cca, mtu_bytes=mtu, result=result))
+    """Run the full CCA x MTU grid (the §4.3-§4.5 experiment).
+
+    The grid is one :class:`~repro.harness.sweep.Sweep` over
+    (cca, mtu): ``jobs=N`` fans the cells' repetitions out across N
+    worker processes and ``cache_dir=`` reuses previous runs — with
+    identical results either way, since seeds are per-repetition.
+    """
+
+    def cell_scenario(cca: str, mtu: int) -> Scenario:
+        return Scenario(
+            name=f"grid-{cca}-mtu{mtu}",
+            flows=[FlowSpec(transfer_bytes, cca=cca)],
+            mtu_bytes=mtu,
+            packages=1,
+            time_limit_s=time_limit_s,
+        )
+
+    sweep = Sweep({"cca": list(ccas), "mtu": list(mtus)})
+    results = sweep.run(
+        cell_scenario,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        executor=executor,
+        jobs=jobs,
+        cache=cache_dir,
+    )
+    cells = [
+        GridCell(cca=row["cca"], mtu_bytes=row["mtu"], result=row.result)
+        for row in results.rows
+    ]
     return CcaMtuGrid(cells=cells, transfer_bytes=transfer_bytes)

@@ -74,17 +74,17 @@ def run_mptcp_comparison(
     per_subflow = total_bytes // subflows
     single = Scenario(
         "mptcp-single",
-        flows=[FlowSpec(total_bytes, cca)],
+        flows=[FlowSpec(total_bytes, cca=cca)],
         packages=1,
     )
     shared = Scenario(
         "mptcp-shared",
-        flows=[FlowSpec(per_subflow, cca) for _ in range(subflows)],
+        flows=[FlowSpec(per_subflow, cca=cca) for _ in range(subflows)],
         packages=1,  # all subflows on one package
     )
     spread = Scenario(
         "mptcp-spread",
-        flows=[FlowSpec(per_subflow, cca) for _ in range(subflows)],
+        flows=[FlowSpec(per_subflow, cca=cca) for _ in range(subflows)],
         packages=subflows,  # one package per subflow
     )
     return MptcpResult(

@@ -102,12 +102,12 @@ def _batch_flows(
     cca_kwargs: dict = None,
 ) -> List[FlowSpec]:
     if not serialized:
-        return [FlowSpec(size, cca, cca_kwargs=cca_kwargs) for size in batch]
+        return [FlowSpec(size, cca=cca, cca_kwargs=cca_kwargs) for size in batch]
     flows = []
     for i, size in enumerate(sorted(batch)):  # SRPT order
         flows.append(
             FlowSpec(
-                size, cca, after_flow=i - 1 if i > 0 else None,
+                size, cca=cca, after_flow=i - 1 if i > 0 else None,
                 cca_kwargs=cca_kwargs,
             )
         )

@@ -89,7 +89,7 @@ def _scenario(workload: Workload, schedule: str) -> Scenario:
         if schedule == "fair":
             flows.append(
                 FlowSpec(
-                    arrival.size_bytes, "cubic",
+                    arrival.size_bytes, cca="cubic",
                     start_time_s=arrival.start_time_s,
                 )
             )
@@ -97,7 +97,7 @@ def _scenario(workload: Workload, schedule: str) -> Scenario:
             flows.append(
                 FlowSpec(
                     arrival.size_bytes,
-                    "baseline",
+                    cca="baseline",
                     start_time_s=arrival.start_time_s,
                     cca_kwargs={"window_segments": PFABRIC_WINDOW_SEGMENTS},
                 )

@@ -1,7 +1,22 @@
-"""Experiment orchestration: scenarios, runner, repetition statistics."""
+"""Experiment orchestration: scenarios, runner, parallel execution, caching."""
 
 from __future__ import annotations
 
+from repro.harness.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    compute_key,
+    measurement_from_dict,
+    measurement_to_dict,
+)
+from repro.harness.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkItem,
+    resolve_executor,
+    run_work_items,
+)
 from repro.harness.experiment import FlowSpec, Scenario, scenario_from_plan
 from repro.harness.runner import (
     RepeatedResult,
@@ -19,6 +34,17 @@ __all__ = [
     "RepeatedResult",
     "run_once",
     "run_repeated",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "WorkItem",
+    "resolve_executor",
+    "run_work_items",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "compute_key",
+    "measurement_to_dict",
+    "measurement_from_dict",
     "Sweep",
     "SweepResults",
     "SweepRow",

@@ -1,0 +1,154 @@
+"""Parallel execution of independent ``(scenario, seed)`` work items.
+
+Every cell x repetition of the paper's experiment grids is an
+independent, seeded simulation — the embarrassingly parallel shape that
+lets the CCA x MTU grid scale to hundreds of scenario points. The
+executor layer fans :class:`WorkItem` batches out to a backend:
+
+* :class:`SerialExecutor` — in-process, one item at a time. The
+  reference semantics; zero overhead for small batches.
+* :class:`ProcessExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` running items across worker processes.
+
+Backends are *interchangeable by construction*: each item carries its
+own seed (derived per-item from the base seed, never from worker or
+process state), every item runs on a fresh simulator, and results come
+back in submission order. A ``jobs=8`` run is therefore bit-identical
+to a serial one — which the determinism tests under ``tests/harness/``
+assert.
+
+:func:`run_work_items` is the single entry point the harness and all
+figure pipelines share; it also consults the optional result cache
+(:mod:`repro.harness.cache`) so only missing items reach the backend.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.harness.cache import ResultCache, ensure_cache
+from repro.harness.experiment import Scenario
+from repro.harness.runner import RunMeasurement, run_once
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One independent simulation: a scenario plus its repetition seed."""
+
+    scenario: Scenario
+    seed: int
+
+
+def execute_item(item: WorkItem) -> RunMeasurement:
+    """Run one work item (module-level so process pools can pickle it)."""
+    return run_once(item.scenario, seed=item.seed)
+
+
+class Executor:
+    """Maps work items to measurements, preserving submission order."""
+
+    name: str = "base"
+
+    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """The reference backend: run items in-process, in order."""
+
+    name = "serial"
+
+    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
+        return [execute_item(item) for item in items]
+
+
+class ProcessExecutor(Executor):
+    """Fan items out across ``jobs`` worker processes.
+
+    Results are collected in submission order (``pool.map``), and each
+    item's seed travels with it, so the outcome never depends on which
+    worker ran what or in which order items finished.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ExperimentError(f"need >= 1 worker process, got {jobs}")
+        self.jobs = jobs
+
+    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return SerialExecutor().run_items(items)
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_item, items))
+
+
+def resolve_executor(
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+) -> Executor:
+    """Pick a backend from the ``executor=``/``jobs=`` pair.
+
+    * an :class:`Executor` instance is used as-is,
+    * ``"serial"`` / ``"process"`` select a backend by name (``jobs``
+      sizes the process pool),
+    * with neither given, ``jobs`` alone decides: None or 1 means
+      serial, more means a process pool of that size.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        if jobs is None or jobs == 1:
+            return SerialExecutor()
+        return ProcessExecutor(jobs)
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(jobs)
+    raise ExperimentError(
+        f"unknown executor {executor!r}; use 'serial', 'process', or an "
+        f"Executor instance"
+    )
+
+
+def run_work_items(
+    items: Sequence[WorkItem],
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+) -> List[RunMeasurement]:
+    """Execute a batch of work items, cache-aware and order-preserving.
+
+    With a cache, stored measurements are returned directly and only
+    the misses are dispatched to the backend (then stored). The result
+    list always lines up index-for-index with ``items``.
+    """
+    items = list(items)
+    backend = resolve_executor(executor, jobs)
+    store = ensure_cache(cache)
+    if store is None:
+        return backend.run_items(items)
+
+    results: List[Optional[RunMeasurement]] = [None] * len(items)
+    missing: List[int] = []
+    for i, item in enumerate(items):
+        hit = store.get(item.scenario, item.seed)
+        if hit is not None:
+            results[i] = hit
+        else:
+            missing.append(i)
+    fresh = backend.run_items([items[i] for i in missing])
+    for i, measurement in zip(missing, fresh):
+        store.put(items[i].scenario, items[i].seed, measurement)
+        results[i] = measurement
+    return [r for r in results if r is not None]

@@ -9,14 +9,46 @@ how the energy window is measured. The runner
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+import functools
+import json
+import warnings
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional
 
 from repro.core.allocation import AllocationPlan
 from repro.errors import ExperimentError
 from repro.units import msec, usec
 
 
+def _keyword_only_after_first(cls):
+    """Deprecate positional construction beyond the first field.
+
+    ``Scenario`` and ``FlowSpec`` have grown 8+ optional fields; calls
+    like ``FlowSpec(1_000_000, "cubic", None, 0.0)`` are unreadable and
+    break silently when a field is inserted. Everything after the first
+    positional field becomes keyword-only after one release; until then
+    positional use emits a :class:`DeprecationWarning`.
+    """
+    original_init = cls.__init__
+    first_field = next(iter(cls.__dataclass_fields__))
+
+    @functools.wraps(original_init)
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if len(args) > 1:
+            warnings.warn(
+                f"passing {cls.__name__} fields beyond {first_field!r} "
+                f"positionally is deprecated and will become an error in "
+                f"the next release; use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        original_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
+
+
+@_keyword_only_after_first
 @dataclass
 class FlowSpec:
     """One flow of a scenario."""
@@ -44,6 +76,7 @@ class FlowSpec:
             raise ExperimentError(f"flow size must be > 0, got {self.total_bytes}")
 
 
+@_keyword_only_after_first
 @dataclass
 class Scenario:
     """A full measured experiment."""
@@ -114,6 +147,24 @@ class Scenario:
     def with_name(self, name: str) -> "Scenario":
         """A copy under a different name."""
         return replace(self, name=name)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Every field (flows included) as JSON-ready plain data."""
+        return asdict(self)
+
+    def cache_key(self) -> str:
+        """Canonical serialization of the full scenario spec.
+
+        The result cache (:mod:`repro.harness.cache`) hashes this string
+        together with the repetition seed and a schema version, so it
+        must be a pure function of the scenario's fields: stable across
+        processes, interpreter runs, and dict insertion orders (keys are
+        sorted). Two scenarios with equal fields always serialize
+        identically; any field change produces a different string.
+        """
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
 
 
 def scenario_from_plan(

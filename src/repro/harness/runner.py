@@ -52,6 +52,11 @@ class RunMeasurement:
     @property
     def completion_time_s(self) -> float:
         """Time until the last flow completed."""
+        if not self.flow_results:
+            raise ExperimentError(
+                f"{self.scenario}: no flow results to take a completion "
+                f"time from"
+            )
         return max(r.end_time for r in self.flow_results)
 
 
@@ -151,6 +156,10 @@ def run_once(scenario: Scenario, seed: int = 0) -> RunMeasurement:
             start_time=start,
             ecn=flow.ecn,
             cca_kwargs=flow.cca_kwargs,
+            # Per-run ids, not the process-global counter: measurements
+            # must be a pure function of (scenario, seed) so serial,
+            # process-pool, and cached runs are interchangeable.
+            flow_id=i + 1,
         )
         sessions.append(session)
         for model in cpu_models:
@@ -213,12 +222,31 @@ def run_once(scenario: Scenario, seed: int = 0) -> RunMeasurement:
 
 
 def run_repeated(
-    scenario: Scenario, repetitions: int = 10, base_seed: int = 0
+    scenario: Scenario,
+    repetitions: int = 10,
+    base_seed: int = 0,
+    *,
+    executor=None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> RepeatedResult:
-    """Run a scenario N times with varied seeds (the paper uses N=10)."""
+    """Run a scenario N times with varied seeds (the paper uses N=10).
+
+    Repetitions are independent simulations, so they parallelize and
+    cache through the executor layer: ``jobs=4`` fans them out across
+    four worker processes, ``cache=`` (a directory path or a
+    :class:`~repro.harness.cache.ResultCache`) replays stored results.
+    Each repetition's seed is ``base_seed + rep``, derived here — never
+    inside a worker — so results are identical for every backend.
+    """
     if repetitions < 1:
         raise ExperimentError(f"need >= 1 repetition, got {repetitions}")
-    runs = [
-        run_once(scenario, seed=base_seed + rep) for rep in range(repetitions)
+    # Imported lazily: the executor module builds on run_once above.
+    from repro.harness.executor import WorkItem, run_work_items
+
+    items = [
+        WorkItem(scenario=scenario, seed=base_seed + rep)
+        for rep in range(repetitions)
     ]
+    runs = run_work_items(items, executor=executor, jobs=jobs, cache=cache)
     return RepeatedResult(scenario=scenario.name, runs=runs)

@@ -1,17 +1,23 @@
 """Parameter sweeps: run a scenario family over a parameter grid.
 
-The figure pipelines each hand-roll their sweep (fractions for Fig. 1,
-loads for Fig. 4, the CCA x MTU grid); :class:`Sweep` is the generic
-engine for new experiments: declare axes, provide a scenario factory,
-get back tidy rows with group-by helpers.
+:class:`Sweep` is the one execution engine behind the figure pipelines
+(Fig. 1's allocation sweep, Fig. 4's load x bitrate matrix, the
+CCA x MTU grid) and any new experiment: declare axes, provide a
+scenario factory, get back tidy rows with group-by helpers. Because
+every grid point x repetition is an independent seeded simulation,
+``run`` fans the whole sweep through the executor layer — ``jobs=8``
+runs eight simulations at a time, ``cache=`` makes unchanged reruns
+near-instant, and both are bit-identical to a serial run.
 
     sweep = Sweep(axes={"mtu": [1500, 9000], "cca": ["cubic", "bbr"]})
     results = sweep.run(
         lambda mtu, cca: Scenario(
-            f"{cca}@{mtu}", flows=[FlowSpec(10_000_000, cca)],
+            f"{cca}@{mtu}", flows=[FlowSpec(10_000_000, cca=cca)],
             mtu_bytes=mtu, packages=1,
         ),
         repetitions=3,
+        jobs=8,                     # process-pool parallelism
+        cache="results/cache",      # content-addressed reuse
     )
     for row in results.rows:
         print(row.params, row.result.mean_energy_j)
@@ -21,11 +27,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor, WorkItem, run_work_items
 from repro.harness.experiment import Scenario
-from repro.harness.runner import RepeatedResult, run_repeated
+from repro.harness.runner import RepeatedResult
 
 ScenarioFactory = Callable[..., Scenario]
 
@@ -120,13 +129,41 @@ class Sweep:
         factory: ScenarioFactory,
         repetitions: int = 2,
         base_seed: int = 0,
+        *,
+        executor: Union[None, str, Executor] = None,
+        jobs: Optional[int] = None,
+        cache: Union[None, str, Path, ResultCache] = None,
     ) -> SweepResults:
-        """Run every grid point's scenario ``repetitions`` times."""
-        results = SweepResults()
-        for point in self.points():
-            scenario = factory(**point)
-            result = run_repeated(
-                scenario, repetitions=repetitions, base_seed=base_seed
+        """Run every grid point's scenario ``repetitions`` times.
+
+        All ``size * repetitions`` simulations are flattened into one
+        work-item batch and dispatched together, so parallelism spans
+        the whole grid, not just one cell. Seeds are per-repetition
+        (``base_seed + rep``, the same for every grid point), fixed
+        before dispatch — results do not depend on the backend or on
+        worker scheduling.
+        """
+        if repetitions < 1:
+            raise ExperimentError(
+                f"need >= 1 repetition, got {repetitions}"
             )
-            results.rows.append(SweepRow(params=point, result=result))
+        points = self.points()
+        scenarios = [factory(**point) for point in points]
+        items = [
+            WorkItem(scenario=scenario, seed=base_seed + rep)
+            for scenario in scenarios
+            for rep in range(repetitions)
+        ]
+        measurements = run_work_items(
+            items, executor=executor, jobs=jobs, cache=cache
+        )
+        results = SweepResults()
+        for i, (point, scenario) in enumerate(zip(points, scenarios)):
+            runs = measurements[i * repetitions : (i + 1) * repetitions]
+            results.rows.append(
+                SweepRow(
+                    params=point,
+                    result=RepeatedResult(scenario=scenario.name, runs=runs),
+                )
+            )
         return results

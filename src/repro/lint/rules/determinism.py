@@ -13,7 +13,11 @@ wall clocks or kernel entropy. These rules ban the escape hatches:
   process-wide state even when the import is legal,
 * wall-clock reads (``time.time``, ``datetime.now``) — simulators must
   use virtual time,
-* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``), and
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``),
+* process/thread identity (``os.getpid``, ``threading.get_ident``):
+  with the executor layer fanning work across processes, a pid leaking
+  into a cache key or a worker's seed derivation would silently make
+  results depend on which worker ran what, and
 * iteration over unordered ``set`` values in the simulator packages
   (``sim/``, ``net/``, ``cc/``, ``tcp/``), where hash-order dependence
   silently reorders event processing between interpreter runs.
@@ -46,6 +50,13 @@ WALL_CLOCK_FUNCTIONS = frozenset(
         "perf_counter_ns", "now", "utcnow", "today",
     }
 )
+
+#: (module, attribute) reads that identify the running process/thread
+PROCESS_IDENTITY_FUNCTIONS = {
+    "os": frozenset({"getpid", "getppid"}),
+    "multiprocessing": frozenset({"current_process", "parent_process"}),
+    "threading": frozenset({"get_ident", "get_native_id", "current_thread"}),
+}
 
 
 def _is_rng_module(module: ModuleInfo) -> bool:
@@ -194,6 +205,57 @@ class OsEntropy(Rule):
                 )
 
 
+class ProcessIdentity(Rule):
+    """Process/thread identity reads (``os.getpid`` and friends).
+
+    Work items fan out across worker processes; replayability then
+    demands that nothing a worker computes depends on *which* worker it
+    is. A pid or thread id leaking into a cache key, a seed derivation,
+    or a scenario name silently breaks the jobs=1 == jobs=N guarantee.
+    """
+
+    name = "det-process-identity"
+    family = "determinism"
+    description = (
+        "process/thread identity read (os.getpid, threading.get_ident, "
+        "...); results must not depend on which worker ran them — derive "
+        "cache keys and seeds from scenario + seed only"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                banned = PROCESS_IDENTITY_FUNCTIONS.get(node.module or "")
+                if not banned:
+                    continue
+                for alias in node.names:
+                    if alias.name in banned:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of `{node.module}.{alias.name}`; "
+                            f"worker identity must not influence results",
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            if len(parts) < 2:
+                continue
+            banned = PROCESS_IDENTITY_FUNCTIONS.get(parts[0])
+            if banned and parts[-1] in banned:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{callee}()` identifies the running process/thread; "
+                    f"cache keys and seeds must derive from the scenario "
+                    f"spec and base seed only",
+                )
+
+
 def _is_set_expr(node: ast.AST) -> Optional[str]:
     """Describe ``node`` if it is an unordered set expression."""
     if isinstance(node, ast.Set):
@@ -248,5 +310,6 @@ DETERMINISM_RULES = [
     GlobalRng(),
     WallClock(),
     OsEntropy(),
+    ProcessIdentity(),
     SetIteration(),
 ]

@@ -79,7 +79,7 @@ class TestDramAccounting:
         m = run_once(
             Scenario(
                 "anchor",
-                flows=[FlowSpec(5_000_000, "cubic", target_rate_bps=5e9)],
+                flows=[FlowSpec(5_000_000, cca="cubic", target_rate_bps=5e9)],
                 packages=1,
                 power_noise_sigma=0.0,
             )

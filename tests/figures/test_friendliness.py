@@ -61,7 +61,7 @@ class TestConvergenceAnalysis:
 
         scenario = Scenario(
             "conv",
-            flows=[FlowSpec(10_000_000, "cubic"), FlowSpec(10_000_000, "cubic")],
+            flows=[FlowSpec(10_000_000, cca="cubic"), FlowSpec(10_000_000, cca="cubic")],
             probe_interval_s=1e-3,
         )
         m = run_once(scenario, seed=0)

@@ -1,0 +1,165 @@
+"""The content-addressed result cache: hits, misses, invalidation.
+
+A cache hit must be indistinguishable from re-running the simulation —
+full dataclass equality, power/throughput series included — and the key
+must move when (and only when) the scenario spec, seed, or schema
+version does.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.cache import (
+    ResultCache,
+    compute_key,
+    ensure_cache,
+    measurement_from_dict,
+    measurement_to_dict,
+)
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once, run_repeated
+from repro.units import msec
+
+SIZE = 400_000
+
+
+def scenario(name="cache", **overrides):
+    defaults = dict(name=name, flows=[FlowSpec(SIZE)], packages=1)
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_equal_specs_share_a_key(self):
+        assert compute_key(scenario(), 3) == compute_key(scenario(), 3)
+
+    def test_seed_changes_key(self):
+        assert compute_key(scenario(), 0) != compute_key(scenario(), 1)
+
+    def test_any_field_change_moves_key(self):
+        base = compute_key(scenario(), 0)
+        assert compute_key(scenario(mtu_bytes=1500), 0) != base
+        assert compute_key(scenario(background_load=0.5), 0) != base
+        assert (
+            compute_key(scenario(flows=[FlowSpec(SIZE, cca="bbr")]), 0) != base
+        )
+
+    def test_schema_version_moves_key(self):
+        assert compute_key(scenario(), 0, schema_version=1) != compute_key(
+            scenario(), 0, schema_version=2
+        )
+
+    def test_cache_key_is_order_stable(self):
+        # json with sort_keys: field declaration order cannot leak in.
+        s = scenario()
+        assert s.cache_key() == scenario().cache_key()
+        assert '"mtu_bytes"' in s.cache_key()
+
+
+class TestRoundTrip:
+    def test_measurement_survives_json_exactly(self):
+        # probes on, multi-flow: exercises every serialized field
+        m = run_once(
+            scenario(
+                flows=[FlowSpec(SIZE), FlowSpec(SIZE)],
+                probe_interval_s=msec(5.0),
+                packages=2,
+            ),
+            seed=11,
+        )
+        assert measurement_from_dict(measurement_to_dict(m)) == m
+
+    def test_get_returns_equal_measurement(self, cache):
+        s = scenario()
+        m = run_once(s, seed=2)
+        cache.put(s, 2, m)
+        assert cache.get(s, 2) == m
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, cache):
+        assert cache.get(scenario(), 0) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_put_then_hit(self, cache):
+        s = scenario()
+        cache.put(s, 0, run_once(s, seed=0))
+        assert cache.get(s, 0) is not None
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_run_repeated_warm_rerun_never_simulates(self, cache, monkeypatch):
+        s = scenario()
+        cold = run_repeated(s, repetitions=2, base_seed=0, cache=cache)
+        assert cache.misses == 2
+
+        # Any simulation attempt on the warm rerun is a test failure.
+        import repro.harness.executor as executor_module
+
+        def boom(item):
+            raise AssertionError("warm rerun hit the simulator")
+
+        monkeypatch.setattr(executor_module, "execute_item", boom)
+        warm = run_repeated(s, repetitions=2, base_seed=0, cache=cache)
+        assert warm.runs == cold.runs
+
+    def test_schema_bump_invalidates(self, cache, tmp_path):
+        s = scenario()
+        cache.put(s, 0, run_once(s, seed=0))
+        bumped = ResultCache(tmp_path / "cache", schema_version=2)
+        assert bumped.get(s, 0) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        s = scenario()
+        path = cache.put(s, 0, run_once(s, seed=0))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(s, 0) is None
+
+    def test_clear_removes_entries(self, cache):
+        s = scenario()
+        cache.put(s, 0, run_once(s, seed=0))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestEnsureCache:
+    def test_path_string_coerces(self, tmp_path):
+        store = ensure_cache(str(tmp_path / "c"))
+        assert isinstance(store, ResultCache)
+
+    def test_none_passes_through(self):
+        assert ensure_cache(None) is None
+
+    def test_instance_passes_through(self, cache):
+        assert ensure_cache(cache) is cache
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExperimentError, match="cache must be"):
+            ensure_cache(42)
+
+
+class TestCacheWithParallelism:
+    def test_cache_and_jobs_compose_bit_identically(self, tmp_path):
+        s = scenario()
+        plain = run_repeated(s, repetitions=3, base_seed=1)
+        cached_parallel = run_repeated(
+            s, repetitions=3, base_seed=1, jobs=3, cache=tmp_path / "c"
+        )
+        rehydrated = run_repeated(
+            s, repetitions=3, base_seed=1, cache=tmp_path / "c"
+        )
+        assert plain.runs == cached_parallel.runs == rehydrated.runs
+
+    def test_partial_warm_cache_fills_only_misses(self, tmp_path):
+        s = scenario()
+        cache = ResultCache(tmp_path / "c")
+        run_repeated(s, repetitions=1, base_seed=0, cache=cache)
+        assert len(cache) == 1
+        result = run_repeated(s, repetitions=3, base_seed=0, cache=cache)
+        assert len(cache) == 3
+        assert [r.seed for r in result.runs] == [0, 1, 2]

@@ -1,0 +1,154 @@
+"""The executor layer: backend interchangeability and grid determinism.
+
+The contract under test is the one the paper's methodology depends on:
+a measurement is a pure function of (scenario spec, seed), so *how* the
+grid executes — serially, across worker processes, via the cache —
+must never change a single bit of the results.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.figures.grid import run_cca_mtu_grid
+from repro.harness.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkItem,
+    resolve_executor,
+    run_work_items,
+)
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once, run_repeated
+from repro.harness.sweep import Sweep
+
+SIZE = 400_000
+
+
+def tiny_scenario(name="exec", **overrides):
+    defaults = dict(
+        name=name, flows=[FlowSpec(SIZE)], packages=1
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestResolve:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_executor(), SerialExecutor)
+        assert isinstance(resolve_executor(jobs=1), SerialExecutor)
+
+    def test_jobs_selects_process_pool(self):
+        backend = resolve_executor(jobs=4)
+        assert isinstance(backend, ProcessExecutor)
+        assert backend.jobs == 4
+
+    def test_names_select_backends(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("process", jobs=2), ProcessExecutor)
+
+    def test_instance_passes_through(self):
+        backend = SerialExecutor()
+        assert resolve_executor(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown executor"):
+            resolve_executor("threads")
+
+    def test_bad_job_count_rejected(self):
+        with pytest.raises(ExperimentError, match=">= 1"):
+            ProcessExecutor(0)
+
+
+class TestBackendEquivalence:
+    def test_process_pool_matches_serial(self):
+        items = [WorkItem(scenario=tiny_scenario(), seed=s) for s in range(4)]
+        serial = SerialExecutor().run_items(items)
+        parallel = ProcessExecutor(4).run_items(items)
+        assert serial == parallel  # full dataclass equality, series included
+
+    def test_order_follows_submission_not_completion(self):
+        # A bigger (slower) first item must not let item 2 overtake it.
+        items = [
+            WorkItem(scenario=tiny_scenario("slow", flows=[FlowSpec(4 * SIZE)]), seed=0),
+            WorkItem(scenario=tiny_scenario("fast"), seed=1),
+        ]
+        results = ProcessExecutor(2).run_items(items)
+        assert [r.scenario for r in results] == ["slow", "fast"]
+        assert [r.seed for r in results] == [0, 1]
+
+    def test_seed_is_per_item(self):
+        items = [WorkItem(scenario=tiny_scenario(), seed=7)]
+        (result,) = run_work_items(items, jobs=2)
+        assert result == run_once(tiny_scenario(), seed=7)
+
+    def test_run_repeated_jobs_matches_serial(self):
+        scenario = tiny_scenario()
+        serial = run_repeated(scenario, repetitions=3, base_seed=5)
+        parallel = run_repeated(scenario, repetitions=3, base_seed=5, jobs=3)
+        assert [r.energy_j for r in serial.runs] == [
+            r.energy_j for r in parallel.runs
+        ]
+
+
+class TestGridDeterminism:
+    """jobs=1 and jobs=4 runs of the CCA x MTU grid are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def grids(self):
+        kwargs = dict(
+            transfer_bytes=SIZE,
+            mtus=(1500, 9000),
+            ccas=("cubic", "bbr"),
+            repetitions=2,
+            base_seed=3,
+        )
+        return (
+            run_cca_mtu_grid(**kwargs, jobs=1),
+            run_cca_mtu_grid(**kwargs, jobs=4),
+        )
+
+    def test_mean_energy_identical_per_cell(self, grids):
+        serial, parallel = grids
+        for cell in serial.cells:
+            twin = parallel.cell(cell.cca, cell.mtu_bytes)
+            assert cell.mean_energy_j == twin.mean_energy_j
+
+    def test_every_run_identical(self, grids):
+        serial, parallel = grids
+        for cell in serial.cells:
+            twin = parallel.cell(cell.cca, cell.mtu_bytes)
+            assert cell.result.runs == twin.result.runs
+
+
+class TestSweepParallel:
+    def test_sweep_rows_identical_across_backends(self):
+        sweep = Sweep({"mtu": [1500, 9000]})
+
+        def factory(mtu):
+            return tiny_scenario(f"sweep-{mtu}", mtu_bytes=mtu)
+
+        serial = sweep.run(factory, repetitions=2)
+        parallel = sweep.run(factory, repetitions=2, jobs=2)
+        for a, b in zip(serial.rows, parallel.rows):
+            assert a.params == b.params
+            assert a.result.runs == b.result.runs
+
+    def test_sweep_rejects_zero_repetitions(self):
+        with pytest.raises(ExperimentError, match="repetition"):
+            Sweep({"mtu": [1500]}).run(lambda mtu: tiny_scenario(), repetitions=0)
+
+    def test_custom_executor_instance(self):
+        class CountingExecutor(Executor):
+            name = "counting"
+
+            def __init__(self):
+                self.items_seen = 0
+
+            def run_items(self, items):
+                self.items_seen += len(items)
+                return SerialExecutor().run_items(items)
+
+        backend = CountingExecutor()
+        run_repeated(tiny_scenario(), repetitions=2, executor=backend)
+        assert backend.items_seen == 2

@@ -1,5 +1,8 @@
 """Unit tests for scenario descriptions and validation."""
 
+import json
+import warnings
+
 import pytest
 
 from repro.core.allocation import fig1_allocations, full_speed_then_idle
@@ -20,6 +23,49 @@ class TestFlowSpec:
             FlowSpec(0)
 
 
+class TestKeywordOnlyDeprecation:
+    """Fields beyond the first are keyword-only after one release."""
+
+    def test_positional_flowspec_warns(self):
+        with pytest.warns(DeprecationWarning, match="total_bytes"):
+            flow = FlowSpec(1000, "bbr")
+        assert flow.cca == "bbr"  # still honored during the deprecation
+
+    def test_positional_scenario_warns(self):
+        with pytest.warns(DeprecationWarning, match="name"):
+            Scenario("x", [FlowSpec(1000)])
+
+    def test_keyword_construction_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FlowSpec(1000, cca="bbr", after_flow=None)
+            Scenario("x", flows=[FlowSpec(1000)], mtu_bytes=1500)
+
+
+class TestCacheKey:
+    def test_equal_scenarios_serialize_identically(self):
+        a = Scenario("k", flows=[FlowSpec(1000)], mtu_bytes=1500)
+        b = Scenario("k", flows=[FlowSpec(1000)], mtu_bytes=1500)
+        assert a.cache_key() == b.cache_key()
+
+    def test_every_field_is_present(self):
+        key = json.loads(Scenario("k", flows=[FlowSpec(1000)]).cache_key())
+        assert set(key) == set(Scenario.__dataclass_fields__)
+        assert key["flows"][0]["total_bytes"] == 1000
+
+    def test_flow_changes_change_the_key(self):
+        base = Scenario("k", flows=[FlowSpec(1000)])
+        other = Scenario("k", flows=[FlowSpec(1000, cca="bbr")])
+        assert base.cache_key() != other.cache_key()
+
+    def test_key_is_json_canonical(self):
+        key = Scenario("k", flows=[FlowSpec(1000)]).cache_key()
+        parsed = json.loads(key)
+        assert key == json.dumps(
+            parsed, sort_keys=True, separators=(",", ":")
+        )
+
+
 class TestScenarioValidation:
     def test_needs_flows(self):
         with pytest.raises(ExperimentError):
@@ -34,19 +80,19 @@ class TestScenarioValidation:
         with pytest.raises(ExperimentError, match="footnote 2"):
             Scenario(
                 "bad",
-                flows=[FlowSpec(1000, "baseline"), FlowSpec(1000, "cubic")],
+                flows=[FlowSpec(1000, cca="baseline"), FlowSpec(1000, cca="cubic")],
             )
 
     def test_baseline_alone_allowed(self):
-        Scenario("ok", flows=[FlowSpec(1000, "baseline")])
+        Scenario("ok", flows=[FlowSpec(1000, cca="baseline")])
 
     def test_baseline_serialized_allowed(self):
         """Chained flows never share the link, so baseline is fine."""
         Scenario(
             "ok",
             flows=[
-                FlowSpec(1000, "baseline"),
-                FlowSpec(1000, "cubic", after_flow=0),
+                FlowSpec(1000, cca="baseline"),
+                FlowSpec(1000, cca="cubic", after_flow=0),
             ],
         )
 

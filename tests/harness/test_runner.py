@@ -88,6 +88,24 @@ class TestRunOnce:
         assert slow.duration_s > fast.duration_s
 
 
+class TestRunMeasurementEdgeCases:
+    def test_empty_flow_results_raise_experiment_error(self):
+        from repro.errors import ExperimentError
+        from repro.harness.runner import RunMeasurement
+
+        empty = RunMeasurement(
+            scenario="empty",
+            seed=0,
+            energy_j=1.0,
+            duration_s=1.0,
+            flow_results=[],
+            bottleneck_drops=0,
+            ecn_marks=0,
+        )
+        with pytest.raises(ExperimentError, match="no flow results"):
+            empty.completion_time_s
+
+
 class TestRunRepeated:
     def test_aggregates(self):
         result = run_repeated(single_flow(), repetitions=3)

@@ -10,7 +10,7 @@ from repro.harness.sweep import Sweep
 def tiny_factory(mtu, cca):
     return Scenario(
         f"sweep-{cca}-{mtu}",
-        flows=[FlowSpec(1_000_000, cca)],
+        flows=[FlowSpec(1_000_000, cca=cca)],
         mtu_bytes=mtu,
         packages=1,
     )

@@ -1,0 +1,18 @@
+"""Seeded violations for det-process-identity (lint fixture, never run)."""
+
+from __future__ import annotations
+
+import os
+import threading
+from os import getpid  # det-process-identity: worker-identity import
+
+
+def cache_key_from_pid():
+    return f"cell-{os.getpid()}"  # det-process-identity
+
+
+def worker_seed(base: int) -> int:
+    return base + threading.get_ident()  # det-process-identity
+
+
+_ = getpid

@@ -7,6 +7,7 @@ DET = [
     "det-global-rng",
     "det-wall-clock",
     "det-entropy",
+    "det-process-identity",
     "det-set-iteration",
 ]
 
@@ -28,6 +29,36 @@ class TestEntropyRules:
 
     def test_sim_rng_module_is_exempt(self, lint):
         assert lint("determinism/sim/rng.py", select=DET).clean
+
+
+class TestProcessIdentity:
+    """The executor-era rule: pids/thread ids must never feed cache
+    keys or worker seed derivation."""
+
+    def test_bad_fixture_trips_call_and_import_forms(self, lint):
+        result = lint(
+            "determinism/bad_process_identity.py",
+            select=["det-process-identity"],
+        )
+        # os.getpid() call + threading.get_ident() call + from-import
+        assert _by_rule(result)["det-process-identity"] == 3
+
+    def test_clean_fixture_untouched(self, lint):
+        assert lint(
+            "determinism/clean_entropy.py", select=["det-process-identity"]
+        ).clean
+
+    def test_harness_sources_are_clean(self, lint):
+        """The executor/cache layer itself must honor the rule."""
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        from repro.lint import run_lint
+
+        result = run_lint(
+            [str(repo_src / "harness")], select=["det-process-identity"]
+        )
+        assert result.clean
 
 
 class TestSetIteration:

@@ -19,7 +19,7 @@ from repro.sim.engine import Simulator
 
 class TestDeterminism:
     def test_identical_seeds_identical_runs(self):
-        scenario = Scenario("det", flows=[FlowSpec(3_000_000, "cubic")])
+        scenario = Scenario("det", flows=[FlowSpec(3_000_000, cca="cubic")])
         a = run_once(scenario, seed=42)
         b = run_once(scenario, seed=42)
         assert a.energy_j == b.energy_j

@@ -27,7 +27,7 @@ class TestRandomScenarios:
     def test_single_flow_always_completes(self, size_kb, cca, mtu):
         scenario = Scenario(
             "prop-single",
-            flows=[FlowSpec(size_kb * 1000, cca)],
+            flows=[FlowSpec(size_kb * 1000, cca=cca)],
             mtu_bytes=mtu,
             packages=1,
             time_limit_s=120.0,
@@ -48,7 +48,7 @@ class TestRandomScenarios:
     def test_concurrent_flows_all_complete(self, n_flows, cca, seed):
         scenario = Scenario(
             "prop-multi",
-            flows=[FlowSpec(1_500_000, cca) for _ in range(n_flows)],
+            flows=[FlowSpec(1_500_000, cca=cca) for _ in range(n_flows)],
             time_limit_s=120.0,
         )
         m = run_once(scenario, seed=seed)
@@ -76,8 +76,8 @@ class TestRandomScenarios:
             Scenario(
                 "prop-fair",
                 flows=[
-                    FlowSpec(size, "cubic", target_rate_bps=gbps(5.0)),
-                    FlowSpec(size, "cubic", target_rate_bps=gbps(5.0)),
+                    FlowSpec(size, cca="cubic", target_rate_bps=gbps(5.0)),
+                    FlowSpec(size, cca="cubic", target_rate_bps=gbps(5.0)),
                 ],
             ),
             seed=seed,
