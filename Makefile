@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint ruff mypy bench
+.PHONY: check test lint ruff mypy bench obs-bench
 
 check: test lint ruff mypy
 
@@ -33,3 +33,7 @@ mypy:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the observability zero-overhead gate (also a CI step)
+obs-bench:
+	$(PYTHON) -m pytest -q benchmarks/test_obs_overhead.py

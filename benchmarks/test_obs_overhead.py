@@ -1,0 +1,88 @@
+"""Observability overhead gates: tracing off must cost ~nothing.
+
+The tentpole promise of ``repro.obs`` is zero-overhead-by-default:
+every hook in the runner and executor goes through the shared no-op
+observer, so a pipeline that never asked for ``--trace`` must run at
+the same speed as one built before the observability layer existed.
+
+Gate: the no-op observer path stays within 2 % of a baseline that
+calls :func:`run_once` with an explicit ``observer=None`` (the exact
+code path untraced production runs take). Min-of-N timing on each side
+makes the comparison robust to scheduler noise; both sides run the
+same simulations in the same process.
+
+A second (informational, generously bounded) check keeps *enabled*
+tracing cheap relative to the simulation it observes.
+"""
+
+import time
+
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.runner import run_once
+from repro.obs.observer import NULL_OBSERVER, TracingObserver
+
+SIZE = 2_000_000
+ROUNDS = 5
+REPS_PER_ROUND = 4
+
+
+def _scenario(name="bench-obs"):
+    return Scenario(name=name, flows=[FlowSpec(SIZE)], packages=1)
+
+
+def _min_wall_s(fn):
+    """Best-of-ROUNDS wall time of ``fn`` (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_noop_observer_overhead_under_2_percent():
+    scenario = _scenario()
+
+    def baseline():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed, observer=None)
+
+    def with_noop():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed, observer=NULL_OBSERVER)
+
+    # Warm both paths (imports, allocator, branch caches) before timing.
+    baseline()
+    with_noop()
+
+    base_s = _min_wall_s(baseline)
+    noop_s = _min_wall_s(with_noop)
+    overhead = (noop_s - base_s) / base_s
+    assert overhead < 0.02, (
+        f"no-op observer costs {100 * overhead:.2f}% "
+        f"(baseline {base_s:.4f}s, no-op {noop_s:.4f}s)"
+    )
+
+
+def test_enabled_tracing_stays_proportionate(tmp_path):
+    scenario = _scenario()
+
+    def untraced():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed)
+
+    untraced()
+    base_s = _min_wall_s(untraced)
+
+    def traced():
+        with TracingObserver(tmp_path / "trace") as obs:
+            for seed in range(REPS_PER_ROUND):
+                run_once(scenario, seed=seed, observer=obs)
+
+    traced()
+    traced_s = _min_wall_s(traced)
+    # Journaling writes files, so it is not free — but it must stay a
+    # small fraction of the simulation it describes.
+    assert traced_s < 1.5 * base_s, (
+        f"enabled tracing too expensive: {traced_s:.4f}s vs {base_s:.4f}s"
+    )

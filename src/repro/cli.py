@@ -43,29 +43,53 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
         help="content-addressed result cache directory; reruns with "
         "unchanged parameters replay stored measurements",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write a run journal (journal.jsonl) and metrics exports "
+        "into DIR; inspect with 'greenenvy obs report DIR'. Tracing "
+        "never changes results",
+    )
+
+
+def _observer(args: argparse.Namespace):
+    """Build the figure commands' observer from ``--trace`` (or no-op)."""
+    from repro.obs.observer import resolve_observer
+
+    return resolve_observer(getattr(args, "trace", None))
+
+
+def _trace_note(args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None):
+        print(f"\ntrace written to {args.trace} "
+              f"(greenenvy obs report {args.trace})")
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from repro.figures.fig1 import run_fig1
 
-    result = run_fig1(
-        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed,
-        jobs=args.jobs, cache_dir=args.cache_dir,
-    )
+    with _observer(args) as obs:
+        result = run_fig1(
+            transfer_bytes=args.bytes, repetitions=args.reps,
+            base_seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir,
+            observer=obs,
+        )
     print(result.format_table())
     print(f"\nmax savings vs fair: {result.max_savings_percent:.1f}% "
           f"(paper: ~16%)")
+    _trace_note(args)
     return 0
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from repro.figures.fig2 import run_fig2
 
-    result = run_fig2(
-        repetitions=args.reps, base_seed=args.seed,
-        jobs=args.jobs, cache_dir=args.cache_dir,
-    )
+    with _observer(args) as obs:
+        result = run_fig2(
+            repetitions=args.reps, base_seed=args.seed,
+            jobs=args.jobs, cache_dir=args.cache_dir, observer=obs,
+        )
     print(result.format_table())
+    _trace_note(args)
     return 0
 
 
@@ -88,16 +112,18 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.figures.fig4 import run_fig4
 
-    result = run_fig4(
-        repetitions=args.reps, base_seed=args.seed,
-        jobs=args.jobs, cache_dir=args.cache_dir,
-    )
+    with _observer(args) as obs:
+        result = run_fig4(
+            repetitions=args.reps, base_seed=args.seed,
+            jobs=args.jobs, cache_dir=args.cache_dir, observer=obs,
+        )
     print(result.format_table())
     for load in result.loads():
         print(
             f"full-speed-then-idle savings at load {100 * load:.0f}%: "
             f"{result.savings_fsti_vs_fair_percent(load):.2f}%"
         )
+    _trace_note(args)
     return 0
 
 
@@ -108,10 +134,12 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.figures.fig8 import fig8_from_grid
     from repro.figures.grid import run_cca_mtu_grid
 
-    grid = run_cca_mtu_grid(
-        transfer_bytes=args.bytes, repetitions=args.reps, base_seed=args.seed,
-        jobs=args.jobs, cache_dir=args.cache_dir,
-    )
+    with _observer(args) as obs:
+        grid = run_cca_mtu_grid(
+            transfer_bytes=args.bytes, repetitions=args.reps,
+            base_seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir,
+            observer=obs,
+        )
     if getattr(args, "json", None):
         from repro.analysis.export import save_json
 
@@ -132,7 +160,34 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     print(f"\ncorr(energy, fct): {fig7.energy_fct_correlation():.2f}")
     print(f"corr(energy, retx) excl bbr2: {fig8.correlation():.2f} "
           f"(paper: 0.47)")
+    _trace_note(args)
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.journal import read_journal
+    from repro.obs.report import (
+        format_report,
+        summarize_journal,
+        summary_to_dict,
+    )
+
+    try:
+        events = read_journal(args.journal)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_journal(events, slowest=args.slowest)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(summary_to_dict(summary), indent=2, sort_keys=True))
+    else:
+        print(format_report(summary))
+    # A journal with worker errors fails the command, so CI can gate on
+    # sweep health: greenenvy obs report trace/ && deploy ...
+    return 0 if summary.healthy else 1
 
 
 def _cmd_theorem(args: argparse.Namespace) -> int:
@@ -402,6 +457,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p, default_bytes=20_000_000)
     p.set_defaults(func=_cmd_mechanisms)
+
+    p = sub.add_parser(
+        "obs", help="inspect run journals written by --trace"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report", help="summarize a sweep's journal (exit 1 on worker errors)"
+    )
+    p.add_argument(
+        "journal",
+        help="trace directory (containing journal.jsonl) or a .jsonl file",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest runs to list",
+    )
+    p.set_defaults(func=_cmd_obs_report)
 
     return parser
 

@@ -34,3 +34,7 @@ class ExperimentError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was configured or fed inconsistently."""

@@ -25,6 +25,7 @@ from repro.harness.executor import Executor
 from repro.harness.experiment import Scenario, scenario_from_plan
 from repro.harness.runner import RepeatedResult
 from repro.harness.sweep import Sweep
+from repro.obs.observer import Observer
 from repro.units import gbps
 
 #: paper: 10 Gbit per flow; default scale 1/100
@@ -107,12 +108,14 @@ def run_fig1(
     executor: Union[None, str, Executor] = None,
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
+    observer: Union[None, str, Path, Observer] = None,
 ) -> Fig1Result:
     """Reproduce the Fig. 1 sweep.
 
     One :class:`~repro.harness.sweep.Sweep` over the allocation plans;
     ``jobs``/``cache_dir`` parallelize and cache the underlying
-    simulations without changing any result.
+    simulations without changing any result, and ``observer`` (or a
+    trace directory) journals the sweep — see :mod:`repro.obs`.
     """
     plans = list(fig1_allocations(transfer_bytes, capacity_bps, fractions))
 
@@ -126,6 +129,7 @@ def run_fig1(
         executor=executor,
         jobs=jobs,
         cache=cache_dir,
+        observer=observer,
     )
     points = [
         Fig1Point(

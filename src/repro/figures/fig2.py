@@ -155,6 +155,7 @@ def _measure_series(
     executor=None,
     jobs=None,
     cache=None,
+    observer=None,
 ) -> List[Fig2Point]:
     """Measure one series, fanning all (target, repetition) simulations
     through the executor layer at once. Idle (zero-throughput) points
@@ -171,7 +172,7 @@ def _measure_series(
         for rep in range(repetitions)
     ]
     measurements = run_work_items(
-        items, executor=executor, jobs=jobs, cache=cache
+        items, executor=executor, jobs=jobs, cache=cache, observer=observer
     )
     by_target = {
         target: measurements[i * repetitions : (i + 1) * repetitions]
@@ -206,16 +207,21 @@ def run_fig2(
     executor=None,
     jobs=None,
     cache_dir=None,
+    observer=None,
 ) -> Fig2Result:
     """Reproduce both Figure 2 series."""
+    from repro.obs.observer import resolve_observer
+
+    # Resolve once so both series share one journal/registry.
+    obs = resolve_observer(observer)
     smooth = _measure_series(
         throughputs_gbps, window_s, burst=False, cca=cca,
         repetitions=repetitions, base_seed=base_seed,
-        executor=executor, jobs=jobs, cache=cache_dir,
+        executor=executor, jobs=jobs, cache=cache_dir, observer=obs,
     )
     burst = _measure_series(
         throughputs_gbps, window_s, burst=True, cca=cca,
         repetitions=repetitions, base_seed=base_seed + 1000,
-        executor=executor, jobs=jobs, cache=cache_dir,
+        executor=executor, jobs=jobs, cache=cache_dir, observer=obs,
     )
     return Fig2Result(smooth=smooth, full_speed_then_idle=burst)

@@ -29,6 +29,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.executor import Executor
 from repro.harness.experiment import Scenario
 from repro.harness.sweep import Sweep
+from repro.obs.observer import Observer
 
 DEFAULT_LOADS = (0.0, 0.25, 0.50, 0.75)
 DEFAULT_THROUGHPUTS_GBPS = (0.0, 2.0, 4.0, 5.0, 6.0, 8.0, 10.0)
@@ -88,6 +89,7 @@ def run_fig4(
     executor: Union[None, str, Executor] = None,
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
+    observer: Union[None, str, Path, Observer] = None,
 ) -> Fig4Result:
     """Measure the smooth-power curve at each background load."""
     positive = [t for t in throughputs_gbps if t > 0]
@@ -102,6 +104,7 @@ def run_fig4(
         executor=executor,
         jobs=jobs,
         cache=cache_dir,
+        observer=observer,
     )
     curves: Dict[float, List[Fig2Point]] = {}
     for load in loads:

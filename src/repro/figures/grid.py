@@ -21,6 +21,7 @@ from repro.harness.executor import Executor
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import RepeatedResult
 from repro.harness.sweep import Sweep
+from repro.obs.observer import Observer
 
 #: 50 GB scaled by 1/1000
 DEFAULT_TRANSFER_BYTES = 50_000_000
@@ -106,6 +107,7 @@ def run_cca_mtu_grid(
     executor: Union[None, str, Executor] = None,
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
+    observer: Union[None, str, Path, Observer] = None,
 ) -> CcaMtuGrid:
     """Run the full CCA x MTU grid (the §4.3-§4.5 experiment).
 
@@ -132,6 +134,7 @@ def run_cca_mtu_grid(
         executor=executor,
         jobs=jobs,
         cache=cache_dir,
+        observer=observer,
     )
     cells = [
         GridCell(cca=row["cca"], mtu_bytes=row["mtu"], result=row.result)

@@ -19,7 +19,16 @@ assert.
 
 :func:`run_work_items` is the single entry point the harness and all
 figure pipelines share; it also consults the optional result cache
-(:mod:`repro.harness.cache`) so only missing items reach the backend.
+(:mod:`repro.harness.cache`) so only missing items reach the backend,
+and threads an optional :class:`~repro.obs.observer.Observer` through
+for tracing. With tracing on, each worker process appends journal
+events to its own file (merged by the coordinator afterwards), so
+observability never perturbs result ordering or content.
+
+Failures keep their context: a worker exception is re-raised as
+:class:`~repro.errors.ExperimentError` carrying the scenario name, the
+seed, and the worker pid — and, when tracing, a ``worker_error``
+journal event survives the crash.
 """
 
 from __future__ import annotations
@@ -28,12 +37,19 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
-from repro.harness.cache import ResultCache, ensure_cache
+from repro.harness.cache import ResultCache, compute_key, ensure_cache
 from repro.harness.experiment import Scenario
 from repro.harness.runner import RunMeasurement, run_once
+from repro.obs.journal import perf_clock, worker_id
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    JournalObserver,
+    Observer,
+    resolve_observer,
+)
 
 
 @dataclass(frozen=True)
@@ -44,9 +60,92 @@ class WorkItem:
     seed: int
 
 
+def _worker_error(item: WorkItem, exc: Exception) -> ExperimentError:
+    """Wrap a worker failure with the context the coordinator loses."""
+    return ExperimentError(
+        f"work item failed (scenario={item.scenario.name!r}, "
+        f"seed={item.seed}, worker pid={worker_id()}): "
+        f"{type(exc).__name__}: {exc}"
+    )
+
+
 def execute_item(item: WorkItem) -> RunMeasurement:
     """Run one work item (module-level so process pools can pickle it)."""
-    return run_once(item.scenario, seed=item.seed)
+    try:
+        return run_once(item.scenario, seed=item.seed)
+    except Exception as exc:
+        raise _worker_error(item, exc) from exc
+
+
+def run_item_observed(
+    item: WorkItem, index: int, observer: Observer
+) -> RunMeasurement:
+    """Run one item, journaling its lifecycle around :func:`run_once`.
+
+    ``run_started`` / ``run_finished`` events carry the submission
+    index, scenario name, seed and content-address; ``run_finished``
+    additionally records the measurement's deterministic summary
+    (energy, simulated duration, :meth:`RunMeasurement.counters`) plus
+    the diagnostic wall time. On failure a ``worker_error`` event is
+    journaled before the wrapped :class:`ExperimentError` is raised.
+    """
+    if not observer.enabled:
+        return execute_item(item)
+    common = dict(item=index, scenario=item.scenario.name, seed=item.seed)
+    cache_key = compute_key(item.scenario, item.seed)
+    observer.emit("run_started", cache_key=cache_key, **common)
+    started = perf_clock()
+    try:
+        measurement = run_once(item.scenario, seed=item.seed, observer=observer)
+    except Exception as exc:
+        observer.emit(
+            "worker_error",
+            error=str(exc),
+            error_type=type(exc).__name__,
+            **common,
+        )
+        raise _worker_error(item, exc) from exc
+    observer.emit(
+        "run_finished",
+        cache_key=cache_key,
+        energy_j=measurement.energy_j,
+        sim_time_s=measurement.duration_s,
+        counters=measurement.counters(),
+        wall_s=perf_clock() - started,
+        **common,
+    )
+    return measurement
+
+
+@dataclass(frozen=True)
+class _TracedItem:
+    """A work item shipped to a pool worker together with trace context."""
+
+    item: WorkItem
+    index: int
+    trace_dir: str
+
+
+#: per-process journal observers, keyed by trace directory — a pool
+#: worker opens its ``worker-<pid>.jsonl`` once and appends across items
+_WORKER_OBSERVERS: Dict[str, JournalObserver] = {}
+
+
+def _worker_observer(trace_dir: str) -> JournalObserver:
+    observer = _WORKER_OBSERVERS.get(trace_dir)
+    if observer is None:
+        wid = worker_id()
+        observer = JournalObserver(
+            Path(trace_dir) / f"worker-{wid}.jsonl", worker=wid
+        )
+        _WORKER_OBSERVERS[trace_dir] = observer
+    return observer
+
+
+def execute_item_traced(traced: _TracedItem) -> RunMeasurement:
+    """Pool entry point when tracing: journal to this worker's file."""
+    observer = _worker_observer(traced.trace_dir)
+    return run_item_observed(traced.item, traced.index, observer)
 
 
 class Executor:
@@ -54,8 +153,25 @@ class Executor:
 
     name: str = "base"
 
-    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
+    def run_items(
+        self,
+        items: Sequence[WorkItem],
+        observer: Optional[Observer] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[RunMeasurement]:
         raise NotImplementedError
+
+
+def _resolve_indices(
+    items: Sequence[WorkItem], indices: Optional[Sequence[int]]
+) -> List[int]:
+    if indices is None:
+        return list(range(len(items)))
+    if len(indices) != len(items):
+        raise ExperimentError(
+            f"{len(indices)} indices for {len(items)} work items"
+        )
+    return list(indices)
 
 
 class SerialExecutor(Executor):
@@ -63,8 +179,17 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
-        return [execute_item(item) for item in items]
+    def run_items(
+        self,
+        items: Sequence[WorkItem],
+        observer: Optional[Observer] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[RunMeasurement]:
+        obs = NULL_OBSERVER if observer is None else observer
+        return [
+            run_item_observed(item, index, obs)
+            for index, item in zip(_resolve_indices(items, indices), items)
+        ]
 
 
 class ProcessExecutor(Executor):
@@ -72,7 +197,9 @@ class ProcessExecutor(Executor):
 
     Results are collected in submission order (``pool.map``), and each
     item's seed travels with it, so the outcome never depends on which
-    worker ran what or in which order items finished.
+    worker ran what or in which order items finished. With tracing on,
+    workers journal to per-pid files under the observer's trace
+    directory; the coordinator merges them after the batch.
     """
 
     name = "process"
@@ -84,11 +211,27 @@ class ProcessExecutor(Executor):
             raise ExperimentError(f"need >= 1 worker process, got {jobs}")
         self.jobs = jobs
 
-    def run_items(self, items: Sequence[WorkItem]) -> List[RunMeasurement]:
+    def run_items(
+        self,
+        items: Sequence[WorkItem],
+        observer: Optional[Observer] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[RunMeasurement]:
         items = list(items)
+        obs = NULL_OBSERVER if observer is None else observer
+        index_list = _resolve_indices(items, indices)
         if self.jobs == 1 or len(items) <= 1:
-            return SerialExecutor().run_items(items)
+            return SerialExecutor().run_items(
+                items, observer=obs, indices=index_list
+            )
         workers = min(self.jobs, len(items))
+        if obs.enabled and obs.trace_dir is not None:
+            payload = [
+                _TracedItem(item=item, index=index, trace_dir=str(obs.trace_dir))
+                for index, item in zip(index_list, items)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_item_traced, payload))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(execute_item, items))
 
@@ -126,29 +269,78 @@ def run_work_items(
     executor: Union[None, str, Executor] = None,
     jobs: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    observer: Union[None, str, Path, Observer] = None,
 ) -> List[RunMeasurement]:
     """Execute a batch of work items, cache-aware and order-preserving.
 
     With a cache, stored measurements are returned directly and only
     the misses are dispatched to the backend (then stored). The result
     list always lines up index-for-index with ``items``.
+
+    ``observer`` (an :class:`~repro.obs.observer.Observer` or a trace
+    directory) journals the batch: ``batch_started``, per-item
+    ``cache_hit``/``cache_miss``, the workers' run events, and
+    ``batch_finished``, plus spans around cache I/O. Tracing is purely
+    observational — results are bit-identical with it on or off — and
+    worker journals are merged even when the batch fails, so crashed
+    sweeps keep their evidence.
     """
     items = list(items)
     backend = resolve_executor(executor, jobs)
     store = ensure_cache(cache)
-    if store is None:
+    obs = resolve_observer(observer)
+    if not obs.enabled and store is None:
+        # The zero-overhead path: no cache bookkeeping, no events.
         return backend.run_items(items)
 
+    if obs.enabled:
+        obs.emit(
+            "batch_started",
+            items=len(items),
+            backend=backend.name,
+            cache=store is not None,
+        )
     results: List[Optional[RunMeasurement]] = [None] * len(items)
     missing: List[int] = []
-    for i, item in enumerate(items):
-        hit = store.get(item.scenario, item.seed)
-        if hit is not None:
-            results[i] = hit
-        else:
-            missing.append(i)
-    fresh = backend.run_items([items[i] for i in missing])
-    for i, measurement in zip(missing, fresh):
-        store.put(items[i].scenario, items[i].seed, measurement)
-        results[i] = measurement
+    if store is None:
+        missing = list(range(len(items)))
+    else:
+        with obs.span("cache_lookup", items=len(items)):
+            for i, item in enumerate(items):
+                hit = store.get(item.scenario, item.seed)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    missing.append(i)
+                if obs.enabled:
+                    obs.emit(
+                        "cache_hit" if hit is not None else "cache_miss",
+                        item=i,
+                        scenario=item.scenario.name,
+                        seed=item.seed,
+                        cache_key=store.key(item.scenario, item.seed),
+                    )
+    try:
+        fresh = backend.run_items(
+            [items[i] for i in missing], observer=obs, indices=missing
+        )
+    finally:
+        # Merge per-worker journals even on failure: the events leading
+        # up to a crash are exactly the ones worth keeping.
+        obs.collect_workers()
+    if store is not None:
+        with obs.span("cache_store", items=len(missing)):
+            for i, measurement in zip(missing, fresh):
+                store.put(items[i].scenario, items[i].seed, measurement)
+                results[i] = measurement
+    else:
+        for i, measurement in zip(missing, fresh):
+            results[i] = measurement
+    if obs.enabled:
+        obs.emit(
+            "batch_finished",
+            items=len(items),
+            executed=len(missing),
+            cache_hits=len(items) - len(missing),
+        )
     return [r for r in results if r is not None]

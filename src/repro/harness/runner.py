@@ -18,6 +18,7 @@ from repro.energy.meter import EnergyMeter
 from repro.errors import ExperimentError
 from repro.harness.experiment import Scenario
 from repro.net.topology import Testbed, TestbedConfig, build_testbed
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TimeSeries
@@ -58,6 +59,23 @@ class RunMeasurement:
                 f"time from"
             )
         return max(r.end_time for r in self.flow_results)
+
+    def counters(self) -> Dict[str, float]:
+        """The run's event counts as one named-counter export.
+
+        This is the single place measurement counters are enumerated —
+        the journal's ``run_finished`` events and any future exporter
+        read this instead of picking ad-hoc fields off the dataclass,
+        so adding a counter extends every consumer at once. Values are
+        a pure function of (scenario, seed) and must survive the
+        :mod:`repro.harness.cache` JSON round trip losslessly.
+        """
+        return {
+            "bottleneck_drops": float(self.bottleneck_drops),
+            "ecn_marks": float(self.ecn_marks),
+            "retransmissions": float(self.total_retransmissions),
+            "flows": float(len(self.flow_results)),
+        }
 
 
 @dataclass
@@ -108,10 +126,10 @@ def _build_testbed(scenario: Scenario, sim: Simulator) -> Testbed:
     return build_testbed(sim, TestbedConfig(**kwargs))
 
 
-def run_once(scenario: Scenario, seed: int = 0) -> RunMeasurement:
-    """Execute one scenario on a fresh testbed and measure it."""
-    sim = Simulator()
-    rngs = RngRegistry(seed)
+def _prepare_run(
+    scenario: Scenario, sim: Simulator, rngs: RngRegistry
+) -> "_PreparedRun":
+    """Build the testbed, sessions, probes and meter for one run."""
     testbed = _build_testbed(scenario, sim)
 
     n_packages = scenario.packages or max(2, len(scenario.flows))
@@ -189,36 +207,84 @@ def run_once(scenario: Scenario, seed: int = 0) -> RunMeasurement:
             probes[session.flow_id] = probe
 
     meter = EnergyMeter(sim, cpu_models)
+    return _PreparedRun(
+        testbed=testbed, sessions=sessions, probes=probes, meter=meter
+    )
+
+
+@dataclass
+class _PreparedRun:
+    """Everything :func:`run_once` needs after the build phase."""
+
+    testbed: Testbed
+    sessions: List[IperfSession]
+    probes: Dict[int, ThroughputProbe]
+    meter: EnergyMeter
+
+
+def run_once(
+    scenario: Scenario,
+    seed: int = 0,
+    observer: Optional[Observer] = None,
+) -> RunMeasurement:
+    """Execute one scenario on a fresh testbed and measure it.
+
+    ``observer`` hooks the run's phases for profiling — spans for
+    testbed build, the sim loop (with the executed-event count), and
+    measurement teardown. The default is the shared no-op observer,
+    and no observer can affect the measurement: it only ever receives
+    copies of names and numbers (see :mod:`repro.obs`).
+    """
+    obs = NULL_OBSERVER if observer is None else observer
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    with obs.span("testbed_build", scenario=scenario.name, seed=seed):
+        prepared = _prepare_run(scenario, sim, rngs)
+    sessions = prepared.sessions
+    meter = prepared.meter
     meter.start()
 
-    while not all(s.complete for s in sessions):
-        if sim.now > scenario.time_limit_s:
-            stuck = [s.flow_id for s in sessions if not s.complete]
-            raise ExperimentError(
-                f"{scenario.name}: flows {stuck} incomplete after "
-                f"{scenario.time_limit_s}s virtual"
-            )
-        if not sim.step():
-            raise ExperimentError(
-                f"{scenario.name}: event queue drained before completion"
-            )
+    loop_span = obs.span("sim_loop", scenario=scenario.name, seed=seed)
+    with loop_span:
+        while not all(s.complete for s in sessions):
+            if sim.now > scenario.time_limit_s:
+                stuck = [s.flow_id for s in sessions if not s.complete]
+                raise ExperimentError(
+                    f"{scenario.name}: flows {stuck} incomplete after "
+                    f"{scenario.time_limit_s}s virtual"
+                )
+            if not sim.step():
+                raise ExperimentError(
+                    f"{scenario.name}: event queue drained before completion"
+                )
+        loop_span.add(events_executed=sim.events_executed)
+    if loop_span.wall_s > 0:
+        # The events/sec gauge the ROADMAP's "fast as the hardware
+        # allows" goal is tracked by: virtual events over loop wall time.
+        obs.set_gauge(
+            "sim_events_per_second", sim.events_executed / loop_span.wall_s
+        )
 
-    energy = meter.stop()
-    for probe in probes.values():
-        probe.stop()
+    with obs.span("measurement", scenario=scenario.name, seed=seed):
+        energy = meter.stop()
+        for probe in prepared.probes.values():
+            probe.stop()
 
-    bottleneck_q = testbed.bottleneck.queue
-    return RunMeasurement(
-        scenario=scenario.name,
-        seed=seed,
-        energy_j=energy,
-        duration_s=meter.duration_s,
-        flow_results=[s.result() for s in sessions],
-        bottleneck_drops=int(bottleneck_q.counters.get("drops")),
-        ecn_marks=int(bottleneck_q.counters.get("ecn_marks")),
-        power_series=meter.power_series(),
-        throughput_series={fid: p.series for fid, p in probes.items()},
-    )
+        bottleneck_q = prepared.testbed.bottleneck.queue
+        measurement = RunMeasurement(
+            scenario=scenario.name,
+            seed=seed,
+            energy_j=energy,
+            duration_s=meter.duration_s,
+            flow_results=[s.result() for s in sessions],
+            bottleneck_drops=int(bottleneck_q.counters.get("drops")),
+            ecn_marks=int(bottleneck_q.counters.get("ecn_marks")),
+            power_series=meter.power_series(),
+            throughput_series={
+                fid: p.series for fid, p in prepared.probes.items()
+            },
+        )
+    return measurement
 
 
 def run_repeated(
@@ -229,6 +295,7 @@ def run_repeated(
     executor=None,
     jobs: Optional[int] = None,
     cache=None,
+    observer: Optional[Observer] = None,
 ) -> RepeatedResult:
     """Run a scenario N times with varied seeds (the paper uses N=10).
 
@@ -238,6 +305,8 @@ def run_repeated(
     :class:`~repro.harness.cache.ResultCache`) replays stored results.
     Each repetition's seed is ``base_seed + rep``, derived here — never
     inside a worker — so results are identical for every backend.
+    ``observer`` traces the batch (see :mod:`repro.obs`) without
+    affecting any result.
     """
     if repetitions < 1:
         raise ExperimentError(f"need >= 1 repetition, got {repetitions}")
@@ -248,5 +317,7 @@ def run_repeated(
         WorkItem(scenario=scenario, seed=base_seed + rep)
         for rep in range(repetitions)
     ]
-    runs = run_work_items(items, executor=executor, jobs=jobs, cache=cache)
+    runs = run_work_items(
+        items, executor=executor, jobs=jobs, cache=cache, observer=observer
+    )
     return RepeatedResult(scenario=scenario.name, runs=runs)

@@ -35,6 +35,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.executor import Executor, WorkItem, run_work_items
 from repro.harness.experiment import Scenario
 from repro.harness.runner import RepeatedResult
+from repro.obs.observer import Observer, resolve_observer
 
 ScenarioFactory = Callable[..., Scenario]
 
@@ -133,6 +134,7 @@ class Sweep:
         executor: Union[None, str, Executor] = None,
         jobs: Optional[int] = None,
         cache: Union[None, str, Path, ResultCache] = None,
+        observer: Union[None, str, Path, Observer] = None,
     ) -> SweepResults:
         """Run every grid point's scenario ``repetitions`` times.
 
@@ -141,7 +143,9 @@ class Sweep:
         the whole grid, not just one cell. Seeds are per-repetition
         (``base_seed + rep``, the same for every grid point), fixed
         before dispatch — results do not depend on the backend or on
-        worker scheduling.
+        worker scheduling. ``observer`` (an
+        :class:`~repro.obs.observer.Observer` or a trace directory)
+        journals the sweep without affecting any result.
         """
         if repetitions < 1:
             raise ExperimentError(
@@ -154,9 +158,20 @@ class Sweep:
             for scenario in scenarios
             for rep in range(repetitions)
         ]
+        obs = resolve_observer(observer)
+        if obs.enabled:
+            obs.emit(
+                "sweep_started",
+                axes={name: len(vals) for name, vals in self.axes.items()},
+                grid_points=len(points),
+                repetitions=repetitions,
+                items=len(items),
+            )
         measurements = run_work_items(
-            items, executor=executor, jobs=jobs, cache=cache
+            items, executor=executor, jobs=jobs, cache=cache, observer=obs
         )
+        if obs.enabled:
+            obs.emit("sweep_finished", items=len(measurements))
         results = SweepResults()
         for i, (point, scenario) in enumerate(zip(points, scenarios)):
             runs = measurements[i * repetitions : (i + 1) * repetitions]

@@ -20,7 +20,12 @@ wall clocks or kernel entropy. These rules ban the escape hatches:
   results depend on which worker ran what, and
 * iteration over unordered ``set`` values in the simulator packages
   (``sim/``, ``net/``, ``cc/``, ``tcp/``), where hash-order dependence
-  silently reorders event processing between interpreter runs.
+  silently reorders event processing between interpreter runs, and
+* imports of the observability layer (``repro.obs``) from those same
+  simulator packages: observers are write-only diagnostics, and a
+  simulator that *reads* tracing state (is tracing on? what did the
+  journal say?) gains a hidden input that differs between traced and
+  untraced runs.
 """
 
 from __future__ import annotations
@@ -305,6 +310,51 @@ class SetIteration(Rule):
                     )
 
 
+class ObsFeedback(Rule):
+    """Imports of ``repro.obs`` inside the simulator packages.
+
+    The observability layer is strictly one-way: the harness *writes*
+    events and metrics about the simulation, and nothing in the
+    simulation ever reads them back. An ``import repro.obs`` inside
+    ``sim/``, ``net/``, ``cc/`` or ``tcp/`` is the first step of a
+    feedback loop — behaviour that depends on whether tracing is on, a
+    direction the jobs=1 == jobs=N and traced == untraced guarantees
+    cannot survive.
+    """
+
+    name = "obs-no-feedback"
+    family = "determinism"
+    description = (
+        "simulator package importing repro.obs; observability is "
+        "write-only — sim/net/cc/tcp must not read tracing state"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if not any(module.in_directory(d) for d in SIM_DIRECTORIES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                hit = any(
+                    alias.name == "repro.obs"
+                    or alias.name.startswith("repro.obs.")
+                    for alias in node.names
+                )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                hit = mod == "repro.obs" or mod.startswith("repro.obs.")
+            else:
+                continue
+            if hit:
+                yield self.finding(
+                    module,
+                    node,
+                    "simulator code importing `repro.obs`; observers only "
+                    "ever receive copies of simulation state — keep the "
+                    "dependency pointing from the harness to obs, never "
+                    "from the simulation",
+                )
+
+
 DETERMINISM_RULES = [
     ImportRandom(),
     GlobalRng(),
@@ -312,4 +362,5 @@ DETERMINISM_RULES = [
     OsEntropy(),
     ProcessIdentity(),
     SetIteration(),
+    ObsFeedback(),
 ]

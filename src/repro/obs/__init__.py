@@ -1,0 +1,78 @@
+"""``repro.obs`` — structured tracing, metrics, and profiling.
+
+The paper's claims rest on instrumented measurement (RAPL counters,
+iperf3 retr columns, per-interval power samples); this package applies
+the same discipline to the reproduction's own pipeline. Three layers:
+
+* :mod:`repro.obs.metrics` — an in-process :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) with Prometheus-text and
+  JSON exporters.
+* :mod:`repro.obs.journal` — a structured JSONL event stream per sweep
+  (``run_started``, ``cache_hit``, ``run_finished``, ``worker_error``,
+  ``span``, ...), safe to write from process-pool workers: each worker
+  appends to its own file and the coordinator merges them afterwards.
+* :mod:`repro.obs.observer` — the :class:`Observer` protocol the
+  harness threads through every layer. The base class is a no-op (the
+  zero-overhead default); :class:`TracingObserver` journals events,
+  keeps metrics, and exports both into a trace directory.
+
+One invariant is non-negotiable and machine-enforced (the
+``obs-no-feedback`` simlint rule): observability state never flows
+*into* simulation results. ``repro.sim``/``repro.net``/``repro.cc``/
+``repro.tcp`` must not import this package; instrumentation lives in
+the harness, which observes the simulator from outside.
+"""
+
+from __future__ import annotations
+
+from repro.obs.journal import (
+    JournalWriter,
+    merge_worker_journals,
+    read_journal,
+    wall_clock,
+    worker_id,
+)
+from repro.obs.metrics import (
+    DEFAULT_SPAN_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    JournalObserver,
+    Observer,
+    Span,
+    TracingObserver,
+    resolve_observer,
+)
+from repro.obs.report import (
+    JournalSummary,
+    format_report,
+    summarize_journal,
+    summary_to_dict,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SPAN_BUCKETS_S",
+    "JournalWriter",
+    "read_journal",
+    "merge_worker_journals",
+    "wall_clock",
+    "worker_id",
+    "Observer",
+    "JournalObserver",
+    "TracingObserver",
+    "Span",
+    "NULL_OBSERVER",
+    "resolve_observer",
+    "JournalSummary",
+    "summarize_journal",
+    "summary_to_dict",
+    "format_report",
+]

@@ -1,0 +1,200 @@
+"""Structured JSONL run journal: one event stream per sweep.
+
+Every event is one JSON object per line with at least::
+
+    {"event": "run_started", "t_wall": 1723.201, "worker": 4021, ...}
+
+``t_wall`` is a wall-clock timestamp and ``worker`` the emitting
+process id — *diagnostic* fields only, excluded from any determinism
+contract. Everything else on an event (scenario name, seed, cache key,
+item index, simulated duration, measurement counters) is a pure
+function of the work item and therefore identical between ``jobs=1``
+and ``jobs=N`` runs; ``tests/harness/test_trace_determinism.py`` holds
+the pipeline to that.
+
+Process-pool safety: workers never share a file. Each worker process
+appends to its own ``worker-<pid>.jsonl`` inside the trace directory
+and the coordinator merges the partials into the main ``journal.jsonl``
+after the batch, ordered by work-item index (stable within an item).
+Results never flow through the journal, so determinism of measurements
+is untouched whether tracing is on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.errors import ObservabilityError
+
+#: canonical event names emitted by the pipeline (extras are allowed;
+#: the report treats unknown events as opaque)
+EVENT_NAMES = (
+    "sweep_started",
+    "sweep_finished",
+    "batch_started",
+    "batch_finished",
+    "cache_hit",
+    "cache_miss",
+    "run_started",
+    "run_finished",
+    "worker_error",
+    "span",
+)
+
+#: filename of the coordinator's merged journal inside a trace dir
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: glob pattern of per-worker partial journals awaiting merge
+WORKER_GLOB = "worker-*.jsonl"
+
+#: event fields that are diagnostic (wall clock / process identity) and
+#: therefore excluded from determinism comparisons
+VOLATILE_FIELDS = frozenset({"t_wall", "worker", "wall_s", "events_per_s"})
+
+
+def wall_clock() -> float:
+    """Wall-clock timestamp for journal events.
+
+    Isolated here so the determinism lint rule is suppressed exactly
+    once: journal timestamps are diagnostics and never reach results.
+    """
+    return time.time()  # simlint: ignore[det-wall-clock] -- journal timestamps are diagnostics, never results
+
+
+def perf_clock() -> float:
+    """Monotonic wall clock for span durations (same isolation)."""
+    return time.perf_counter()  # simlint: ignore[det-wall-clock] -- span timing is diagnostics, never results
+
+
+def worker_id() -> int:
+    """The emitting process id, recorded on every journal event.
+
+    Diagnostic only: it answers "which worker ran this" in a trace but
+    must never reach a cache key, a seed, or a measurement (that is what
+    ``det-process-identity`` polices everywhere else).
+    """
+    return os.getpid()  # simlint: ignore[det-process-identity] -- journal diagnostics, never in results
+
+
+class JournalWriter:
+    """Append-only JSONL writer, one line per event, flushed eagerly.
+
+    Eager flushing means a crashed worker still leaves every completed
+    event on disk — exactly the runs you want to see when a sweep dies.
+    """
+
+    def __init__(self, path: Union[str, Path], worker: Optional[int] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.worker = worker_id() if worker is None else worker
+        self._file: Optional[IO[str]] = self.path.open("a", encoding="utf-8")
+        self.events_written = 0
+
+    def write(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record as written."""
+        if self._file is None:
+            raise ObservabilityError(f"journal {self.path} is closed")
+        record: Dict[str, Any] = {
+            "event": event,
+            "t_wall": wall_clock(),
+            "worker": self.worker,
+        }
+        record.update(fields)
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        self.events_written += 1
+        return record
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append an already-built record verbatim (used by the merge)."""
+        if self._file is None:
+            raise ObservabilityError(f"journal {self.path} is closed")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def journal_path(target: Union[str, Path]) -> Path:
+    """Resolve a journal argument: a ``.jsonl`` file or a trace dir."""
+    path = Path(target)
+    if path.is_dir():
+        return path / JOURNAL_FILENAME
+    return path
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL journal (or trace directory) into event dicts."""
+    resolved = journal_path(path)
+    if not resolved.exists():
+        raise ObservabilityError(f"no journal at {resolved}")
+    events: List[Dict[str, Any]] = []
+    with resolved.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ObservabilityError(
+                    f"{resolved}:{lineno}: bad journal line: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "event" not in record:
+                raise ObservabilityError(
+                    f"{resolved}:{lineno}: journal record lacks an 'event'"
+                )
+            events.append(record)
+    return events
+
+
+def _merge_sort_key(position: int, record: Dict[str, Any]):
+    # Order by work-item index when present so the merged journal reads
+    # in submission order whatever the worker interleaving was; events
+    # of one item keep their within-file order (the per-file position
+    # tie-break — each item runs entirely inside one worker).
+    item = record.get("item")
+    return (0 if isinstance(item, int) else 1, item or 0, position)
+
+
+def merge_worker_journals(
+    trace_dir: Union[str, Path],
+    into: Optional[JournalWriter] = None,
+    remove_partials: bool = True,
+) -> List[Dict[str, Any]]:
+    """Merge per-worker partial journals, submission-ordered.
+
+    Reads every ``worker-*.jsonl`` under ``trace_dir``, sorts the events
+    by work-item index (stable within an item), appends them to ``into``
+    (when given), deletes the partials, and returns the merged events.
+    Called by the coordinator after each batch — also on the error path,
+    so a failed sweep still journals the runs that completed.
+    """
+    root = Path(trace_dir)
+    collected: List[tuple] = []
+    partials = sorted(root.glob(WORKER_GLOB))
+    for partial in partials:
+        for position, record in enumerate(read_journal(partial)):
+            collected.append((_merge_sort_key(position, record), record))
+    collected.sort(key=lambda pair: pair[0])
+    merged = [record for _key, record in collected]
+    if into is not None:
+        for record in merged:
+            into.write_record(record)
+    if remove_partials:
+        for partial in partials:
+            partial.unlink()
+    return merged

@@ -1,0 +1,252 @@
+"""Journal summarization: what ``greenenvy obs report`` prints.
+
+Reads a sweep's merged JSONL journal and answers the operator
+questions: how many runs, how effective was the cache, which scenarios
+were slow (wall-time percentiles), which individual runs were slowest,
+where did pipeline wall time go (span totals), and did any worker
+fail. A journal with ``worker_error`` events makes the CLI exit 1, so
+``greenenvy obs report`` can gate CI on a sweep's health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ObservabilityError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100), linearly interpolated."""
+    if not values:
+        raise ObservabilityError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class ScenarioStats:
+    """Wall-time distribution of one scenario's finished runs."""
+
+    scenario: str
+    runs: int
+    p50_wall_s: float
+    p90_wall_s: float
+    max_wall_s: float
+    mean_sim_time_s: float
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate wall time of one profiled phase across all spans."""
+
+    phase: str
+    count: int
+    total_wall_s: float
+
+
+@dataclass
+class JournalSummary:
+    """Everything the report renders, extracted from one journal."""
+
+    events: int
+    runs_finished: int
+    cache_hits: int
+    cache_misses: int
+    per_scenario: List[ScenarioStats] = field(default_factory=list)
+    slowest: List[Dict[str, Any]] = field(default_factory=list)
+    phases: List[PhaseStats] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when the batch never touched a cache)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the sweep completed without worker errors."""
+        return not self.errors
+
+
+def summarize_journal(
+    events: Sequence[Mapping[str, Any]], slowest: int = 5
+) -> JournalSummary:
+    """Aggregate a journal's events into a :class:`JournalSummary`."""
+    finished = [e for e in events if e.get("event") == "run_finished"]
+    errors = [e for e in events if e.get("event") == "worker_error"]
+    hits = sum(1 for e in events if e.get("event") == "cache_hit")
+    misses = sum(1 for e in events if e.get("event") == "cache_miss")
+
+    by_scenario: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in finished:
+        by_scenario.setdefault(str(record.get("scenario", "?")), []).append(record)
+    per_scenario = []
+    for scenario in sorted(by_scenario):
+        walls = [float(e.get("wall_s", 0.0)) for e in by_scenario[scenario]]
+        sims = [float(e.get("sim_time_s", 0.0)) for e in by_scenario[scenario]]
+        per_scenario.append(
+            ScenarioStats(
+                scenario=scenario,
+                runs=len(walls),
+                p50_wall_s=percentile(walls, 50.0),
+                p90_wall_s=percentile(walls, 90.0),
+                max_wall_s=max(walls),
+                mean_sim_time_s=sum(sims) / len(sims),
+            )
+        )
+
+    spans: Dict[str, PhaseStats] = {}
+    for record in events:
+        if record.get("event") != "span":
+            continue
+        phase = str(record.get("phase", "?"))
+        stats = spans.setdefault(phase, PhaseStats(phase=phase, count=0, total_wall_s=0.0))
+        stats.count += 1
+        stats.total_wall_s += float(record.get("wall_s", 0.0))
+
+    ranked = sorted(
+        finished, key=lambda e: float(e.get("wall_s", 0.0)), reverse=True
+    )
+    return JournalSummary(
+        events=len(events),
+        runs_finished=len(finished),
+        cache_hits=hits,
+        cache_misses=misses,
+        per_scenario=per_scenario,
+        slowest=[dict(e) for e in ranked[:slowest]],
+        phases=sorted(
+            spans.values(), key=lambda s: s.total_wall_s, reverse=True
+        ),
+        errors=[dict(e) for e in errors],
+    )
+
+
+def summary_to_dict(summary: JournalSummary) -> Dict[str, Any]:
+    """A JSON-ready rendering of the summary (schema version 1)."""
+    return {
+        "version": 1,
+        "events": summary.events,
+        "runs_finished": summary.runs_finished,
+        "cache_hits": summary.cache_hits,
+        "cache_misses": summary.cache_misses,
+        "cache_hit_ratio": summary.cache_hit_ratio,
+        "healthy": summary.healthy,
+        "per_scenario": [
+            {
+                "scenario": s.scenario,
+                "runs": s.runs,
+                "p50_wall_s": s.p50_wall_s,
+                "p90_wall_s": s.p90_wall_s,
+                "max_wall_s": s.max_wall_s,
+                "mean_sim_time_s": s.mean_sim_time_s,
+            }
+            for s in summary.per_scenario
+        ],
+        "phases": [
+            {"phase": p.phase, "count": p.count, "total_wall_s": p.total_wall_s}
+            for p in summary.phases
+        ],
+        "slowest": summary.slowest,
+        "errors": summary.errors,
+    }
+
+
+def format_report(summary: JournalSummary) -> str:
+    """Human-readable report (the ``greenenvy obs report`` output)."""
+    lines: List[str] = []
+    lines.append(
+        f"journal: {summary.events} events, {summary.runs_finished} runs "
+        f"finished, {len(summary.errors)} worker errors"
+    )
+    lookups = summary.cache_hits + summary.cache_misses
+    if lookups:
+        lines.append(
+            f"cache: {summary.cache_hits}/{lookups} hits "
+            f"({100.0 * summary.cache_hit_ratio:.1f}%)"
+        )
+    else:
+        lines.append("cache: not used")
+
+    if summary.per_scenario:
+        lines.append("")
+        lines.append("== per-scenario wall time ==")
+        lines.append(
+            format_table(
+                ["scenario", "runs", "p50 (s)", "p90 (s)", "max (s)", "sim (s)"],
+                [
+                    (
+                        s.scenario,
+                        s.runs,
+                        s.p50_wall_s,
+                        s.p90_wall_s,
+                        s.max_wall_s,
+                        s.mean_sim_time_s,
+                    )
+                    for s in summary.per_scenario
+                ],
+                float_fmt="{:.4f}",
+            )
+        )
+
+    if summary.phases:
+        lines.append("")
+        lines.append("== wall time by phase ==")
+        lines.append(
+            format_table(
+                ["phase", "spans", "total (s)"],
+                [(p.phase, p.count, p.total_wall_s) for p in summary.phases],
+                float_fmt="{:.4f}",
+            )
+        )
+
+    if summary.slowest:
+        lines.append("")
+        lines.append("== slowest runs ==")
+        lines.append(
+            format_table(
+                ["scenario", "seed", "wall (s)", "sim (s)", "energy (J)"],
+                [
+                    (
+                        str(e.get("scenario", "?")),
+                        int(e.get("seed", -1)),
+                        float(e.get("wall_s", 0.0)),
+                        float(e.get("sim_time_s", 0.0)),
+                        float(e.get("energy_j", 0.0)),
+                    )
+                    for e in summary.slowest
+                ],
+                float_fmt="{:.4f}",
+            )
+        )
+
+    if summary.errors:
+        lines.append("")
+        lines.append("== worker errors ==")
+        lines.append(
+            format_table(
+                ["scenario", "seed", "worker", "error"],
+                [
+                    (
+                        str(e.get("scenario", "?")),
+                        int(e.get("seed", -1)),
+                        int(e.get("worker", -1)),
+                        f"{e.get('error_type', '?')}: {e.get('error', '')}",
+                    )
+                    for e in summary.errors
+                ],
+            )
+        )
+        lines.append("")
+        lines.append("sweep UNHEALTHY: worker errors recorded")
+    return "\n".join(lines)

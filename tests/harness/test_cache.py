@@ -80,6 +80,15 @@ class TestRoundTrip:
         cache.put(s, 2, m)
         assert cache.get(s, 2) == m
 
+    def test_counters_survive_the_round_trip_losslessly(self, cache):
+        # The journal's run_finished events read counters(); a cached
+        # replay must export the exact same values.
+        s = scenario()
+        m = run_once(s, seed=4)
+        cache.put(s, 4, m)
+        replayed = cache.get(s, 4)
+        assert replayed.counters() == m.counters()
+
 
 class TestHitMiss:
     def test_empty_cache_misses(self, cache):

@@ -106,6 +106,23 @@ class TestRunMeasurementEdgeCases:
             empty.completion_time_s
 
 
+class TestCounters:
+    def test_enumerates_every_run_counter(self):
+        m = run_once(single_flow(), seed=0)
+        counters = m.counters()
+        assert counters["flows"] == 1.0
+        assert counters["bottleneck_drops"] == float(m.bottleneck_drops)
+        assert counters["ecn_marks"] == float(m.ecn_marks)
+        assert counters["retransmissions"] == float(m.total_retransmissions)
+        assert all(isinstance(v, float) for v in counters.values())
+
+    def test_pure_function_of_scenario_and_seed(self):
+        assert (
+            run_once(single_flow(), seed=5).counters()
+            == run_once(single_flow(), seed=5).counters()
+        )
+
+
 class TestRunRepeated:
     def test_aggregates(self):
         result = run_repeated(single_flow(), repetitions=3)

@@ -1,0 +1,148 @@
+"""Tracing must be a pure spectator: same results, same events, any jobs.
+
+Two contracts from the observability design:
+
+* measurements are bit-identical with tracing on or off, serial or
+  process-pool — the observer only ever receives copies, and
+* the *deterministic* journal fields (everything except the volatile
+  wall-clock/worker set) are the same whether one worker or four
+  produced them, once the merge has put events back in submission
+  order.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.cache import ResultCache
+from repro.harness.executor import WorkItem, run_work_items
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.obs.journal import VOLATILE_FIELDS, read_journal
+
+SIZE = 400_000
+
+
+def tiny_scenario(name="trace", **overrides):
+    defaults = dict(name=name, flows=[FlowSpec(SIZE)], packages=1)
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def items_for(n=4):
+    scenario = tiny_scenario()
+    return [WorkItem(scenario=scenario, seed=seed) for seed in range(n)]
+
+
+def stable_events(journal_source):
+    """Journal events with the volatile diagnostics stripped."""
+    return [
+        {k: v for k, v in event.items() if k not in VOLATILE_FIELDS}
+        for event in read_journal(journal_source)
+    ]
+
+
+class TestTracedResultsAreUntouched:
+    def test_traced_serial_equals_untraced(self, tmp_path):
+        plain = run_work_items(items_for())
+        traced = run_work_items(items_for(), observer=tmp_path / "t")
+        assert traced == plain
+
+    def test_traced_jobs4_equals_untraced_serial(self, tmp_path):
+        plain = run_work_items(items_for())
+        traced = run_work_items(
+            items_for(), jobs=4, observer=tmp_path / "t"
+        )
+        assert traced == plain
+
+
+class TestJournalDeterminism:
+    def test_jobs1_and_jobs4_produce_the_same_event_set(self, tmp_path):
+        run_work_items(items_for(), jobs=1, observer=tmp_path / "serial")
+        run_work_items(items_for(), jobs=4, observer=tmp_path / "pool")
+        # The backend name on batch_started is execution config, the
+        # one field that legitimately differs between the two runs.
+        serial = [
+            {k: v for k, v in e.items() if k != "backend"}
+            for e in stable_events(tmp_path / "serial")
+        ]
+        pool = [
+            {k: v for k, v in e.items() if k != "backend"}
+            for e in stable_events(tmp_path / "pool")
+        ]
+        assert len(serial) == len(pool)
+        # Order-normalised equality: the merge restores submission
+        # order, but batch-level events may interleave differently.
+        key = lambda e: sorted((k, repr(v)) for k, v in e.items())  # noqa: E731
+        assert sorted(serial, key=key) == sorted(pool, key=key)
+
+    def test_run_events_carry_deterministic_payload(self, tmp_path):
+        run_work_items(items_for(2), observer=tmp_path / "t")
+        finished = [
+            e for e in stable_events(tmp_path / "t")
+            if e["event"] == "run_finished"
+        ]
+        assert [e["item"] for e in finished] == [0, 1]
+        for event in finished:
+            assert event["scenario"] == "trace"
+            assert isinstance(event["cache_key"], str)
+            assert event["energy_j"] > 0
+            assert "bottleneck_drops" in event["counters"]
+
+    def test_worker_partials_are_merged_away(self, tmp_path):
+        run_work_items(items_for(), jobs=4, observer=tmp_path / "t")
+        trace = tmp_path / "t"
+        assert list(trace.glob("worker-*.jsonl")) == []
+        assert (trace / "journal.jsonl").exists()
+
+
+class TestCacheEvents:
+    def test_hits_and_misses_are_journaled(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_work_items(items_for(), cache=cache)
+        run_work_items(items_for(), cache=cache, observer=tmp_path / "t")
+        events = stable_events(tmp_path / "t")
+        hits = [e for e in events if e["event"] == "cache_hit"]
+        assert len(hits) == 4
+        assert not any(e["event"] == "cache_miss" for e in events)
+        batch = next(e for e in events if e["event"] == "batch_finished")
+        assert batch["cache_hits"] == 4
+        assert batch["executed"] == 0
+
+
+class TestWorkerErrorEvents:
+    def test_failure_is_journaled_then_raised_with_context(self, tmp_path):
+        # An impossible time limit makes the run abort mid-simulation.
+        bad = Scenario(
+            name="doomed",
+            flows=[FlowSpec(SIZE)],
+            packages=1,
+            time_limit_s=1e-6,
+        )
+        items = [WorkItem(scenario=bad, seed=3)]
+        with pytest.raises(ExperimentError) as excinfo:
+            run_work_items(items, observer=tmp_path / "t")
+        message = str(excinfo.value)
+        assert "doomed" in message
+        assert "seed=3" in message
+        assert "worker pid=" in message
+        errors = [
+            e for e in stable_events(tmp_path / "t")
+            if e["event"] == "worker_error"
+        ]
+        assert len(errors) == 1
+        assert errors[0]["scenario"] == "doomed"
+        assert errors[0]["seed"] == 3
+
+    def test_pool_failure_still_merges_worker_journals(self, tmp_path):
+        bad = Scenario(
+            name="doomed",
+            flows=[FlowSpec(SIZE)],
+            packages=1,
+            time_limit_s=1e-6,
+        )
+        items = [WorkItem(scenario=tiny_scenario(), seed=0),
+                 WorkItem(scenario=bad, seed=1)]
+        with pytest.raises(ExperimentError):
+            run_work_items(items, jobs=2, observer=tmp_path / "t")
+        events = stable_events(tmp_path / "t")
+        assert any(e["event"] == "worker_error" for e in events)
+        assert list((tmp_path / "t").glob("worker-*.jsonl")) == []

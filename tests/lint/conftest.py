@@ -19,6 +19,7 @@ CLEAN_FIXTURES = (
     "units/clean_units.py",
     "determinism/clean_entropy.py",
     "determinism/outside_scope.py",
+    "determinism/obs_outside_scope.py",
     "determinism/sim/clean_sets.py",
     "determinism/sim/rng.py",
     "contract/cc/base.py",

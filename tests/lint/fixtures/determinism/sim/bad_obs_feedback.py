@@ -1,0 +1,14 @@
+"""Simulator module reading the observability layer (lint fixture)."""
+
+from __future__ import annotations
+
+import repro.obs
+from repro.obs import observer
+from repro.obs.journal import read_journal
+
+
+def react_to_tracing() -> bool:
+    # The forbidden direction: simulation behaviour branching on
+    # whether a trace exists.
+    events = read_journal("trace/journal.jsonl")
+    return observer.NULL_OBSERVER.enabled or bool(events) or bool(repro.obs)

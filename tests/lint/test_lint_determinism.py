@@ -9,6 +9,7 @@ DET = [
     "det-entropy",
     "det-process-identity",
     "det-set-iteration",
+    "obs-no-feedback",
 ]
 
 
@@ -77,3 +78,32 @@ class TestSetIteration:
         assert lint(
             "determinism/outside_scope.py", select=["det-set-iteration"]
         ).clean
+
+
+class TestObsFeedback:
+    """Observability is write-only: sim code must never import repro.obs."""
+
+    def test_fires_on_every_import_form_inside_sim(self, lint):
+        result = lint(
+            "determinism/sim/bad_obs_feedback.py", select=["obs-no-feedback"]
+        )
+        # import repro.obs + from repro.obs import + from repro.obs.journal
+        assert _by_rule(result)["obs-no-feedback"] == 3
+
+    def test_harness_side_import_is_the_blessed_direction(self, lint):
+        assert lint(
+            "determinism/obs_outside_scope.py", select=["obs-no-feedback"]
+        ).clean
+
+    def test_simulator_sources_honor_the_rule(self):
+        """The shipped sim/net/cc/tcp packages must themselves be clean."""
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        paths = [
+            str(repo_src / d) for d in ("sim", "net", "cc", "tcp")
+        ]
+        result = run_lint(paths, select=["obs-no-feedback"])
+        assert result.clean

@@ -1,0 +1,105 @@
+"""JournalWriter, read_journal and the per-worker merge."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.journal import (
+    JOURNAL_FILENAME,
+    VOLATILE_FIELDS,
+    JournalWriter,
+    journal_path,
+    merge_worker_journals,
+    read_journal,
+)
+
+
+class TestWriter:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path, worker=7) as journal:
+            journal.write("run_started", scenario="s", seed=0)
+            journal.write("run_finished", scenario="s", seed=0)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "run_started"
+        assert first["worker"] == 7
+        assert "t_wall" in first
+
+    def test_flushes_eagerly(self, tmp_path):
+        journal = JournalWriter(tmp_path / "j.jsonl")
+        journal.write("run_started")
+        # Readable before close: a crashed worker keeps its events.
+        assert len(read_journal(tmp_path / "j.jsonl")) == 1
+        journal.close()
+
+    def test_write_after_close_raises(self, tmp_path):
+        journal = JournalWriter(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(ObservabilityError):
+            journal.write("run_started")
+
+
+class TestRead:
+    def test_directory_resolves_to_main_journal(self, tmp_path):
+        with JournalWriter(tmp_path / JOURNAL_FILENAME) as journal:
+            journal.write("sweep_started")
+        assert journal_path(tmp_path) == tmp_path / JOURNAL_FILENAME
+        assert len(read_journal(tmp_path)) == 1
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no journal"):
+            read_journal(tmp_path / "absent.jsonl")
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "ok"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match=":2"):
+            read_journal(path)
+
+    def test_record_without_event_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"seed": 3}\n')
+        with pytest.raises(ObservabilityError, match="event"):
+            read_journal(path)
+
+
+class TestMerge:
+    def _worker(self, tmp_path, pid, items):
+        with JournalWriter(tmp_path / f"worker-{pid}.jsonl", worker=pid) as j:
+            for item in items:
+                j.write("run_started", item=item)
+                j.write("run_finished", item=item)
+
+    def test_merge_orders_by_item_index(self, tmp_path):
+        self._worker(tmp_path, 100, [1, 3])
+        self._worker(tmp_path, 200, [0, 2])
+        merged = merge_worker_journals(tmp_path)
+        assert [e["item"] for e in merged] == [0, 0, 1, 1, 2, 2, 3, 3]
+        # Within an item, the worker's write order survives.
+        assert [e["event"] for e in merged[:2]] == [
+            "run_started", "run_finished",
+        ]
+
+    def test_merge_removes_partials_and_appends(self, tmp_path):
+        self._worker(tmp_path, 100, [0])
+        with JournalWriter(tmp_path / JOURNAL_FILENAME) as main:
+            main.write("batch_started")
+            merge_worker_journals(tmp_path, into=main)
+        assert list(tmp_path.glob("worker-*.jsonl")) == []
+        events = read_journal(tmp_path)
+        assert [e["event"] for e in events] == [
+            "batch_started", "run_started", "run_finished",
+        ]
+
+    def test_events_without_item_sort_after_items(self, tmp_path):
+        with JournalWriter(tmp_path / "worker-1.jsonl", worker=1) as j:
+            j.write("span", phase="sim_loop")
+            j.write("run_finished", item=0)
+        merged = merge_worker_journals(tmp_path)
+        assert [e["event"] for e in merged] == ["run_finished", "span"]
+
+    def test_volatile_fields_are_the_documented_set(self):
+        assert VOLATILE_FIELDS == {"t_wall", "worker", "wall_s", "events_per_s"}

@@ -1,0 +1,91 @@
+"""MetricsRegistry: counters, gauges, histograms and their exports."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("runs_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ObservabilityError):
+            Counter("runs_total").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("events_per_second")
+        g.set(10.0)
+        g.set(4.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_requires_ascending_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_observations_export_cumulative_buckets(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples['h_bucket{le="0.1"}'] == 1
+        assert samples['h_bucket{le="1"}'] == 2  # cumulative
+        assert samples['h_bucket{le="+Inf"}'] == 3
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", labels={"k": "v"}) is not reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", help="completed runs").inc(3)
+        reg.gauge("speed").set(1.5)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# HELP runs_total completed runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert "runs_total 3" in text
+        assert "speed 1.5" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_labels_render_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("e", labels={"b": "2", "a": "1"}).inc()
+        assert 'e{a="1",b="2"} 1' in reg.render_prometheus()
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc()
+        reg.histogram("lat").observe(0.2)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        assert payload["version"] == 1
+        names = {m["name"] for m in payload["metrics"]}
+        assert {"runs_total", "lat"} <= names

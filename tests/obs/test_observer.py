@@ -1,0 +1,115 @@
+"""Observer hierarchy: no-op default, journal-backed, tracing coordinator."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.journal import JournalWriter, read_journal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import (
+    METRICS_JSON_FILENAME,
+    METRICS_PROM_FILENAME,
+    NULL_OBSERVER,
+    JournalObserver,
+    Observer,
+    TracingObserver,
+    resolve_observer,
+)
+
+
+class TestNullObserver:
+    def test_disabled_and_inert(self):
+        obs = Observer()
+        assert obs.enabled is False
+        assert obs.trace_dir is None
+        obs.emit("run_started", scenario="s")
+        obs.set_gauge("g", 1.0)
+        obs.inc("c")
+        obs.collect_workers()
+        obs.close()
+
+    def test_span_is_shared_noop(self):
+        with NULL_OBSERVER.span("sim_loop") as span:
+            span.add(events_executed=5)
+        assert span.wall_s == 0.0
+        assert NULL_OBSERVER.span("a") is NULL_OBSERVER.span("b")
+
+
+class TestJournalObserver:
+    def test_emit_writes_events(self, tmp_path):
+        with JournalObserver(tmp_path / "j.jsonl", worker=5) as obs:
+            obs.emit("run_started", scenario="s", seed=1)
+        events = read_journal(tmp_path / "j.jsonl")
+        assert events[0]["event"] == "run_started"
+        assert events[0]["worker"] == 5
+
+    def test_span_times_and_journals(self, tmp_path):
+        with JournalObserver(tmp_path / "j.jsonl") as obs:
+            with obs.span("sim_loop", scenario="s") as span:
+                span.add(events_executed=42)
+        assert span.wall_s > 0.0
+        record = read_journal(tmp_path / "j.jsonl")[0]
+        assert record["event"] == "span"
+        assert record["phase"] == "sim_loop"
+        assert record["events_executed"] == 42
+        assert record["wall_s"] == pytest.approx(span.wall_s)
+
+    def test_registry_counts_events(self, tmp_path):
+        registry = MetricsRegistry()
+        with JournalObserver(tmp_path / "j.jsonl", registry=registry) as obs:
+            obs.emit("run_finished", scenario="s")
+            obs.emit("cache_hit")
+            obs.emit("cache_miss")
+            obs.emit("worker_error")
+        assert registry.counter("runs_total").value == 1
+        assert registry.counter("cache_hits_total").value == 1
+        assert registry.counter("cache_misses_total").value == 1
+        assert registry.counter("worker_errors_total").value == 1
+
+
+class TestTracingObserver:
+    def test_creates_dir_and_exports_metrics_on_close(self, tmp_path):
+        trace = tmp_path / "trace"
+        with TracingObserver(trace) as obs:
+            obs.emit("run_finished", scenario="s")
+            obs.set_gauge("sim_events_per_second", 1000.0)
+        prom = (trace / METRICS_PROM_FILENAME).read_text()
+        assert "runs_total 1" in prom
+        assert "sim_events_per_second 1000" in prom
+        payload = json.loads((trace / METRICS_JSON_FILENAME).read_text())
+        assert payload["version"] == 1
+
+    def test_collect_workers_merges_and_counts(self, tmp_path):
+        trace = tmp_path / "trace"
+        obs = TracingObserver(trace)
+        with JournalWriter(trace / "worker-9.jsonl", worker=9) as worker:
+            worker.write("run_finished", item=0, scenario="s")
+        obs.collect_workers()
+        obs.close()
+        events = read_journal(trace)
+        assert any(
+            e["event"] == "run_finished" and e["worker"] == 9 for e in events
+        )
+        assert list(trace.glob("worker-*.jsonl")) == []
+        assert "runs_total 1" in (trace / METRICS_PROM_FILENAME).read_text()
+
+
+class TestResolve:
+    def test_none_is_the_shared_noop(self):
+        assert resolve_observer(None) is NULL_OBSERVER
+
+    def test_path_builds_tracing_observer(self, tmp_path):
+        obs = resolve_observer(tmp_path / "trace")
+        try:
+            assert isinstance(obs, TracingObserver)
+            assert obs.enabled
+        finally:
+            obs.close()
+
+    def test_observer_passes_through(self):
+        assert resolve_observer(NULL_OBSERVER) is NULL_OBSERVER
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ObservabilityError):
+            resolve_observer(42)

@@ -1,0 +1,111 @@
+"""Journal summarization and the obs-report rendering."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.report import (
+    format_report,
+    percentile,
+    summarize_journal,
+    summary_to_dict,
+)
+
+
+def _events(errors=0):
+    events = [
+        {"event": "batch_started", "items": 4},
+        {"event": "cache_hit", "item": 0, "scenario": "a", "seed": 0},
+        {"event": "cache_miss", "item": 1, "scenario": "a", "seed": 1},
+    ]
+    walls = [0.1, 0.3, 0.2]
+    for i, wall in enumerate(walls):
+        events.append(
+            {
+                "event": "run_finished",
+                "item": i,
+                "scenario": "a" if i < 2 else "b",
+                "seed": i,
+                "wall_s": wall,
+                "sim_time_s": 0.01,
+                "energy_j": 1.0 + i,
+            }
+        )
+        events.append({"event": "span", "phase": "sim_loop", "wall_s": wall / 2})
+    for i in range(errors):
+        events.append(
+            {
+                "event": "worker_error",
+                "scenario": "a",
+                "seed": 9 + i,
+                "worker": 123,
+                "error_type": "ExperimentError",
+                "error": "boom",
+            }
+        )
+    return events
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
+        assert percentile([1.0, 2.0, 3.0], 100.0) == 3.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ObservabilityError):
+            percentile([], 50.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ObservabilityError):
+            percentile([1.0], 101.0)
+
+
+class TestSummarize:
+    def test_counts_and_cache_ratio(self):
+        summary = summarize_journal(_events())
+        assert summary.runs_finished == 3
+        assert summary.cache_hits == 1
+        assert summary.cache_misses == 1
+        assert summary.cache_hit_ratio == pytest.approx(0.5)
+        assert summary.healthy
+
+    def test_per_scenario_percentiles(self):
+        summary = summarize_journal(_events())
+        a = next(s for s in summary.per_scenario if s.scenario == "a")
+        assert a.runs == 2
+        assert a.p50_wall_s == pytest.approx(0.2)
+        assert a.max_wall_s == pytest.approx(0.3)
+
+    def test_slowest_runs_ranked(self):
+        summary = summarize_journal(_events(), slowest=2)
+        assert [e["wall_s"] for e in summary.slowest] == [0.3, 0.2]
+
+    def test_phase_totals(self):
+        summary = summarize_journal(_events())
+        sim = next(p for p in summary.phases if p.phase == "sim_loop")
+        assert sim.count == 3
+        assert sim.total_wall_s == pytest.approx(0.3)
+
+    def test_worker_errors_make_it_unhealthy(self):
+        summary = summarize_journal(_events(errors=1))
+        assert not summary.healthy
+        assert summary.errors[0]["error"] == "boom"
+
+
+class TestRendering:
+    def test_text_report_has_sections(self):
+        text = format_report(summarize_journal(_events()))
+        assert "per-scenario wall time" in text
+        assert "wall time by phase" in text
+        assert "slowest runs" in text
+        assert "UNHEALTHY" not in text
+
+    def test_unhealthy_report_flags_errors(self):
+        text = format_report(summarize_journal(_events(errors=2)))
+        assert "worker errors" in text
+        assert "UNHEALTHY" in text
+
+    def test_dict_is_versioned(self):
+        payload = summary_to_dict(summarize_journal(_events()))
+        assert payload["version"] == 1
+        assert payload["healthy"] is True
+        assert payload["cache_hit_ratio"] == pytest.approx(0.5)

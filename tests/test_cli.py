@@ -119,3 +119,60 @@ class TestLintCommand:
         monkeypatch.chdir(Path(__file__).resolve().parents[1])
         assert main(["lint"]) == 0
         assert "0 findings" in capsys.readouterr().out
+
+
+class TestObsCommands:
+    """--trace on figure commands and the obs report reader."""
+
+    def _journal(self, tmp_path, errors=0):
+        from repro.obs.journal import JournalWriter
+
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        with JournalWriter(trace / "journal.jsonl", worker=1) as journal:
+            journal.write(
+                "run_finished", item=0, scenario="s", seed=0,
+                wall_s=0.5, sim_time_s=0.01, energy_j=2.0,
+            )
+            for i in range(errors):
+                journal.write(
+                    "worker_error", scenario="s", seed=i,
+                    error_type="ExperimentError", error="boom",
+                )
+        return trace
+
+    def test_trace_flag_writes_journal(self, capsys, tmp_path):
+        trace = tmp_path / "t"
+        code = main([
+            "fig1", "--bytes", "2000000", "--reps", "1",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert (trace / "journal.jsonl").exists()
+        assert (trace / "metrics.prom").exists()
+        assert "trace written to" in capsys.readouterr().out
+
+    def test_report_healthy_journal_exits_zero(self, capsys, tmp_path):
+        trace = self._journal(tmp_path)
+        assert main(["obs", "report", str(trace)]) == 0
+        assert "1 runs finished" in capsys.readouterr().out
+
+    def test_report_worker_errors_exit_one(self, capsys, tmp_path):
+        trace = self._journal(tmp_path, errors=2)
+        assert main(["obs", "report", str(trace)]) == 1
+        assert "UNHEALTHY" in capsys.readouterr().out
+
+    def test_report_json_format(self, capsys, tmp_path):
+        trace = self._journal(tmp_path)
+        assert main(["obs", "report", "--format", "json", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["runs_finished"] == 1
+
+    def test_report_accepts_journal_file_directly(self, tmp_path):
+        trace = self._journal(tmp_path)
+        assert main(["obs", "report", str(trace / "journal.jsonl")]) == 0
+
+    def test_report_missing_journal_exits_two(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
