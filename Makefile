@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint ruff mypy bench obs-bench
+.PHONY: check test lint ruff mypy bench obs-bench baseline obs-diff
 
 check: test lint ruff mypy
 
@@ -37,3 +37,22 @@ bench:
 # the observability zero-overhead gate (also a CI step)
 obs-bench:
 	$(PYTHON) -m pytest -q benchmarks/test_obs_overhead.py
+
+# the small traced sweep the committed baseline snapshots; the CI
+# obs-diff gate replays exactly this and diffs against it
+BASELINE_SWEEP = fig1 --bytes 400000 --reps 2
+BASELINE_FILE = benchmarks/baselines/seed.json
+BASELINE_TRACE ?= /tmp/greenenvy-baseline-trace
+
+# regenerate the committed baseline (run after an intentional
+# behavior change, then commit the updated JSON with the change)
+baseline:
+	rm -rf $(BASELINE_TRACE)
+	$(PYTHON) -m repro.cli $(BASELINE_SWEEP) --trace $(BASELINE_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs snapshot $(BASELINE_TRACE) -o $(BASELINE_FILE)
+
+# replay the baseline sweep and fail on drift (the CI regression gate)
+obs-diff:
+	rm -rf $(BASELINE_TRACE)
+	$(PYTHON) -m repro.cli $(BASELINE_SWEEP) --trace $(BASELINE_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs diff $(BASELINE_FILE) $(BASELINE_TRACE)

@@ -20,6 +20,7 @@ import time
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
 from repro.obs.observer import NULL_OBSERVER, TracingObserver
+from repro.sim.probe import NULL_PROBE_SINK
 
 SIZE = 2_000_000
 ROUNDS = 5
@@ -61,6 +62,41 @@ def test_noop_observer_overhead_under_2_percent():
     assert overhead < 0.02, (
         f"no-op observer costs {100 * overhead:.2f}% "
         f"(baseline {base_s:.4f}s, no-op {noop_s:.4f}s)"
+    )
+
+
+def test_noop_probe_sink_overhead_under_2_percent():
+    # The telemetry emission sites (sender ACK path, queue enqueue /
+    # dequeue, CPU package flush) each check ``sink.enabled`` on the
+    # hot path. With the default null sink that check must be all they
+    # cost: within 2 % of the identical run.
+    scenario = _scenario()
+
+    def baseline():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed)
+
+    def with_null_sink():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed, probe_sink=NULL_PROBE_SINK)
+
+    baseline()
+    with_null_sink()
+
+    # Interleave the timed rounds so slow drift in machine load hits
+    # both sides equally instead of biasing whichever ran last.
+    base_s = null_s = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        baseline()
+        base_s = min(base_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        with_null_sink()
+        null_s = min(null_s, time.perf_counter() - start)
+    overhead = (null_s - base_s) / base_s
+    assert overhead < 0.02, (
+        f"no-op probe sink costs {100 * overhead:.2f}% "
+        f"(baseline {base_s:.4f}s, null sink {null_s:.4f}s)"
     )
 
 

@@ -178,6 +178,12 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     except ObservabilityError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not events:
+        print(
+            f"error: journal at {args.journal} is empty (no events recorded)",
+            file=sys.stderr,
+        )
+        return 2
     summary = summarize_journal(events, slowest=args.slowest)
     if args.format == "json":
         import json
@@ -188,6 +194,100 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     # A journal with worker errors fails the command, so CI can gate on
     # sweep health: greenenvy obs report trace/ && deploy ...
     return 0 if summary.healthy else 1
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.telemetry import read_telemetry
+    from repro.obs.timeline import (
+        filter_records,
+        format_timeline,
+        timeline_csv,
+        timeline_json,
+    )
+
+    try:
+        records = read_telemetry(args.trace)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    matched = filter_records(
+        records,
+        scenario=args.scenario,
+        seed=args.seed,
+        channel=args.channel,
+        entity=args.entity,
+    )
+    if not matched:
+        print("no telemetry streams match the given filters", file=sys.stderr)
+        return 1
+    if args.format == "csv":
+        sys.stdout.write(timeline_csv(matched))
+    elif args.format == "json":
+        print(timeline_json(matched))
+    else:
+        print(format_timeline(matched, samples=args.samples))
+    return 0
+
+
+def _cmd_obs_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.baseline import save_baseline, snapshot_from_journal
+    from repro.obs.journal import read_journal
+
+    try:
+        snapshot = snapshot_from_journal(read_journal(args.trace))
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        save_baseline(snapshot, args.output)
+        print(
+            f"wrote baseline {args.output} "
+            f"({len(snapshot['metrics'])} gated metrics)"
+        )
+    else:
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.baseline import (
+        compare,
+        format_drift_table,
+        has_regression,
+        load_baseline,
+        snapshot_from_journal,
+    )
+    from repro.obs.journal import read_journal
+
+    tolerances = {}
+    for spec in args.tolerance or []:
+        name, sep, value = spec.partition("=")
+        try:
+            if not name or not sep:
+                raise ValueError(spec)
+            tolerances[name] = float(value)
+        except ValueError:
+            print(
+                f"error: bad --tolerance {spec!r} (want metric=relative, "
+                f"e.g. energy_j=1e-3)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        baseline = load_baseline(args.baseline)
+        current = snapshot_from_journal(read_journal(args.trace))
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = compare(baseline, current, tolerances=tolerances or None)
+    print(format_drift_table(rows))
+    # Non-zero on drift so CI can gate: greenenvy obs diff base.json trace/
+    return 1 if has_regression(rows) else 0
 
 
 def _cmd_theorem(args: argparse.Namespace) -> int:
@@ -459,7 +559,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_mechanisms)
 
     p = sub.add_parser(
-        "obs", help="inspect run journals written by --trace"
+        "obs",
+        help="inspect traces written by --trace: journals, in-sim "
+        "telemetry, and cross-run baselines",
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     p = obs_sub.add_parser(
@@ -478,6 +580,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest runs to list",
     )
     p.set_defaults(func=_cmd_obs_report)
+
+    p = obs_sub.add_parser(
+        "timeline",
+        help="render in-sim telemetry series (cwnd, queue depth, power) "
+        "from a trace (exit 1 when filters match nothing)",
+    )
+    p.add_argument(
+        "trace",
+        help="trace directory (containing telemetry.jsonl) or a .jsonl file",
+    )
+    p.add_argument("--scenario", help="only this scenario")
+    p.add_argument("--seed", type=int, help="only this seed")
+    p.add_argument(
+        "--channel", help="only this channel (e.g. cwnd_bytes, power_w)"
+    )
+    p.add_argument(
+        "--entity", help="only this entity (e.g. flow-1, bottleneck)"
+    )
+    p.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text",
+        help="output format",
+    )
+    p.add_argument(
+        "--samples", type=int, default=0,
+        help="also print up to N evenly-spaced samples per stream (text)",
+    )
+    p.set_defaults(func=_cmd_obs_timeline)
+
+    p = obs_sub.add_parser(
+        "snapshot",
+        help="snapshot a traced sweep's deterministic outcomes as a "
+        "baseline JSON document",
+    )
+    p.add_argument(
+        "trace",
+        help="trace directory (containing journal.jsonl) or a .jsonl file",
+    )
+    p.add_argument(
+        "--output", "-o", help="write the baseline here (default: stdout)"
+    )
+    p.set_defaults(func=_cmd_obs_snapshot)
+
+    p = obs_sub.add_parser(
+        "diff",
+        help="compare a traced sweep against a committed baseline "
+        "(exit 1 on drift beyond tolerance — the CI regression gate)",
+    )
+    p.add_argument("baseline", help="baseline JSON from 'obs snapshot'")
+    p.add_argument(
+        "trace",
+        help="trace directory (containing journal.jsonl) or a .jsonl file",
+    )
+    p.add_argument(
+        "--tolerance", action="append", metavar="METRIC=REL",
+        help="override a metric's relative tolerance (repeatable), "
+        "e.g. --tolerance energy_j=1e-3",
+    )
+    p.set_defaults(func=_cmd_obs_diff)
 
     return parser
 

@@ -24,6 +24,7 @@ from repro.errors import EnergyModelError
 from repro.net.host import Host, HostListener
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
+from repro.sim.probe import POWER_CHANNEL
 from repro.sim.timer import PeriodicTimer
 from repro.sim.trace import TimeSeries
 from repro.units import msec
@@ -111,6 +112,12 @@ class CpuPackage:
         for key, watts in components.items():
             self.energy_components_j[key] += watts * scale * duration
         self.power_series.record(now, power)
+        sink = self.sim.probe_sink
+        if sink.enabled:
+            # Instantaneous per-package power for telemetry traces: the
+            # same value the RAPL emulation integrates, stamped at the
+            # flush boundary.
+            sink.sample(now, POWER_CHANNEL, self.name, power)
         self._last_flush = now
         self._wire_bytes = 0
         self._packet_events = 0

@@ -18,6 +18,7 @@ from repro.energy.cpu import CpuModel
 from repro.energy.rapl import RaplReader
 from repro.errors import EnergyModelError
 from repro.sim.engine import Simulator
+from repro.sim.probe import ENERGY_CHANNEL
 from repro.sim.trace import TimeSeries
 
 
@@ -52,6 +53,12 @@ class EnergyMeter:
         self._stop_time = self.sim.now
         for model in self.cpu_models:
             model.stop()
+        sink = self.sim.probe_sink
+        if sink.enabled:
+            # One sample per measurement window: the metered joules at
+            # window close, alongside the per-package power series the
+            # CPU models emit continuously.
+            sink.sample(self.sim.now, ENERGY_CHANNEL, "meter", self._energy_j)
         return self._energy_j
 
     @property

@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
+from repro.sim.probe import THROUGHPUT_CHANNEL, TimeSeriesProbeSink
 from repro.sim.trace import TimeSeries
 from repro.units import gbps, msec, to_gbps
 
@@ -55,6 +56,16 @@ class Fig3Result:
         return result
 
 
+def _per_flow_throughput(
+    sink: TimeSeriesProbeSink, n_flows: int
+) -> Dict[int, TimeSeries]:
+    """Per-flow goodput series from a run's collected telemetry."""
+    return {
+        flow_id: sink.series(THROUGHPUT_CHANNEL, f"flow-{flow_id}")
+        for flow_id in range(1, n_flows + 1)
+    }
+
+
 def run_fig3(
     transfer_bytes: int = DEFAULT_TRANSFER_BYTES,
     capacity_bps: float = DEFAULT_CAPACITY_BPS,
@@ -79,11 +90,17 @@ def run_fig3(
         ],
         probe_interval_s=probe_interval_s,
     )
-    fair_m = run_once(fair, seed=seed)
-    fsti_m = run_once(fsti, seed=seed)
+    # The figure consumes the telemetry path: each run gets a collecting
+    # probe sink (no downsampling — the probes already pace sampling at
+    # probe_interval_s) and the panels read per-flow throughput streams
+    # off it, the same series a traced run writes to telemetry.jsonl.
+    fair_sink = TimeSeriesProbeSink()
+    fair_m = run_once(fair, seed=seed, probe_sink=fair_sink)
+    fsti_sink = TimeSeriesProbeSink()
+    fsti_m = run_once(fsti, seed=seed, probe_sink=fsti_sink)
     return Fig3Result(
-        fair_series=fair_m.throughput_series,
-        fsti_series=fsti_m.throughput_series,
+        fair_series=_per_flow_throughput(fair_sink, len(fair.flows)),
+        fsti_series=_per_flow_throughput(fsti_sink, len(fsti.flows)),
         fair_duration_s=fair_m.duration_s,
         fsti_duration_s=fsti_m.duration_s,
     )

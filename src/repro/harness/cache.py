@@ -36,7 +36,8 @@ from repro.sim.trace import TimeSeries
 
 #: bump when simulator physics or the measurement schema change; every
 #: previously cached entry becomes a miss
-SCHEMA_VERSION = 1
+#: (2: throughput series renamed to the telemetry "entity:channel" form)
+SCHEMA_VERSION = 2
 
 
 def compute_key(

@@ -136,7 +136,9 @@ def _worker_observer(trace_dir: str) -> JournalObserver:
     if observer is None:
         wid = worker_id()
         observer = JournalObserver(
-            Path(trace_dir) / f"worker-{wid}.jsonl", worker=wid
+            Path(trace_dir) / f"worker-{wid}.jsonl",
+            worker=wid,
+            telemetry_path=Path(trace_dir) / f"telemetry-worker-{wid}.jsonl",
         )
         _WORKER_OBSERVERS[trace_dir] = observer
     return observer

@@ -20,6 +20,7 @@ from repro.harness.experiment import Scenario
 from repro.net.topology import Testbed, TestbedConfig, build_testbed
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.engine import Simulator
+from repro.sim.probe import ProbeSink
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TimeSeries
 
@@ -226,6 +227,7 @@ def run_once(
     scenario: Scenario,
     seed: int = 0,
     observer: Optional[Observer] = None,
+    probe_sink: Optional[ProbeSink] = None,
 ) -> RunMeasurement:
     """Execute one scenario on a fresh testbed and measure it.
 
@@ -234,9 +236,20 @@ def run_once(
     measurement teardown. The default is the shared no-op observer,
     and no observer can affect the measurement: it only ever receives
     copies of names and numbers (see :mod:`repro.obs`).
+
+    ``probe_sink`` overrides where in-sim telemetry samples (cwnd,
+    queue depth, instantaneous power...) go. The default asks the
+    observer for one — telemetry-enabled observers mint a collecting
+    sink and persist it to the trace directory afterwards; the no-op
+    observer hands back the shared no-op sink. Like the observer, a
+    sink is write-only: it cannot affect the measurement.
     """
     obs = NULL_OBSERVER if observer is None else observer
     sim = Simulator()
+    sink = probe_sink if probe_sink is not None else obs.probe_sink(
+        scenario.name, seed
+    )
+    sim.probe_sink = sink
     rngs = RngRegistry(seed)
     with obs.span("testbed_build", scenario=scenario.name, seed=seed):
         prepared = _prepare_run(scenario, sim, rngs)
@@ -284,6 +297,8 @@ def run_once(
                 fid: p.series for fid, p in prepared.probes.items()
             },
         )
+    if probe_sink is None:
+        obs.record_telemetry(sink, scenario=scenario.name, seed=seed)
     return measurement
 
 

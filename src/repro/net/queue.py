@@ -9,11 +9,15 @@ changing capacity.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.errors import NetworkConfigError
 from repro.net.packet import Packet
+from repro.sim.probe import QUEUE_DEPTH_CHANNEL, QUEUE_DROPS_CHANNEL
 from repro.sim.trace import CounterSet
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 
 class DropTailQueue:
@@ -27,6 +31,33 @@ class DropTailQueue:
         self._items: Deque[Packet] = deque()
         self._occupancy = 0
         self.counters = CounterSet()
+        #: telemetry clock source; queues have no simulator reference of
+        #: their own, so topology builders attach one for the queues
+        #: worth observing (the bottleneck)
+        self._probe_sim: Optional["Simulator"] = None
+
+    def attach_probe(self, sim: "Simulator") -> None:
+        """Bind this queue to ``sim`` for depth/drop telemetry.
+
+        Samples go to ``sim.probe_sink`` stamped with virtual time; an
+        unattached queue (or a no-op sink) emits nothing.
+        """
+        self._probe_sim = sim
+
+    def _probe_depth(self) -> None:
+        sim = self._probe_sim
+        if sim is not None and sim.probe_sink.enabled:
+            sim.probe_sink.sample(
+                sim.now, QUEUE_DEPTH_CHANNEL, self.name, float(self._occupancy)
+            )
+
+    def _probe_drop(self) -> None:
+        sim = self._probe_sim
+        if sim is not None and sim.probe_sink.enabled:
+            sim.probe_sink.sample(
+                sim.now, QUEUE_DROPS_CHANNEL, self.name,
+                self.counters.get("drops"),
+            )
 
     # -- state ----------------------------------------------------------
 
@@ -49,11 +80,13 @@ class DropTailQueue:
         if self._occupancy + packet.size_bytes > self.capacity_bytes:
             self.counters.add("drops")
             self.counters.add("dropped_bytes", packet.size_bytes)
+            self._probe_drop()
             return False
         self._mark(packet)
         self._items.append(packet)
         self._occupancy += packet.size_bytes
         self.counters.add("enqueued")
+        self._probe_depth()
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -63,6 +96,7 @@ class DropTailQueue:
         packet = self._items.popleft()
         self._occupancy -= packet.size_bytes
         self.counters.add("dequeued")
+        self._probe_depth()
         return packet
 
     # -- hooks ------------------------------------------------------------
@@ -132,17 +166,20 @@ class PriorityQueue(DropTailQueue):
             ):
                 self.counters.add("drops")
                 self.counters.add("dropped_bytes", packet.size_bytes)
+                self._probe_drop()
                 return False
             victim = self._flows[victim_flow].pop()  # newest of worst flow
             self._occupancy -= victim.size_bytes
             self.counters.add("drops")
             self.counters.add("evictions")
             self.counters.add("dropped_bytes", victim.size_bytes)
+            self._probe_drop()
         queue = self._flows.setdefault(packet.flow_id, deque())
         queue.append(packet)
         self._update_prio(packet.flow_id, arriving_prio)
         self._occupancy += packet.size_bytes
         self.counters.add("enqueued")
+        self._probe_depth()
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -155,6 +192,7 @@ class PriorityQueue(DropTailQueue):
             del self._flow_prio[flow_id]
         self._occupancy -= packet.size_bytes
         self.counters.add("dequeued")
+        self._probe_depth()
         return packet
 
     def __len__(self) -> int:

@@ -126,9 +126,14 @@ def build_testbed(sim: Simulator, config: Optional[TestbedConfig] = None) -> Tes
     # Switch -> receiver: the bottleneck. ECN-capable when configured.
     down_link = Link(sim, config.link_rate_bps, config.link_delay_s, "sw-down")
     down_link.connect(receiver)
+    bottleneck_queue = _make_queue(config, "bottleneck", ecn=True)
+    # The bottleneck queue is the contended resource every figure reads
+    # about; give it the telemetry clock so depth/drop series appear in
+    # traces (no-op unless a probe sink is installed).
+    bottleneck_queue.attach_probe(sim)
     bottleneck = Interface(
         sim,
-        _make_queue(config, "bottleneck", ecn=True),
+        bottleneck_queue,
         down_link,
         name="bottleneck",
         int_telemetry=config.int_telemetry,
@@ -203,9 +208,11 @@ def build_incast_testbed(
     # Switch -> receiver: the shared bottleneck.
     down_link = Link(sim, config.link_rate_bps, config.link_delay_s, "sw-down")
     down_link.connect(receiver)
+    bottleneck_queue = _make_queue(config, "bottleneck", ecn=True)
+    bottleneck_queue.attach_probe(sim)
     bottleneck = Interface(
         sim,
-        _make_queue(config, "bottleneck", ecn=True),
+        bottleneck_queue,
         down_link,
         name="bottleneck",
         int_telemetry=config.int_telemetry,

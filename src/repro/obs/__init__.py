@@ -15,6 +15,14 @@ the same discipline to the reproduction's own pipeline. Three layers:
   harness threads through every layer. The base class is a no-op (the
   zero-overhead default); :class:`TracingObserver` journals events,
   keeps metrics, and exports both into a trace directory.
+* :mod:`repro.obs.telemetry` / :mod:`repro.obs.timeline` — in-sim time
+  series (cwnd, queue depth, instantaneous power...) collected through
+  the sim-side :mod:`repro.sim.probe` protocol, persisted as
+  ``telemetry.jsonl`` next to the journal, and rendered by
+  ``greenenvy obs timeline``.
+* :mod:`repro.obs.baseline` — committed snapshots of a sweep's scalar
+  outcomes plus the tolerance-aware diff behind ``greenenvy obs diff``,
+  the regression gate CI runs.
 
 One invariant is non-negotiable and machine-enforced (the
 ``obs-no-feedback`` simlint rule): observability state never flows
@@ -47,11 +55,35 @@ from repro.obs.observer import (
     TracingObserver,
     resolve_observer,
 )
+from repro.obs.baseline import (
+    DriftRow,
+    compare,
+    format_drift_table,
+    has_regression,
+    load_baseline,
+    save_baseline,
+    snapshot_from_journal,
+)
 from repro.obs.report import (
     JournalSummary,
     format_report,
     summarize_journal,
     summary_to_dict,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_FILENAME,
+    TelemetryWriter,
+    canonicalize_telemetry,
+    merge_worker_telemetry,
+    read_telemetry,
+    series_from_record,
+    telemetry_records,
+)
+from repro.obs.timeline import (
+    filter_records,
+    format_timeline,
+    timeline_csv,
+    timeline_json,
 )
 
 __all__ = [
@@ -75,4 +107,22 @@ __all__ = [
     "summarize_journal",
     "summary_to_dict",
     "format_report",
+    "TELEMETRY_FILENAME",
+    "TelemetryWriter",
+    "telemetry_records",
+    "read_telemetry",
+    "canonicalize_telemetry",
+    "merge_worker_telemetry",
+    "series_from_record",
+    "filter_records",
+    "format_timeline",
+    "timeline_csv",
+    "timeline_json",
+    "DriftRow",
+    "snapshot_from_journal",
+    "save_baseline",
+    "load_baseline",
+    "compare",
+    "has_regression",
+    "format_drift_table",
 ]

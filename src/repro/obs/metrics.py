@@ -41,11 +41,20 @@ def _metric_key(name: str, labels: Labels) -> MetricKey:
     return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition: label values escape backslash, the
+    # double quote, and line feed (in that order, so escapes introduced
+    # here are not re-escaped).
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: MetricKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     items = list(key[1]) + list(extra)
     if not items:
         return key[0]
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return f"{key[0]}{{{body}}}"
 
 

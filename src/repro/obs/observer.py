@@ -32,6 +32,14 @@ from repro.obs.journal import (
     perf_clock,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    DEFAULT_TELEMETRY_INTERVAL_S,
+    TELEMETRY_FILENAME,
+    TelemetryWriter,
+    canonicalize_telemetry,
+    merge_worker_telemetry,
+)
+from repro.sim.probe import NULL_PROBE_SINK, ProbeSink, TimeSeriesProbeSink
 
 #: filenames of the metric exports a TracingObserver writes on close
 METRICS_PROM_FILENAME = "metrics.prom"
@@ -91,6 +99,21 @@ class Observer:
     def inc(self, name: str, amount: float = 1.0, labels: Optional[Mapping[str, str]] = None) -> None:
         """Increment a counter metric."""
 
+    def probe_sink(self, scenario: str, seed: int) -> ProbeSink:
+        """A telemetry sink for one run (the shared no-op by default).
+
+        The harness installs the returned sink as ``sim.probe_sink``
+        before a run and hands it back via :meth:`record_telemetry`
+        after — so only telemetry-enabled observers pay for series
+        collection.
+        """
+        return NULL_PROBE_SINK
+
+    def record_telemetry(
+        self, sink: ProbeSink, scenario: str, seed: int
+    ) -> None:
+        """Persist a completed run's probe-sink series (no-op here)."""
+
     def collect_workers(self) -> None:
         """Merge per-worker partial journals (coordinator only)."""
 
@@ -146,9 +169,15 @@ class JournalObserver(Observer):
         path: Union[str, Path],
         worker: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        telemetry_path: Optional[Union[str, Path]] = None,
+        telemetry_interval_s: Optional[float] = DEFAULT_TELEMETRY_INTERVAL_S,
     ):
         self.journal = JournalWriter(path, worker=worker)
         self.registry = registry
+        self.telemetry_interval_s = telemetry_interval_s
+        self.telemetry: Optional[TelemetryWriter] = (
+            TelemetryWriter(telemetry_path) if telemetry_path is not None else None
+        )
 
     def emit(self, event: str, **fields: Any) -> None:
         self.journal.write(event, **fields)
@@ -201,6 +230,21 @@ class JournalObserver(Observer):
                 help="wall time per pipeline phase",
             )
 
+    # -- telemetry -----------------------------------------------------
+
+    def probe_sink(self, scenario: str, seed: int) -> ProbeSink:
+        """A fresh collecting sink per run when telemetry is on."""
+        if self.telemetry is None:
+            return NULL_PROBE_SINK
+        return TimeSeriesProbeSink(min_interval_s=self.telemetry_interval_s)
+
+    def record_telemetry(
+        self, sink: ProbeSink, scenario: str, seed: int
+    ) -> None:
+        if self.telemetry is None or not isinstance(sink, TimeSeriesProbeSink):
+            return
+        self.telemetry.write_sink(sink, scenario=scenario, seed=seed)
+
     def record(self, events: Iterable[Mapping[str, Any]]) -> None:
         """Fold already-written events (e.g. merged worker partials)
         into the metrics, without re-journaling them."""
@@ -216,6 +260,8 @@ class JournalObserver(Observer):
                 ).observe(float(record["wall_s"]))
 
     def close(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.close()
         self.journal.close()
 
 
@@ -233,12 +279,18 @@ class TracingObserver(JournalObserver):
     def __init__(self, trace_dir: Union[str, Path]):
         root = Path(trace_dir)
         root.mkdir(parents=True, exist_ok=True)
-        super().__init__(root / JOURNAL_FILENAME, registry=MetricsRegistry())
+        super().__init__(
+            root / JOURNAL_FILENAME,
+            registry=MetricsRegistry(),
+            telemetry_path=root / TELEMETRY_FILENAME,
+        )
         self.trace_dir = root
 
     def collect_workers(self) -> None:
         merged = merge_worker_journals(self.trace_dir, into=self.journal)
         self.record(merged)
+        assert self.telemetry is not None
+        merge_worker_telemetry(self.trace_dir, into=self.telemetry)
 
     def write_metrics(self) -> None:
         """Export the registry as Prometheus text + JSON into the dir."""
@@ -254,6 +306,10 @@ class TracingObserver(JournalObserver):
     def close(self) -> None:
         self.write_metrics()
         super().close()
+        # Canonical record order makes the closed file independent of
+        # jobs= and of run-completion order: serial and pooled traces
+        # of the same sweep are byte-identical.
+        canonicalize_telemetry(self.trace_dir)
 
 
 def resolve_observer(

@@ -1,0 +1,140 @@
+"""Telemetry rendering: what ``greenenvy obs timeline`` prints.
+
+Reads a trace directory's ``telemetry.jsonl`` and renders the per-flow /
+per-queue / per-package series as text (a stream index plus sample
+tables), CSV (one long-format row per sample), or JSON (the records as
+a document). Filters narrow to one scenario, channel, or entity so an
+operator can ask exactly the paper's questions — "show me flow 1's cwnd
+in the fsti run" — without touching the figure pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ObservabilityError
+
+
+def filter_records(
+    records: Sequence[Mapping[str, Any]],
+    scenario: Optional[str] = None,
+    seed: Optional[int] = None,
+    channel: Optional[str] = None,
+    entity: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Telemetry records matching every given filter (None = any)."""
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        if scenario is not None and record.get("scenario") != scenario:
+            continue
+        if seed is not None and record.get("seed") != seed:
+            continue
+        if channel is not None and record.get("channel") != channel:
+            continue
+        if entity is not None and record.get("entity") != entity:
+            continue
+        out.append(dict(record))
+    return out
+
+
+def _stream_rows(records: Sequence[Mapping[str, Any]]) -> List[tuple]:
+    rows = []
+    for record in records:
+        times = record.get("times", [])
+        values = record.get("values", [])
+        rows.append(
+            (
+                str(record.get("scenario", "?")),
+                int(record.get("seed", -1)),
+                str(record.get("channel", "?")),
+                str(record.get("entity", "?")),
+                len(times),
+                float(times[0]) if times else 0.0,
+                float(times[-1]) if times else 0.0,
+                min(values) if values else 0.0,
+                max(values) if values else 0.0,
+            )
+        )
+    return rows
+
+
+def format_timeline(
+    records: Sequence[Mapping[str, Any]], samples: int = 0
+) -> str:
+    """Human-readable telemetry index, optionally with sample tables.
+
+    ``samples`` > 0 additionally prints up to that many evenly-spaced
+    (time, value) rows per stream — enough to eyeball a trajectory in a
+    terminal without dumping every per-millisecond point.
+    """
+    if not records:
+        raise ObservabilityError("no telemetry records to render")
+    lines: List[str] = []
+    total = sum(len(r.get("times", [])) for r in records)
+    lines.append(f"telemetry: {len(records)} streams, {total} samples")
+    lines.append("")
+    lines.append(
+        format_table(
+            [
+                "scenario",
+                "seed",
+                "channel",
+                "entity",
+                "samples",
+                "t0 (s)",
+                "t1 (s)",
+                "min",
+                "max",
+            ],
+            _stream_rows(records),
+            float_fmt="{:.6g}",
+        )
+    )
+    if samples > 0:
+        for record in records:
+            times = record.get("times", [])
+            values = record.get("values", [])
+            if not times:
+                continue
+            lines.append("")
+            lines.append(
+                f"== {record.get('scenario', '?')} seed={record.get('seed')} "
+                f"{record.get('entity', '?')}:{record.get('channel', '?')} =="
+            )
+            count = min(samples, len(times))
+            step = max(1, len(times) // count)
+            picked = list(range(0, len(times), step))[:count]
+            lines.append(
+                format_table(
+                    ["t (s)", "value"],
+                    [(float(times[i]), float(values[i])) for i in picked],
+                    float_fmt="{:.6g}",
+                )
+            )
+    return "\n".join(lines)
+
+
+def timeline_csv(records: Sequence[Mapping[str, Any]]) -> str:
+    """Long-format CSV: one row per sample, ready for pandas/gnuplot."""
+    lines = ["scenario,seed,channel,entity,time_s,value"]
+    for record in records:
+        scenario = str(record.get("scenario", ""))
+        seed = record.get("seed", "")
+        channel = str(record.get("channel", ""))
+        entity = str(record.get("entity", ""))
+        for time_s, value in zip(record.get("times", []), record.get("values", [])):
+            lines.append(
+                f"{scenario},{seed},{channel},{entity},{time_s!r},{value!r}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def timeline_json(records: Sequence[Mapping[str, Any]]) -> str:
+    """The records as one indented JSON document."""
+    return json.dumps(
+        {"version": 1, "streams": [dict(r) for r in records]},
+        indent=2,
+        sort_keys=True,
+    )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.sim.probe import NULL_PROBE_SINK, ProbeSink
 
 Callback = Callable[..., None]
 
@@ -72,6 +73,12 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        #: where instrumented components (TCP senders, queues, CPU
+        #: packages) send telemetry samples; the shared no-op by
+        #: default, swapped by the harness when telemetry is collected.
+        #: Write-only from the simulation's perspective — nothing here
+        #: ever reads it back.
+        self.probe_sink: ProbeSink = NULL_PROBE_SINK
 
     # -- clock --------------------------------------------------------
 

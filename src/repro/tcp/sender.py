@@ -29,6 +29,12 @@ from repro.errors import TcpStateError
 from repro.net.host import Host
 from repro.net.packet import Packet, mss_for_mtu
 from repro.sim.engine import Event, Simulator
+from repro.sim.probe import (
+    CWND_CHANNEL,
+    RETRANSMITS_CHANNEL,
+    SRTT_CHANNEL,
+    SSTHRESH_CHANNEL,
+)
 from repro.sim.timer import Timer
 from repro.sim.trace import CounterSet
 from repro.cc.base import AckEvent, CongestionControl
@@ -261,6 +267,26 @@ class TcpSender:
                 self._rto_timer.start(self.rtt.rto)
 
         self._try_send()
+
+        sink = self.sim.probe_sink
+        if sink.enabled:
+            # Per-ACK congestion-state telemetry: the series the paper's
+            # trajectory claims (§4.1, §4.5) are read from. Downsampling
+            # happens in the sink, never here.
+            now = self.sim.now
+            entity = f"flow-{self.flow_id}"
+            sink.sample(now, CWND_CHANNEL, entity, float(self.cca.cwnd))
+            sink.sample(
+                now, SSTHRESH_CHANNEL, entity, float(self.cca.ssthresh)
+            )
+            if self.rtt.srtt is not None:
+                sink.sample(now, SRTT_CHANNEL, entity, self.rtt.srtt)
+            sink.sample(
+                now,
+                RETRANSMITS_CHANNEL,
+                entity,
+                self.counters.get("retransmits"),
+            )
 
     def _make_event(
         self,

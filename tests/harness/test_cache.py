@@ -10,6 +10,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.harness.cache import (
+    SCHEMA_VERSION,
     ResultCache,
     compute_key,
     ensure_cache,
@@ -120,7 +121,7 @@ class TestHitMiss:
     def test_schema_bump_invalidates(self, cache, tmp_path):
         s = scenario()
         cache.put(s, 0, run_once(s, seed=0))
-        bumped = ResultCache(tmp_path / "cache", schema_version=2)
+        bumped = ResultCache(tmp_path / "cache", schema_version=SCHEMA_VERSION + 1)
         assert bumped.get(s, 0) is None
 
     def test_corrupt_entry_is_a_miss(self, cache):

@@ -1,13 +1,17 @@
 """Tracing must be a pure spectator: same results, same events, any jobs.
 
-Two contracts from the observability design:
+Three contracts from the observability design:
 
 * measurements are bit-identical with tracing on or off, serial or
-  process-pool — the observer only ever receives copies, and
+  process-pool — the observer only ever receives copies,
 * the *deterministic* journal fields (everything except the volatile
   wall-clock/worker set) are the same whether one worker or four
   produced them, once the merge has put events back in submission
-  order.
+  order, and
+* telemetry collection (the in-sim probe sinks behind telemetry.jsonl)
+  perturbs nothing: traced-with-telemetry runs equal untraced ones, and
+  the telemetry records themselves are identical between jobs=1 and
+  jobs=4 once merged.
 """
 
 import pytest
@@ -17,6 +21,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.executor import WorkItem, run_work_items
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.obs.journal import VOLATILE_FIELDS, read_journal
+from repro.obs.telemetry import read_telemetry
 
 SIZE = 400_000
 
@@ -52,6 +57,68 @@ class TestTracedResultsAreUntouched:
             items_for(), jobs=4, observer=tmp_path / "t"
         )
         assert traced == plain
+
+
+def telemetry_key(record):
+    return (record["scenario"], record["seed"], record["channel"], record["entity"])
+
+
+class TestTelemetryDeterminism:
+    """telemetry.jsonl: same records any jobs, and never a perturbation."""
+
+    def test_traced_telemetry_jobs4_equals_untraced_serial(self, tmp_path):
+        # The acceptance bar: running with telemetry collection on and a
+        # process pool must reproduce the untraced serial measurements
+        # bit for bit.
+        plain = run_work_items(items_for())
+        traced = run_work_items(items_for(), jobs=4, observer=tmp_path / "t")
+        assert traced == plain
+
+    def test_jobs1_and_jobs4_write_identical_records(self, tmp_path):
+        run_work_items(items_for(), jobs=1, observer=tmp_path / "serial")
+        run_work_items(items_for(), jobs=4, observer=tmp_path / "pool")
+        serial = sorted(read_telemetry(tmp_path / "serial"), key=telemetry_key)
+        pool = sorted(read_telemetry(tmp_path / "pool"), key=telemetry_key)
+        assert serial == pool
+        # Stronger: the closed files are canonicalized into key order,
+        # so the traces are byte-identical, not just record-identical.
+        assert (
+            (tmp_path / "serial" / "telemetry.jsonl").read_bytes()
+            == (tmp_path / "pool" / "telemetry.jsonl").read_bytes()
+        )
+
+    def test_expected_channels_are_recorded(self, tmp_path):
+        run_work_items(items_for(1), observer=tmp_path / "t")
+        records = read_telemetry(tmp_path / "t")
+        channels = {r["channel"] for r in records}
+        assert {
+            "cwnd_bytes",
+            "srtt_s",
+            "retransmits",
+            "queue_depth_bytes",
+            "power_w",
+            "energy_j",
+        } <= channels
+        entities = {r["entity"] for r in records}
+        assert "flow-1" in entities
+        assert "bottleneck" in entities
+        for record in records:
+            assert record["scenario"] == "trace"
+            assert len(record["times"]) == len(record["values"])
+
+    def test_telemetry_partials_are_merged_away(self, tmp_path):
+        run_work_items(items_for(), jobs=4, observer=tmp_path / "t")
+        trace = tmp_path / "t"
+        assert list(trace.glob("telemetry-worker-*.jsonl")) == []
+        assert (trace / "telemetry.jsonl").exists()
+
+    def test_cache_hits_skip_telemetry(self, tmp_path):
+        # A replayed measurement never re-simulates, so it contributes
+        # no telemetry — documented behavior, pinned here.
+        cache = ResultCache(tmp_path / "cache")
+        run_work_items(items_for(), cache=cache)
+        run_work_items(items_for(), cache=cache, observer=tmp_path / "t")
+        assert read_telemetry(tmp_path / "t") == []
 
 
 class TestJournalDeterminism:

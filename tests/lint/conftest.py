@@ -22,6 +22,7 @@ CLEAN_FIXTURES = (
     "determinism/obs_outside_scope.py",
     "determinism/sim/clean_sets.py",
     "determinism/sim/rng.py",
+    "determinism/clean_probe.py",
     "contract/cc/base.py",
     "contract/cc/good.py",
     "contract/cc/good_child.py",

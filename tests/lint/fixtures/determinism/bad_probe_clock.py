@@ -1,0 +1,19 @@
+"""Fixture: a probe sink using wall clocks (every form the rule flags)."""
+
+from repro.obs.journal import perf_clock, wall_clock  # both flagged
+
+
+class LeakyProbeSink:
+    enabled = True
+
+    def sample(self, time_s, channel, entity, value):
+        self.last = (time_s, channel, entity, value)
+
+
+def emit(sink):
+    # sample() stamped with the blessed helpers and a raw wall clock
+    sink.sample(wall_clock(), "cwnd_bytes", "flow-1", 1.0)
+    sink.sample(perf_clock(), "power_w", "pkg0", 2.0)
+    import time
+
+    sink.sample(time.time(), "queue_depth_bytes", "bottleneck", 3.0)

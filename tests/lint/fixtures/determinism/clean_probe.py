@@ -1,0 +1,18 @@
+"""Fixture: a probe sink stamped with virtual time only (clean)."""
+
+from __future__ import annotations
+
+
+class CollectingProbeSink:
+    enabled = True
+
+    def __init__(self):
+        self.samples = []
+
+    def sample(self, time_s, channel, entity, value):
+        self.samples.append((time_s, channel, entity, value))
+
+
+def emit(sim, sink):
+    # virtual-time stamping is the blessed pattern
+    sink.sample(sim.now, "cwnd_bytes", "flow-1", 1.0)

@@ -10,6 +10,7 @@ DET = [
     "det-process-identity",
     "det-set-iteration",
     "obs-no-feedback",
+    "obs-probe-wall-clock",
 ]
 
 
@@ -106,4 +107,40 @@ class TestObsFeedback:
             str(repo_src / d) for d in ("sim", "net", "cc", "tcp")
         ]
         result = run_lint(paths, select=["obs-no-feedback"])
+        assert result.clean
+
+
+class TestProbeWallClock:
+    """Telemetry samples must be stamped with virtual time only."""
+
+    def test_bad_fixture_trips_import_and_sample_forms(self, lint):
+        result = lint(
+            "determinism/bad_probe_clock.py", select=["obs-probe-wall-clock"]
+        )
+        # wall_clock + perf_clock imports in a sink-defining module, plus
+        # three sample(<clock>(), ...) calls
+        assert _by_rule(result)["obs-probe-wall-clock"] == 5
+
+    def test_virtual_time_sink_is_clean(self, lint):
+        assert lint(
+            "determinism/clean_probe.py", select=["obs-probe-wall-clock"]
+        ).clean
+
+    def test_clock_helpers_fine_outside_sink_modules(self, lint):
+        # obs_outside_scope-style code may use the journal's helpers as
+        # long as it defines no probe sink
+        assert lint(
+            "determinism/obs_outside_scope.py",
+            select=["obs-probe-wall-clock"],
+        ).clean
+
+    def test_shipped_probe_sources_honor_the_rule(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = run_lint(
+            [str(repo_src)], select=["obs-probe-wall-clock"]
+        )
         assert result.clean

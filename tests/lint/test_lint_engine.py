@@ -11,9 +11,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestRuleRegistry:
-    def test_seventeen_rules_in_four_families(self):
+    def test_eighteen_rules_in_four_families(self):
         rules = iter_rules()
-        assert len(rules) == 17
+        assert len(rules) == 18
         assert {r.family for r in rules} == {
             "units", "determinism", "cca-contract", "api-hygiene",
         }

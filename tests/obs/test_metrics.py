@@ -39,6 +39,43 @@ class TestHistogram:
         with pytest.raises(ObservabilityError):
             Histogram("h", buckets=(1.0, 1.0, 2.0))
 
+    def test_value_on_bucket_edge_falls_in_that_bucket(self):
+        # Prometheus buckets are `le` (less-or-equal): an observation
+        # exactly on a boundary belongs to that bucket, not the next.
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        samples = dict(h.samples())
+        assert samples['h_bucket{le="0.1"}'] == 1
+        assert samples['h_bucket{le="1"}'] == 1  # cumulative, not 0
+
+    def test_above_all_bounds_lands_only_in_inf(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe(100.0)
+        samples = dict(h.samples())
+        assert samples['h_bucket{le="0.1"}'] == 0
+        assert samples['h_bucket{le="1"}'] == 0
+        assert samples['h_bucket{le="+Inf"}'] == 1
+
+    def test_inf_bucket_always_counts_everything(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 1.0, 2.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples['h_bucket{le="+Inf"}'] == h.count == 4
+
+    def test_cumulative_counts_are_monotone(self):
+        h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        counts = [
+            samples['h_bucket{le="0.1"}'],
+            samples['h_bucket{le="1"}'],
+            samples['h_bucket{le="10"}'],
+            samples['h_bucket{le="+Inf"}'],
+        ]
+        assert counts == [1, 2, 3, 4]
+
     def test_observations_export_cumulative_buckets(self):
         h = Histogram("h", buckets=(0.1, 1.0))
         for v in (0.05, 0.5, 5.0):
@@ -80,6 +117,24 @@ class TestRegistry:
         reg = MetricsRegistry()
         reg.counter("e", labels={"b": "2", "a": "1"}).inc()
         assert 'e{a="1",b="2"} 1' in reg.render_prometheus()
+
+    def test_label_value_backslash_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("e", labels={"path": "C:\\traces"}).inc()
+        assert 'e{path="C:\\\\traces"} 1' in reg.render_prometheus()
+
+    def test_label_value_double_quote_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("e", labels={"name": 'say "hi"'}).inc()
+        assert 'e{name="say \\"hi\\""} 1' in reg.render_prometheus()
+
+    def test_label_value_newline_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("e", labels={"msg": "line1\nline2"}).inc()
+        text = reg.render_prometheus()
+        assert 'e{msg="line1\\nline2"} 1' in text
+        # exposition stays one sample per line
+        assert "line1\nline2" not in text
 
     def test_to_dict_is_json_serializable(self):
         reg = MetricsRegistry()

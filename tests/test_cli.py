@@ -176,3 +176,178 @@ class TestObsCommands:
     def test_report_missing_journal_exits_two(self, capsys, tmp_path):
         assert main(["obs", "report", str(tmp_path / "absent")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_report_empty_journal_exits_two(self, capsys, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        (trace / "journal.jsonl").write_text("")
+        assert main(["obs", "report", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "empty" in err
+        assert "Traceback" not in err
+
+    def test_report_truncated_journal_exits_two(self, capsys, tmp_path):
+        # A journal whose last line was cut mid-write (killed sweep).
+        trace = self._journal(tmp_path)
+        with (trace / "journal.jsonl").open("a") as handle:
+            handle.write('{"event": "run_fini')
+        assert main(["obs", "report", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "bad journal line" in err
+        assert "Traceback" not in err
+
+
+class TestObsTimeline:
+    """The obs timeline telemetry renderer."""
+
+    def _telemetry(self, tmp_path):
+        from repro.obs.telemetry import TELEMETRY_FILENAME, TelemetryWriter
+        from repro.sim.probe import CWND_CHANNEL, TimeSeriesProbeSink
+
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        sink = TimeSeriesProbeSink()
+        sink.sample(0.0, CWND_CHANNEL, "flow-1", 14600.0)
+        sink.sample(0.5, CWND_CHANNEL, "flow-1", 29200.0)
+        sink.sample(0.0, CWND_CHANNEL, "flow-2", 14600.0)
+        with TelemetryWriter(trace / TELEMETRY_FILENAME) as writer:
+            writer.write_sink(sink, "s", 0)
+        return trace
+
+    def test_text_format_lists_streams(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        assert main(["obs", "timeline", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "2 streams" in out
+        assert "cwnd_bytes" in out
+        assert "flow-1" in out
+
+    def test_samples_flag_prints_points(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        assert main(["obs", "timeline", str(trace), "--samples", "2"]) == 0
+        assert "14600" in capsys.readouterr().out
+
+    def test_csv_format(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        assert main(["obs", "timeline", str(trace), "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "scenario,seed,channel,entity,time_s,value"
+        assert "s,0,cwnd_bytes,flow-1,0.0,14600.0" in lines
+
+    def test_json_format(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        assert main(["obs", "timeline", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert len(payload["streams"]) == 2
+
+    def test_entity_filter_narrows_streams(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        code = main([
+            "obs", "timeline", str(trace),
+            "--entity", "flow-2", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["entity"] for s in payload["streams"]] == ["flow-2"]
+
+    def test_no_match_exits_one(self, capsys, tmp_path):
+        trace = self._telemetry(tmp_path)
+        assert main([
+            "obs", "timeline", str(trace), "--entity", "flow-9",
+        ]) == 1
+        assert "no telemetry streams match" in capsys.readouterr().err
+
+    def test_missing_telemetry_exits_two(self, capsys, tmp_path):
+        assert main(["obs", "timeline", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsBaselineCommands:
+    """obs snapshot and the CI-gating obs diff."""
+
+    def _trace(self, tmp_path, energy_j=2.0):
+        from repro.obs.journal import JournalWriter
+
+        trace = tmp_path / f"trace-{energy_j}"
+        trace.mkdir()
+        with JournalWriter(trace / "journal.jsonl", worker=1) as journal:
+            for seed, scenario in ((0, "fig1-fair"), (1, "fig1-fsti")):
+                journal.write(
+                    "run_finished", item=seed, scenario=scenario, seed=seed,
+                    wall_s=0.5, sim_time_s=0.01,
+                    energy_j=energy_j if scenario == "fig1-fair" else 1.0,
+                    counters={"retransmissions": 2, "bottleneck_drops": 4},
+                )
+        return trace
+
+    def test_snapshot_to_stdout(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "snapshot", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["fig1-fair/energy_j"] == 2.0
+        assert "fig1-fsti/savings_vs_fair_percent" in payload["metrics"]
+
+    def test_snapshot_writes_baseline_file(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        out = tmp_path / "base.json"
+        assert main(["obs", "snapshot", str(trace), "-o", str(out)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        assert json.loads(out.read_text())["version"] == 1
+
+    def test_snapshot_empty_journal_exits_two(self, capsys, tmp_path):
+        trace = tmp_path / "t"
+        trace.mkdir()
+        (trace / "journal.jsonl").write_text("")
+        assert main(["obs", "snapshot", str(trace)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_against_self_baseline_exits_zero(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        base = tmp_path / "base.json"
+        main(["obs", "snapshot", str(trace), "-o", str(base)])
+        capsys.readouterr()
+        assert main(["obs", "diff", str(base), str(trace)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_diff_perturbed_metric_exits_one(self, capsys, tmp_path):
+        # The acceptance gate: a metric drifting beyond its tolerance
+        # must fail the command.
+        base = tmp_path / "base.json"
+        main(["obs", "snapshot", str(self._trace(tmp_path)), "-o", str(base)])
+        capsys.readouterr()
+        drifted = self._trace(tmp_path, energy_j=2.1)  # 5% >> 1e-4
+        assert main(["obs", "diff", str(base), str(drifted)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "DRIFT" in out
+
+    def test_diff_tolerance_override_can_absorb_drift(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        main(["obs", "snapshot", str(self._trace(tmp_path)), "-o", str(base)])
+        capsys.readouterr()
+        drifted = self._trace(tmp_path, energy_j=2.1)
+        code = main([
+            "obs", "diff", str(base), str(drifted),
+            "--tolerance", "energy_j=0.1",
+            "--tolerance", "savings_vs_fair_percent=1.0",
+        ])
+        assert code == 0
+
+    def test_diff_bad_tolerance_exits_two(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        base = tmp_path / "base.json"
+        main(["obs", "snapshot", str(trace), "-o", str(base)])
+        capsys.readouterr()
+        assert main([
+            "obs", "diff", str(base), str(trace),
+            "--tolerance", "energy_j",
+        ]) == 2
+        assert "bad --tolerance" in capsys.readouterr().err
+
+    def test_diff_missing_baseline_exits_two(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        assert main([
+            "obs", "diff", str(tmp_path / "absent.json"), str(trace),
+        ]) == 2
+        assert "no baseline" in capsys.readouterr().err
