@@ -4,15 +4,29 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint ruff mypy bench obs-bench baseline obs-diff
+.PHONY: check test lint lint-baseline sarif ruff mypy bench bench-sim obs-bench baseline obs-diff
 
 check: test lint ruff mypy
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+LINT_BASELINE = lint-baseline.json
+
+# gate against the committed baseline: pre-existing findings are
+# absorbed, anything new fails the build
 lint:
-	$(PYTHON) -m repro.cli lint src
+	$(PYTHON) -m repro.cli lint src --baseline $(LINT_BASELINE)
+
+# regenerate the committed baseline (deterministic: sorted findings,
+# repo-anchored paths, no line numbers); commit the updated JSON
+# together with whatever introduced the findings it absorbs
+lint-baseline:
+	$(PYTHON) -m repro.cli lint src --write-baseline $(LINT_BASELINE)
+
+# machine-readable findings for code-scanning UIs (also a CI artifact)
+sarif:
+	$(PYTHON) -m repro.cli lint src --sarif > lint.sarif; test $$? -le 1
 
 # ruff/mypy ship in the `lint` extra (pip install -e .[lint]); skip
 # gracefully where they are not installed so `make check` stays usable
@@ -33,6 +47,11 @@ mypy:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# refresh the committed events/sec snapshot (benchmarks/BENCH_sim.json);
+# runs the BASELINE_SWEEP scenario set under a recording observer
+bench-sim:
+	$(PYTHON) benchmarks/bench_sim.py
 
 # the observability zero-overhead gate (also a CI step)
 obs-bench:

@@ -25,29 +25,62 @@ BBR's bandwidth filters) charge more, which is one of the two mechanisms
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import ClassVar, Optional, Protocol
 
 
-@dataclass
 class AckEvent:
-    """Everything a CCA may want to know about one incoming ACK."""
+    """Everything a CCA may want to know about one incoming ACK.
 
-    newly_acked_bytes: int
-    cumulative_ack: int
-    rtt_sample: Optional[float]
-    flight_bytes: int
-    in_recovery: bool
-    ecn_echo: bool
-    ecn_marked_bytes: int
-    delivery_rate_bps: Optional[float]
-    is_app_limited: bool
-    #: echoed in-band telemetry from the bottleneck (HPCC-style); None
-    #: unless the path stamps INT
-    int_qlen_bytes: Optional[int] = None
-    int_tx_bytes: Optional[float] = None
-    int_timestamp: Optional[float] = None
-    int_link_rate_bps: Optional[float] = None
+    One is allocated per ACK processed, hence ``__slots__``.
+    """
+
+    __slots__ = (
+        "newly_acked_bytes",
+        "cumulative_ack",
+        "rtt_sample",
+        "flight_bytes",
+        "in_recovery",
+        "ecn_echo",
+        "ecn_marked_bytes",
+        "delivery_rate_bps",
+        "is_app_limited",
+        "int_qlen_bytes",
+        "int_tx_bytes",
+        "int_timestamp",
+        "int_link_rate_bps",
+    )
+
+    def __init__(
+        self,
+        newly_acked_bytes: int,
+        cumulative_ack: int,
+        rtt_sample: Optional[float],
+        flight_bytes: int,
+        in_recovery: bool,
+        ecn_echo: bool,
+        ecn_marked_bytes: int,
+        delivery_rate_bps: Optional[float],
+        is_app_limited: bool,
+        # echoed in-band telemetry from the bottleneck (HPCC-style);
+        # None unless the path stamps INT
+        int_qlen_bytes: Optional[int] = None,
+        int_tx_bytes: Optional[float] = None,
+        int_timestamp: Optional[float] = None,
+        int_link_rate_bps: Optional[float] = None,
+    ) -> None:
+        self.newly_acked_bytes = newly_acked_bytes
+        self.cumulative_ack = cumulative_ack
+        self.rtt_sample = rtt_sample
+        self.flight_bytes = flight_bytes
+        self.in_recovery = in_recovery
+        self.ecn_echo = ecn_echo
+        self.ecn_marked_bytes = ecn_marked_bytes
+        self.delivery_rate_bps = delivery_rate_bps
+        self.is_app_limited = is_app_limited
+        self.int_qlen_bytes = int_qlen_bytes
+        self.int_tx_bytes = int_tx_bytes
+        self.int_timestamp = int_timestamp
+        self.int_link_rate_bps = int_link_rate_bps
 
 
 class CcContext(Protocol):

@@ -30,14 +30,16 @@ class WindowedFilter:
     def update(self, now: float, value: float) -> None:
         """Insert a sample taken at virtual time ``now``."""
         # Remove samples the new one dominates (monotonic deque).
-        while self._samples and self._better(value, self._samples[-1][1]):
-            self._samples.pop()
-        self._samples.append((now, value))
+        samples = self._samples
+        while samples and self._better(value, samples[-1][1]):
+            samples.pop()
+        samples.append((now, value))
         self._evict(now)
 
     def _evict(self, now: float) -> None:
-        while self._samples and now - self._samples[0][0] > self.window_s:
-            self._samples.popleft()
+        samples = self._samples
+        while samples and now - samples[0][0] > self.window_s:
+            samples.popleft()
 
     def get(self, now: Optional[float] = None) -> Optional[float]:
         """Current filtered value, or None if no recent samples."""

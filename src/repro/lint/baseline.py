@@ -1,0 +1,86 @@
+"""Finding baselines: accept today's debt, gate tomorrow's.
+
+A baseline file records the findings a tree is *known* to have so CI can
+fail only on new ones — the standard ratchet for introducing a linter to
+an existing codebase. Entries are keyed on ``(path, rule, message)``
+with a count, deliberately excluding line numbers so unrelated edits
+that shift code do not churn the file. The JSON is sorted and stable:
+regenerating it on an unchanged tree is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.core import Finding, LintUsageError
+
+#: bump on breaking changes to the baseline file layout
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.path, finding.rule, finding.message)
+
+
+def make_baseline(findings: List[Finding]) -> Dict:
+    """The baseline dict for a list of findings (sorted, count-keyed)."""
+    counts = Counter(_key(f) for f in findings)
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path, "rule": rule, "message": message, "count": count}
+            for (path, rule, message), count in sorted(counts.items())
+        ],
+    }
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """Stable JSON text for the committed baseline file."""
+    return json.dumps(make_baseline(findings), indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> Dict[Key, int]:
+    """Parse a baseline file into a count-per-key map."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LintUsageError(f"no such baseline file: {path}")
+    except json.JSONDecodeError as exc:
+        raise LintUsageError(f"baseline {path} is not valid JSON: {exc}")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise LintUsageError(
+            f"baseline {path} has version {version!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    counts: Dict[Key, int] = {}
+    for entry in payload.get("findings", []):
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def new_findings(
+    findings: List[Finding], baseline: Dict[Key, int]
+) -> List[Finding]:
+    """Findings not absorbed by the baseline.
+
+    Each baseline entry absorbs up to ``count`` findings with the same
+    ``(path, rule, message)``; the overflow — and anything the baseline
+    has never seen — is *new* and should fail the gate.
+    """
+    budget = dict(baseline)
+    out: List[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            out.append(finding)
+    return out

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
-#: ``# simlint: ignore[rule-a,rule-b]`` suppresses those rules on the
-#: line; a bare ``# simlint: ignore`` suppresses every rule on the line.
+#: a ``simlint: ignore[rule-a,rule-b]`` comment suppresses those rules
+#: on the line; a bare ``simlint: ignore`` suppresses every rule there.
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
 )
@@ -202,6 +202,35 @@ class LintContext:
         self._signatures: Optional[Dict[str, Optional[List[str]]]] = None
         self._registry_names: Optional[Dict[str, FrozenSet[str]]] = None
         self._cc_classes: Optional[Dict[str, Dict[str, "ClassFacts"]]] = None
+        self._graph = None
+        self._memo: Dict[str, object] = {}
+
+    # -- whole-program graph ------------------------------------------------
+
+    @property
+    def graph(self):
+        """The :class:`~repro.lint.graph.ProjectGraph` over all modules.
+
+        Built lazily on first access (only the whole-program rule
+        families pay for it) and shared by every rule in the run.
+        """
+        if self._graph is None:
+            from repro.lint.graph import ProjectGraph  # avoid import cycle
+
+            self._graph = ProjectGraph(self.modules)
+        return self._graph
+
+    def memo(self, key: str, factory):
+        """Run-scoped cache for expensive analyses.
+
+        The dataflow engines (taint fixpoint, unit inference) are built
+        once per lint run and shared across all modules; rules call
+        ``ctx.memo("detflow", lambda: ...)`` instead of owning state,
+        keeping rule instances reusable across runs.
+        """
+        if key not in self._memo:
+            self._memo[key] = factory()
+        return self._memo[key]
 
     # -- function signature table -----------------------------------------
 

@@ -1,0 +1,542 @@
+"""Conservative intra+inter-procedural dataflow on the project graph.
+
+Two analyses share the machinery here:
+
+* :class:`TaintEngine` — boolean taint with string labels. Sources and
+  sinks are supplied by the rule (determinism-flow marks ``random.*`` /
+  ``time.*`` / set-iteration-order values; sinks are writes to
+  simulation state and scheduler arguments). Function **summaries** —
+  does this function *return* taint, do its *parameters* reach its
+  return or a sink — are computed to a fixpoint over the call graph, so
+  a wall-clock read two helpers away from a state write is still
+  connected to it.
+* :class:`UnitFlow` — dimensional inference. Units attach to
+  identifiers via the ``units.py`` suffix convention; this engine
+  propagates them through local assignments and function returns so a
+  watts value laundered through an unsuffixed temporary or a helper
+  call still carries its dimension to the point of misuse.
+
+Both are deliberately *flow-insensitive within a function* (one
+environment per function, built in two passes so loop-carried values
+settle): the goal is catching real cross-module bugs with near-zero
+false positives, not soundness. Unknown calls drop taint and units —
+the analyses under-approximate rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.core import ModuleInfo, dotted_name
+from repro.lint.graph import FunctionInfo, ProjectGraph, call_params, module_key
+
+#: taint labels carried by parameters during summary construction;
+#: stripped before anything is reported
+_PARAM_PREFIX = "param:"
+
+#: calls that launder away iteration-order/entropy taint
+DEFAULT_SANITIZERS = frozenset({"sorted", "len", "sum", "min", "max"})
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One place a tainted value must not reach."""
+
+    value: ast.AST  #: the expression that must stay clean
+    description: str  #: e.g. "simulation state `self.cwnd_bytes`"
+    anchor: ast.AST  #: node findings are anchored at
+
+
+@dataclass
+class TaintSummary:
+    """What one function does with taint, seen from its callers."""
+
+    returns: FrozenSet[str] = frozenset()  #: source labels it returns
+    param_returns: FrozenSet[str] = frozenset()  #: params reaching return
+    param_sinks: Dict[str, str] = field(default_factory=dict)
+
+    def key(self) -> Tuple[object, ...]:
+        return (
+            self.returns,
+            self.param_returns,
+            tuple(sorted(self.param_sinks.items())),
+        )
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """A tainted value reaching a sink inside one function."""
+
+    function: str
+    anchor: ast.AST
+    labels: FrozenSet[str]
+    sink: str
+
+
+class TaintEngine:
+    """Label propagation with call-graph summaries.
+
+    ``classify_source(dotted, node)`` names a call/expression as a
+    taint source (returns the label, e.g. ``"time.time() wall clock"``)
+    or ``None``. ``sinks_of(func)`` enumerates the :class:`Sink` s in
+    one function. Both hooks come from the rule using the engine.
+    """
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        classify_source: Callable[[Optional[str], ast.AST], Optional[str]],
+        sinks_of: Callable[[FunctionInfo], Sequence[Sink]],
+        sanitizers: FrozenSet[str] = DEFAULT_SANITIZERS,
+        transform_iteration: Optional[Callable[[Set[str]], Set[str]]] = None,
+    ):
+        self.graph = graph
+        self._classify_source = classify_source
+        self._sinks_of = sinks_of
+        self._sanitizers = sanitizers
+        #: applied to labels crossing a ``for``/comprehension binding —
+        #: how set *values* become set *iteration order* taint
+        self._transform_iteration = transform_iteration or (lambda labels: labels)
+        self.summaries: Dict[str, TaintSummary] = {
+            qual: TaintSummary() for qual in graph.functions
+        }
+        self._sink_cache: Dict[str, Sequence[Sink]] = {}
+        self._fixpoint()
+
+    # -- environments --------------------------------------------------
+
+    def env_of(self, qual: str) -> Dict[str, FrozenSet[str]]:
+        """Final variable-name -> labels environment for one function.
+
+        Parameters carry ``param:<name>`` pseudo-labels so summary and
+        report passes share one environment; reporting strips them.
+        """
+        func = self.graph.functions[qual]
+        env: Dict[str, Set[str]] = {
+            name: {_PARAM_PREFIX + name} for name in func.params
+        }
+        body = getattr(func.node, "body", [])
+        for _ in range(2):  # second pass settles loop-carried taint
+            for stmt in body:
+                self._flow_stmt(stmt, env, func)
+        return {name: frozenset(labels) for name, labels in env.items()}
+
+    def _flow_stmt(
+        self, stmt: ast.AST, env: Dict[str, Set[str]], func: FunctionInfo
+    ) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                labels = self.eval(node.value, env, func)
+                for target in node.targets:
+                    self._bind(target, labels, env)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind(node.target, self.eval(node.value, env, func), env)
+            elif isinstance(node, ast.AugAssign):
+                labels = self.eval(node.value, env, func)
+                if isinstance(node.target, ast.Name):
+                    env.setdefault(node.target.id, set()).update(labels)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind(
+                    node.target,
+                    self._transform_iteration(
+                        self.eval(node.iter, env, func)
+                    ),
+                    env,
+                )
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                self._bind(
+                    node.optional_vars,
+                    self.eval(node.context_expr, env, func),
+                    env,
+                )
+            elif isinstance(node, ast.comprehension):
+                self._bind(
+                    node.target,
+                    self._transform_iteration(
+                        self.eval(node.iter, env, func)
+                    ),
+                    env,
+                )
+
+    @staticmethod
+    def _bind(
+        target: ast.AST, labels: Set[str], env: Dict[str, Set[str]]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env.setdefault(target.id, set()).update(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                TaintEngine._bind(element, labels, env)
+        elif isinstance(target, ast.Starred):
+            TaintEngine._bind(target.value, labels, env)
+
+    # -- expression evaluation -----------------------------------------
+
+    def eval(
+        self,
+        node: Optional[ast.AST],
+        env: Dict[str, Set[str]],
+        func: FunctionInfo,
+    ) -> Set[str]:
+        """Labels carried by an expression under ``env``."""
+        if node is None:
+            return set()
+        source = self._classify_source(dotted_name(node), node)
+        if source is not None:
+            return {source}
+        if isinstance(node, ast.Name):
+            return set(env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            return self.eval(node.value, env, func)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, func)
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, env, func) | self.eval(
+                node.right, env, func
+            )
+        if isinstance(node, ast.BoolOp):
+            out: Set[str] = set()
+            for value in node.values:
+                out |= self.eval(value, env, func)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env, func)
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left, env, func)
+            for comparator in node.comparators:
+                out |= self.eval(comparator, env, func)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self.eval(node.body, env, func) | self.eval(
+                node.orelse, env, func
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self.eval(element, env, func)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for value in node.values:
+                out |= self.eval(value, env, func)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env, func)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env, func)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.eval(value.value, env, func)
+            return out
+        return set()
+
+    def _eval_call(
+        self, node: ast.Call, env: Dict[str, Set[str]], func: FunctionInfo
+    ) -> Set[str]:
+        callee = dotted_name(node.func)
+        if callee is not None and callee.split(".")[-1] in self._sanitizers:
+            return set()
+        source = self._classify_source(callee, node)
+        if source is not None:
+            return {source}
+        out: Set[str] = set()
+        callees, _ = self.graph.resolve_call(func, node)
+        for qual in callees:
+            summary = self.summaries.get(qual)
+            target = self.graph.functions.get(qual)
+            if summary is None or target is None:
+                continue
+            out |= summary.returns
+            if summary.param_returns:
+                for param, arg in self._map_args(node, target):
+                    if param in summary.param_returns:
+                        out |= self.eval(arg, env, func)
+        return out
+
+    @staticmethod
+    def _strip_params(labels: Set[str]) -> Set[str]:
+        return {l for l in labels if not l.startswith(_PARAM_PREFIX)}
+
+    @staticmethod
+    def _map_args(
+        call: ast.Call, callee: FunctionInfo
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        """Pair call arguments with the callee's parameter names."""
+        params = call_params(callee, call)
+        for param, arg in zip(params, call.args):
+            yield param, arg
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                yield keyword.arg, keyword.value
+
+    # -- summaries -----------------------------------------------------
+
+    def _sinks(self, qual: str) -> Sequence[Sink]:
+        if qual not in self._sink_cache:
+            self._sink_cache[qual] = self._sinks_of(self.graph.functions[qual])
+        return self._sink_cache[qual]
+
+    def _fixpoint(self, max_rounds: int = 10) -> None:
+        for _ in range(max_rounds):
+            changed = False
+            for qual, func in self.graph.functions.items():
+                summary = self._summarize(qual, func)
+                if summary.key() != self.summaries[qual].key():
+                    self.summaries[qual] = summary
+                    changed = True
+            if not changed:
+                return
+
+    def _summarize(self, qual: str, func: FunctionInfo) -> TaintSummary:
+        env = self.env_of(qual)
+        mutable = {name: set(labels) for name, labels in env.items()}
+        returns: Set[str] = set()
+        param_returns: Set[str] = set()
+        param_sinks: Dict[str, str] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                labels = self.eval(node.value, mutable, func)
+                returns |= self._strip_params(labels)
+                param_returns |= {
+                    label[len(_PARAM_PREFIX):]
+                    for label in labels
+                    if label.startswith(_PARAM_PREFIX)
+                }
+            elif isinstance(node, ast.Call):
+                # a tainted param handed to a callee whose own summary
+                # says that parameter reaches a sink
+                for callee_qual in self.graph.resolve_call(func, node)[0]:
+                    target = self.graph.functions.get(callee_qual)
+                    callee_summary = self.summaries.get(callee_qual)
+                    if target is None or not callee_summary:
+                        continue
+                    if not callee_summary.param_sinks:
+                        continue
+                    for param, arg in self._map_args(node, target):
+                        sink = callee_summary.param_sinks.get(param)
+                        if sink is None:
+                            continue
+                        for label in self.eval(arg, mutable, func):
+                            if label.startswith(_PARAM_PREFIX):
+                                param_sinks[
+                                    label[len(_PARAM_PREFIX):]
+                                ] = sink
+        for sink in self._sinks(qual):
+            for label in self.eval(sink.value, mutable, func):
+                if label.startswith(_PARAM_PREFIX):
+                    param_sinks[label[len(_PARAM_PREFIX):]] = sink.description
+        return TaintSummary(
+            returns=frozenset(returns),
+            param_returns=frozenset(param_returns),
+            param_sinks=param_sinks,
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    def hits(self) -> Iterator[TaintHit]:
+        """Every (tainted value -> sink) flow with a real source label.
+
+        Flows whose taint enters via a parameter are reported at the
+        call site that supplied the tainted argument, so each bug
+        surfaces exactly once, where the entropy actually originates.
+        """
+        for qual, func in self.graph.functions.items():
+            env_f = self.env_of(qual)
+            env = {name: set(labels) for name, labels in env_f.items()}
+            for sink in self._sinks(qual):
+                labels = self._strip_params(self.eval(sink.value, env, func))
+                if labels:
+                    yield TaintHit(
+                        function=qual,
+                        anchor=sink.anchor,
+                        labels=frozenset(labels),
+                        sink=sink.description,
+                    )
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callee_qual in self.graph.resolve_call(func, node)[0]:
+                    target = self.graph.functions.get(callee_qual)
+                    summary = self.summaries.get(callee_qual)
+                    if target is None or summary is None:
+                        continue
+                    if not summary.param_sinks:
+                        continue
+                    for param, arg in self._map_args(node, target):
+                        sink_desc = summary.param_sinks.get(param)
+                        if sink_desc is None:
+                            continue
+                        labels = self._strip_params(
+                            self.eval(arg, env, func)
+                        )
+                        if labels:
+                            yield TaintHit(
+                                function=qual,
+                                anchor=node,
+                                labels=frozenset(labels),
+                                sink=f"{sink_desc} (via "
+                                f"{target.name}({param}=...))",
+                            )
+
+
+# -- unit flow ---------------------------------------------------------
+
+Unit = Tuple[str, str]  #: (dimension, scale), e.g. ("power", "w")
+
+
+class UnitFlow:
+    """Dimensional inference over assignments, returns, and calls.
+
+    Builds on the per-file suffix convention from ``rules/units.py``:
+    identifiers ending in ``_w``/``_j``/``_s``/``_bps``/... declare
+    their unit. This engine adds what suffixes alone cannot express —
+    units of *unsuffixed* locals inferred from their assignments, and
+    units of function return values propagated to call sites.
+    """
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        unit_of_name: Callable[[str], Optional[Unit]],
+        unit_of_expr: Callable[[ast.AST], Optional[Unit]],
+    ):
+        self.graph = graph
+        self._unit_of_name = unit_of_name
+        self._unit_of_expr = unit_of_expr
+        #: function qualname -> unit of its return value (None: unknown
+        #: or mixed)
+        self.returns: Dict[str, Optional[Unit]] = {}
+        self._env_cache: Dict[str, Dict[str, Optional[Unit]]] = {}
+        self._fixpoint()
+
+    def _fixpoint(self, max_rounds: int = 6) -> None:
+        self.returns = {qual: None for qual in self.graph.functions}
+        for _ in range(max_rounds):
+            changed = False
+            self._env_cache.clear()
+            for qual, func in self.graph.functions.items():
+                unit = self._return_unit(qual, func)
+                if unit != self.returns[qual]:
+                    self.returns[qual] = unit
+                    changed = True
+            if not changed:
+                return
+
+    def _return_unit(self, qual: str, func: FunctionInfo) -> Optional[Unit]:
+        declared = self._unit_of_name(func.name)
+        if declared is not None:
+            return declared
+        env = self.env_of(qual)
+        units: Set[Unit] = set()
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                unit = self.unit_of(node.value, env, func)
+                if unit is None:
+                    return None  # one unknown return poisons the summary
+                units.add(unit)
+        if len(units) == 1:
+            return next(iter(units))
+        return None
+
+    def env_of(self, qual: str) -> Dict[str, Optional[Unit]]:
+        """Units of *unsuffixed* locals, inferred from assignments.
+
+        A name assigned conflicting units maps to ``None`` (unknown),
+        never a guess. Suffixed names resolve through the suffix
+        directly and are not stored here.
+        """
+        if qual in self._env_cache:
+            return self._env_cache[qual]
+        func = self.graph.functions[qual]
+        env: Dict[str, Optional[Unit]] = {}
+        self._env_cache[qual] = env  # placed early: recursion guard
+        for _ in range(2):
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Assign):
+                    value_unit = self.unit_of(node.value, env, func)
+                    for target in node.targets:
+                        self._bind(target, value_unit, env)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    self._bind(
+                        node.target, self.unit_of(node.value, env, func), env
+                    )
+        return env
+
+    def _bind(
+        self,
+        target: ast.AST,
+        unit: Optional[Unit],
+        env: Dict[str, Optional[Unit]],
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return  # tuple unpacking: element units are not tracked
+        if self._unit_of_name(target.id) is not None:
+            return  # suffixed names carry their own declaration
+        if target.id in env and env[target.id] != unit:
+            env[target.id] = None  # conflicting assignments: unknown
+        else:
+            env[target.id] = unit
+
+    def unit_of(
+        self,
+        node: ast.AST,
+        env: Dict[str, Optional[Unit]],
+        func: Optional[FunctionInfo],
+    ) -> Optional[Unit]:
+        """Unit of an expression: suffixes, env, helper/summary returns.
+
+        ``func`` is the enclosing function (``None`` at module level,
+        where calls cannot be resolved through the graph).
+        """
+        direct = self._unit_of_expr(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            if func is None:
+                return None
+            callees, _ = self.graph.resolve_call(func, node)
+            units = {self.returns.get(qual) for qual in callees}
+            if len(units) == 1:
+                return next(iter(units))
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = self.unit_of(node.left, env, func)
+            right = self.unit_of(node.right, env, func)
+            if left is not None and left == right:
+                return left
+            return None
+        if isinstance(node, ast.IfExp):
+            body = self.unit_of(node.body, env, func)
+            orelse = self.unit_of(node.orelse, env, func)
+            return body if body == orelse else None
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand, env, func)
+        return None
+
+    def functions_in(self, module: ModuleInfo) -> List[FunctionInfo]:
+        """The analyzed functions defined in one module."""
+        key = module_key(module)
+        prefix = key + "."
+        return [
+            info
+            for qual, info in sorted(self.graph.functions.items())
+            if qual.startswith(prefix) and info.module is module
+        ]

@@ -2,24 +2,47 @@
 
 Parsing happens once per file; rules see :class:`ModuleInfo` objects
 plus a shared :class:`LintContext` for cross-module questions. Findings
-on lines carrying a matching ``# simlint: ignore[...]`` comment are
-dropped here so individual rules stay comment-oblivious.
+on lines carrying a matching ``simlint: ignore[...]`` comment are
+dropped here so individual rules stay comment-oblivious — and the
+engine tracks which comments actually earned their keep, reporting
+``unused-suppression`` for dead ones and ``unknown-suppression`` for
+bracket lists naming rules that do not exist (both only on full runs,
+where "nothing matched" is meaningful).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
 
-from repro.lint.core import Finding, LintContext, LintUsageError, ModuleInfo, Rule
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    LintUsageError,
+    ModuleInfo,
+    Rule,
+    SUPPRESS_ALL,
+)
 from repro.lint.rules import ALL_RULES
 
 #: pseudo-rule reported when a target file does not parse
 PARSE_ERROR_RULE = "parse-error"
 
+#: pseudo-rule for a ``simlint: ignore`` comment that suppressed nothing
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
+
+#: pseudo-rule for bracket lists naming rules that are not registered
+UNKNOWN_SUPPRESSION_RULE = "unknown-suppression"
+
+#: family shared by the engine's pseudo-findings
+ENGINE_FAMILY = "engine"
+
 #: directories never descended into during discovery
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+#: files marking a project root for display-path purposes
+_ROOT_MARKERS = ("pyproject.toml", ".git")
 
 
 def iter_rules() -> List[Rule]:
@@ -41,10 +64,27 @@ def _iter_python_files(root: Path) -> Iterator[Path]:
             yield path
 
 
-def _display_path(path: Path) -> str:
-    """Path as printed in findings: relative to CWD when possible."""
+def _anchor_for(root: Path) -> Path:
+    """Directory display paths are made relative to.
+
+    The nearest ancestor of the lint root carrying a project marker
+    (``pyproject.toml`` or ``.git``), so ``src/repro/...`` paths come
+    out identical no matter which directory the tool runs from — a
+    committed baseline and a CI run must agree on them. Falls back to
+    the root's parent when no marker exists (e.g. fixture trees).
+    """
+    resolved = root.resolve()
+    probe = resolved if resolved.is_dir() else resolved.parent
+    for candidate in (probe, *probe.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return probe.parent
+
+
+def _display_path(path: Path, anchor: Path) -> str:
+    """Path as printed in findings: relative to the project anchor."""
     try:
-        return path.resolve().relative_to(Path.cwd()).as_posix()
+        return path.resolve().relative_to(anchor).as_posix()
     except ValueError:
         return path.as_posix()
 
@@ -62,45 +102,104 @@ class LintResult:
         return not self.findings
 
 
-def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
-    rules = iter_rules()
-    if select is None:
-        return rules
-    known = {rule.name for rule in rules}
-    requested = [name.strip() for name in select if name.strip()]
+def _validated_names(
+    names: Sequence[str], known: Set[str], what: str
+) -> List[str]:
+    requested = [name.strip() for name in names if name.strip()]
     unknown = sorted(set(requested) - known)
     if unknown:
         raise LintUsageError(
-            f"unknown rule(s): {', '.join(unknown)}; "
+            f"unknown rule(s) in --{what}: {', '.join(unknown)}; "
             f"known: {', '.join(sorted(known))}"
         )
     if not requested:
-        raise LintUsageError("empty rule selection")
-    return [rule for rule in rules if rule.name in requested]
+        raise LintUsageError(f"empty rule list for --{what}")
+    return requested
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    rules = iter_rules()
+    known = {rule.name for rule in rules}
+    if select is not None:
+        wanted = set(_validated_names(select, known, "select"))
+        rules = [rule for rule in rules if rule.name in wanted]
+    if ignore is not None:
+        dropped = set(_validated_names(ignore, known, "ignore"))
+        rules = [rule for rule in rules if rule.name not in dropped]
+    if not rules:
+        raise LintUsageError("rule selection excludes every rule")
+    return rules
+
+
+def _suppression_findings(
+    module: ModuleInfo, used_lines: Set[int], known: Set[str]
+) -> Iterator[Finding]:
+    """Hygiene pseudo-findings for one module's ignore comments."""
+    for line, rules in sorted(module.suppressions.items()):
+        unknown = sorted(rules - known - {SUPPRESS_ALL})
+        if unknown:
+            yield Finding(
+                path=module.display_path,
+                line=line,
+                col=1,
+                rule=UNKNOWN_SUPPRESSION_RULE,
+                family=ENGINE_FAMILY,
+                message=(
+                    f"simlint ignore comment names unknown rule(s): "
+                    f"{', '.join(unknown)}"
+                ),
+            )
+            continue
+        if line not in used_lines:
+            yield Finding(
+                path=module.display_path,
+                line=line,
+                col=1,
+                rule=UNUSED_SUPPRESSION_RULE,
+                family=ENGINE_FAMILY,
+                message=(
+                    "simlint ignore comment suppresses nothing on this "
+                    "line; remove it"
+                ),
+            )
 
 
 def run_lint(
-    paths: Iterable[str], select: Optional[Sequence[str]] = None
+    paths: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
-    ``select`` optionally restricts to a subset of rule names (raises
+    ``select`` optionally restricts to a subset of rule names, and
+    ``ignore`` drops named rules from whatever is selected (both raise
     :class:`LintUsageError` for unknown names, as does a missing path).
     Unparseable files surface as ``parse-error`` findings rather than
-    aborting the run.
+    aborting the run. On full runs — no ``select``, no ``ignore`` — the
+    engine also audits the suppression comments themselves: an ignore
+    comment that suppressed nothing becomes ``unused-suppression``, and
+    one naming a rule that does not exist becomes
+    ``unknown-suppression``.
     """
-    rules = _select_rules(select)
+    rules = _select_rules(select, ignore)
+    full_run = select is None and ignore is None
     files: List[Path] = []
+    anchors: List[Path] = []
     for raw in paths:
         root = Path(raw)
         if not root.exists():
             raise LintUsageError(f"no such file or directory: {raw}")
-        files.extend(_iter_python_files(root))
+        anchor = _anchor_for(root)
+        for path in _iter_python_files(root):
+            files.append(path)
+            anchors.append(anchor)
 
     modules: List[ModuleInfo] = []
     findings: List[Finding] = []
-    for path in files:
-        display = _display_path(path)
+    for path, anchor in zip(files, anchors):
+        display = _display_path(path, anchor)
         try:
             modules.append(ModuleInfo.parse(path, display))
         except SyntaxError as exc:
@@ -110,17 +209,25 @@ def run_lint(
                     line=exc.lineno or 1,
                     col=(exc.offset or 1),
                     rule=PARSE_ERROR_RULE,
-                    family="engine",
+                    family=ENGINE_FAMILY,
                     message=f"file does not parse: {exc.msg}",
                 )
             )
 
     ctx = LintContext(modules)
-    for module in modules:
+    used: List[Set[int]] = [set() for _ in modules]
+    for module, used_lines in zip(modules, used):
         for rule in rules:
             for finding in rule.check(module, ctx):
-                if not module.suppressed(finding.rule, finding.line):
+                if module.suppressed(finding.rule, finding.line):
+                    used_lines.add(finding.line)
+                else:
                     findings.append(finding)
+
+    if full_run:
+        known = set(all_rule_names())
+        for module, used_lines in zip(modules, used):
+            findings.extend(_suppression_findings(module, used_lines, known))
 
     return LintResult(
         findings=sorted(findings),

@@ -1,0 +1,558 @@
+"""Whole-program substrate: import graph, symbol table, call graph.
+
+Per-file AST rules cannot see across module boundaries: that an RNG
+value reaches a simulation decision through a helper two calls away, or
+that the event loop transitively executes an allocation-heavy method.
+This module builds the project-wide structures those questions need,
+from the same :class:`~repro.lint.core.ModuleInfo` set the engine
+already parses:
+
+* a **module key** per file (``src/repro/sim/engine.py`` →
+  ``repro.sim.engine``) and an **import graph** over the analyzed set,
+* a **symbol table** of every function, method and class with stable
+  qualified names (``repro.sim.engine.Simulator.run``),
+* a **call graph** resolved conservatively: ``self.method()`` through
+  the class hierarchy, ``name()`` through imports and module scope,
+  ``obj.method()`` to *every* analyzed method of that name (an
+  over-approximation — for reachability questions, false edges are
+  safe, missing edges are not), attribute loads to matching
+  ``@property`` methods, and ``Class(...)`` to ``__init__`` plus an
+  instantiation record (what the ``perf-missing-slots`` rule consumes),
+* **reachability** (BFS) from a set of root functions — how the perf
+  family decides "hot" without hardcoding file lists.
+
+Everything is computed lazily and cached on the
+:class:`~repro.lint.core.LintContext` for the duration of one run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import ModuleInfo, dotted_name
+
+#: prefixes stripped from display paths when deriving module keys;
+#: layout directories, not package names
+_LAYOUT_DIRS = ("src",)
+
+#: method names that enqueue a callback onto the event loop; function
+#: references passed to them run from ``Simulator.step`` eventually
+SCHEDULE_METHODS = frozenset({"schedule", "schedule_at", "call_later"})
+
+
+def module_key(module: ModuleInfo) -> str:
+    """Dotted module name derived from the display path.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``pkg/__init__.py`` → ``pkg``. Purely lexical — the linter never
+    imports the code it analyzes.
+    """
+    parts = list(module.parts)
+    while parts and parts[0] in _LAYOUT_DIRS:
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or module.filename
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function or method."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    is_property: bool = False
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+
+@dataclass
+class ClassInfo:
+    """One analyzed class definition."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    has_slots: bool = False
+    decorators: List[str] = field(default_factory=list)
+
+
+def call_params(callee: "FunctionInfo", call: ast.Call) -> List[str]:
+    """``callee``'s parameters as seen from ``call``'s argument list.
+
+    Strips the implicit ``self``/``cls`` for bound-method calls
+    (``obj.method(...)``) and for instantiations resolved to
+    ``__init__`` (``ClassName(...)``), so positional arguments can be
+    zipped against parameter names.
+    """
+    params = callee.params
+    if (
+        params
+        and params[0] in ("self", "cls")
+        and (
+            isinstance(call.func, ast.Attribute)
+            or callee.class_name is not None
+        )
+    ):
+        return params[1:]
+    return params
+
+
+def _is_property_def(node: ast.AST) -> bool:
+    for dec in getattr(node, "decorator_list", []):
+        flat = dotted_name(dec)
+        if flat is None:
+            continue
+        if flat == "property" or flat.endswith(".setter") or flat.endswith(".getter"):
+            return True
+    return False
+
+
+class ProjectGraph:
+    """Import graph + symbol table + conservative call graph."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.module_keys: Dict[str, ModuleInfo] = {}
+        #: module key -> {local top-level symbol name -> qualname}
+        self._module_scope: Dict[str, Dict[str, str]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare method name -> every analyzed method of that name
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: bare property name -> property methods of that name
+        self._properties_by_name: Dict[str, List[str]] = {}
+        #: bare class name -> class qualnames
+        self._classes_by_name: Dict[str, List[str]] = {}
+        #: module key -> {alias -> ("module", key) | ("symbol", key, name)}
+        self._imports: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        self.import_graph: Dict[str, FrozenSet[str]] = {}
+        self._calls: Optional[Dict[str, FrozenSet[str]]] = None
+        self._instantiations: Optional[Dict[str, FrozenSet[str]]] = None
+        self._scheduled: Optional[FrozenSet[str]] = None
+        self._build_symbols()
+        self._build_imports()
+
+    # -- construction --------------------------------------------------
+
+    def _build_symbols(self) -> None:
+        for module in self.modules:
+            key = module_key(module)
+            self.module_keys[key] = module
+            scope: Dict[str, str] = {}
+            self._module_scope[key] = scope
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{key}.{node.name}"
+                    self.functions[qual] = FunctionInfo(
+                        qualname=qual, name=node.name, module=module, node=node
+                    )
+                    scope[node.name] = qual
+                elif isinstance(node, ast.ClassDef):
+                    self._add_class(key, module, node)
+                    scope[node.name] = f"{key}.{node.name}"
+
+    def _add_class(self, key: str, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{key}.{node.name}"
+        bases = []
+        for base in node.bases:
+            flat = dotted_name(base)
+            if flat is not None:
+                bases.append(flat.split(".")[-1])
+        decorators = [d for d in map(dotted_name, node.decorator_list) if d]
+        info = ClassInfo(
+            qualname=qual,
+            name=node.name,
+            module=module,
+            node=node,
+            bases=bases,
+            decorators=decorators,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                mqual = f"{qual}.{stmt.name}"
+                finfo = FunctionInfo(
+                    qualname=mqual,
+                    name=stmt.name,
+                    module=module,
+                    node=stmt,
+                    class_name=node.name,
+                    is_property=_is_property_def(stmt),
+                )
+                info.methods[stmt.name] = finfo
+                self.functions[mqual] = finfo
+                if finfo.is_property:
+                    self._properties_by_name.setdefault(stmt.name, []).append(mqual)
+                else:
+                    self._methods_by_name.setdefault(stmt.name, []).append(mqual)
+            elif isinstance(stmt, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                ):
+                    info.has_slots = True
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__slots__"
+                ):
+                    info.has_slots = True
+        self.classes[qual] = info
+        self._classes_by_name.setdefault(node.name, []).append(qual)
+
+    def _resolve_module(self, dotted: str) -> Optional[str]:
+        """Match an imported module path against the analyzed set.
+
+        Exact key match first, then unique suffix match (``repro.sim``
+        when the analyzed key is ``repro.sim``; fixtures under
+        ``tests/...`` resolve the same way).
+        """
+        if dotted in self.module_keys:
+            return dotted
+        matches = [
+            key
+            for key in self.module_keys
+            if key.endswith("." + dotted) or key == dotted
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _build_imports(self) -> None:
+        for module in self.modules:
+            key = module_key(module)
+            table: Dict[str, Tuple[str, ...]] = {}
+            edges: Set[str] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        target = self._resolve_module(alias.name)
+                        if target is not None:
+                            edges.add(target)
+                            table[alias.asname or alias.name.split(".")[0]] = (
+                                ("module", target)
+                                if alias.asname
+                                else ("module-path", alias.name, target)
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    source = node.module or ""
+                    if node.level:
+                        prefix = key.split(".")[: -node.level]
+                        source = ".".join(prefix + ([source] if source else []))
+                    target = self._resolve_module(source)
+                    if target is None:
+                        continue
+                    edges.add(target)
+                    for alias in node.names:
+                        sub = self._resolve_module(f"{source}.{alias.name}")
+                        if sub is not None:
+                            edges.add(sub)
+                            table[alias.asname or alias.name] = ("module", sub)
+                        else:
+                            table[alias.asname or alias.name] = (
+                                "symbol",
+                                target,
+                                alias.name,
+                            )
+            self._imports[key] = table
+            self.import_graph[key] = frozenset(edges - {key})
+
+    # -- symbol resolution ---------------------------------------------
+
+    def _scope_lookup(self, modkey: str, name: str) -> Optional[str]:
+        """Resolve a bare name in a module: local scope, then imports."""
+        scope = self._module_scope.get(modkey, {})
+        if name in scope:
+            return scope[name]
+        entry = self._imports.get(modkey, {}).get(name)
+        if entry is None:
+            return None
+        if entry[0] == "symbol":
+            _, target, symbol = entry
+            return self._module_scope.get(target, {}).get(symbol)
+        return None
+
+    def _lineage(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its analyzed ancestors (by bare base name)."""
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            yield current
+            for base in current.bases:
+                resolved = self._scope_lookup(
+                    module_key(current.module), base
+                )
+                candidates = (
+                    [resolved]
+                    if resolved in self.classes
+                    else self._classes_by_name.get(base, [])
+                )
+                for qual in candidates:
+                    if qual is not None and qual in self.classes:
+                        stack.append(self.classes[qual])
+
+    def _method_in_lineage(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        for ancestor in self._lineage(cls):
+            if name in ancestor.methods:
+                return ancestor.methods[name]
+        return None
+
+    # -- call graph ----------------------------------------------------
+
+    def _resolve_call(
+        self, func: FunctionInfo, call: ast.Call
+    ) -> Tuple[Set[str], Set[str]]:
+        """(callee qualnames, instantiated class qualnames) for a call."""
+        callees: Set[str] = set()
+        classes: Set[str] = set()
+        modkey = module_key(func.module)
+        target = call.func
+        if isinstance(target, ast.Name):
+            qual = self._scope_lookup(modkey, target.id)
+            self._note_symbol(qual, callees, classes)
+        elif isinstance(target, ast.Attribute):
+            base = dotted_name(target.value)
+            attr = target.attr
+            if (
+                isinstance(target.value, ast.Call)
+                and dotted_name(target.value.func) == "super"
+                and func.class_name is not None
+            ):
+                # super().method(): resolve in the ancestors only
+                owner = self.classes.get(f"{modkey}.{func.class_name}")
+                if owner is not None:
+                    for ancestor in self._lineage(owner):
+                        if ancestor is owner:
+                            continue
+                        if attr in ancestor.methods:
+                            callees.add(ancestor.methods[attr].qualname)
+                            break
+            elif base in ("self", "cls") and func.class_name is not None:
+                owner_qual = f"{modkey}.{func.class_name}"
+                owner = self.classes.get(owner_qual)
+                method = (
+                    self._method_in_lineage(owner, attr) if owner else None
+                )
+                if method is not None:
+                    callees.add(method.qualname)
+                else:
+                    callees.update(self._methods_by_name.get(attr, ()))
+            elif base is not None and self._resolve_dotted(modkey, base):
+                qual = self._resolve_dotted(modkey, f"{base}.{attr}")
+                if qual is not None:
+                    self._note_symbol(qual, callees, classes)
+                else:
+                    callees.update(self._methods_by_name.get(attr, ()))
+            else:
+                # obj.method(): conservative — every analyzed method of
+                # that name may be the callee
+                callees.update(self._methods_by_name.get(attr, ()))
+        return callees, classes
+
+    def _resolve_dotted(self, modkey: str, dotted: str) -> Optional[str]:
+        """Resolve ``a.b.c`` starting from a module's scope/imports."""
+        head, _, rest = dotted.partition(".")
+        entry = self._imports.get(modkey, {}).get(head)
+        base_module: Optional[str] = None
+        if entry is not None and entry[0] == "module":
+            base_module = entry[1]
+        elif entry is not None and entry[0] == "module-path":
+            # ``import a.b.c`` binds ``a``; only the full dotted path
+            # resolves through it
+            _, path, resolved = entry
+            if dotted == path or dotted.startswith(path + "."):
+                base_module = resolved
+                rest = dotted[len(path) + 1 :]
+            else:
+                return None
+        elif entry is not None and entry[0] == "symbol":
+            resolved = self._scope_lookup(modkey, head)
+            if resolved in self.classes and rest:
+                method = self.classes[resolved].methods.get(rest)
+                return method.qualname if method is not None else None
+            return resolved if not rest else None
+        else:
+            qual = self._scope_lookup(modkey, head)
+            if qual in self.classes and rest:
+                method = self.classes[qual].methods.get(rest)
+                return method.qualname if method is not None else None
+            return qual if not rest else None
+        if base_module is None:
+            return None
+        if not rest:
+            return base_module
+        return self._scope_lookup(base_module, rest.split(".")[0]) if (
+            "." not in rest
+        ) else self._resolve_dotted(base_module, rest)
+
+    def _note_symbol(
+        self, qual: Optional[str], callees: Set[str], classes: Set[str]
+    ) -> None:
+        if qual is None:
+            return
+        if qual in self.functions:
+            callees.add(qual)
+        elif qual in self.classes:
+            classes.add(qual)
+            init = self._method_in_lineage(self.classes[qual], "__init__")
+            if init is not None:
+                callees.add(init.qualname)
+
+    def _ensure_calls(self) -> None:
+        if self._calls is not None:
+            return
+        calls: Dict[str, FrozenSet[str]] = {}
+        instantiations: Dict[str, FrozenSet[str]] = {}
+        scheduled: Set[str] = set()
+        for qual, func in self.functions.items():
+            callees: Set[str] = set()
+            classes: Set[str] = set()
+            for node in self._body_walk(func.node):
+                if isinstance(node, ast.Call):
+                    found, created = self._resolve_call(func, node)
+                    callees.update(found)
+                    classes.update(created)
+                    scheduled.update(self._callback_refs(func, node))
+                elif isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    # attribute reads dispatch to @property methods
+                    callees.update(
+                        self._properties_by_name.get(node.attr, ())
+                    )
+            calls[qual] = frozenset(callees - {qual})
+            instantiations[qual] = frozenset(classes)
+        self._calls = calls
+        self._instantiations = instantiations
+        self._scheduled = frozenset(scheduled)
+
+    def _callback_refs(self, func: FunctionInfo, call: ast.Call) -> Set[str]:
+        """Function references passed to a schedule-like call.
+
+        ``sim.schedule(delay, self._on_timeout, pkt)`` never *calls*
+        ``_on_timeout`` syntactically — the event loop does, through
+        ``event.callback(*event.args)``, which no static resolution can
+        see. Recording the reference here lets callers treat everything
+        ever scheduled as reachable from ``Simulator.step``.
+        """
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in SCHEDULE_METHODS
+        ):
+            return set()
+        refs: Set[str] = set()
+        for arg in call.args:
+            if isinstance(arg, ast.Attribute):
+                refs.update(self._methods_by_name.get(arg.attr, ()))
+            elif isinstance(arg, ast.Name):
+                qual = self._scope_lookup(module_key(func.module), arg.id)
+                if qual in self.functions:
+                    refs.add(qual)
+        return refs
+
+    @property
+    def scheduled_callbacks(self) -> FrozenSet[str]:
+        """Every function whose reference is passed to a schedule call."""
+        self._ensure_calls()
+        assert self._scheduled is not None
+        return self._scheduled
+
+    def resolve_call(
+        self, func: FunctionInfo, call: ast.Call
+    ) -> Tuple[Set[str], Set[str]]:
+        """Public alias: (callees, instantiated classes) for one call."""
+        return self._resolve_call(func, call)
+
+    @staticmethod
+    def _body_walk(root: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body, descending into nested defs too."""
+        yield from ast.walk(root)
+
+    @property
+    def calls(self) -> Dict[str, FrozenSet[str]]:
+        """Function qualname -> callee qualnames (conservative)."""
+        self._ensure_calls()
+        assert self._calls is not None
+        return self._calls
+
+    @property
+    def instantiations(self) -> Dict[str, FrozenSet[str]]:
+        """Function qualname -> class qualnames it instantiates."""
+        self._ensure_calls()
+        assert self._instantiations is not None
+        return self._instantiations
+
+    # -- queries -------------------------------------------------------
+
+    def find_methods(
+        self, class_pattern: str, method_names: Sequence[str]
+    ) -> List[str]:
+        """Qualnames of ``method_names`` on classes matching the
+        fnmatch-style ``class_pattern`` (e.g. ``*Queue``)."""
+        hits = []
+        for cls in self.classes.values():
+            if not fnmatchcase(cls.name, class_pattern):
+                continue
+            for name in method_names:
+                if name in cls.methods:
+                    hits.append(cls.methods[name].qualname)
+        return sorted(hits)
+
+    def reachable(self, roots: Sequence[str]) -> FrozenSet[str]:
+        """Every function reachable from ``roots`` through the call
+        graph (including the roots themselves)."""
+        calls = self.calls
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(calls.get(current, ()))
+        return frozenset(seen)
+
+    def classes_instantiated_by(
+        self, functions: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        """Class qualnames instantiated anywhere in ``functions``."""
+        instantiations = self.instantiations
+        out: Set[str] = set()
+        for qual in functions:
+            out.update(instantiations.get(qual, ()))
+        return frozenset(out)
+
+    def function_at(self, module: ModuleInfo, node: ast.AST) -> Optional[str]:
+        """Qualname of the innermost function containing ``node``."""
+        chain: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                chain.append(current.name)
+            elif isinstance(current, ast.ClassDef):
+                chain.append(current.name)
+            current = module.parents.get(current)
+        if not chain:
+            return None
+        qual = ".".join([module_key(module)] + list(reversed(chain)))
+        return qual if qual in self.functions else None

@@ -1,0 +1,197 @@
+"""Determinism-flow family: entropy must not *reach* simulation state.
+
+The per-file determinism rules ban calling ``random.random()`` or
+``time.time()`` inside the simulator packages — but they cannot see a
+helper in ``util/`` returning a wall-clock value that a sender then
+stores in its state two modules away. These rules close that gap with
+the taint engine from :mod:`repro.lint.dataflow`:
+
+* **sources** — the global RNG (``random.*``), wall clocks (``time.*``,
+  ``datetime.now``), OS entropy (``os.urandom``, ``uuid.uuid4``,
+  ``secrets.*``), process identity (``os.getpid`` …), and the iteration
+  order of unordered sets. Draws from seeded ``RngRegistry`` streams
+  are deliberately *not* sources: the registry derives every stream
+  from the master seed — it is the sanctioned path, and the thing this
+  family protects.
+* **sinks** — writes to simulation state (attribute assignment inside
+  ``sim/``/``net/``/``cc/``/``tcp/``) and arguments to
+  ``schedule``/``schedule_at`` calls anywhere (they become event times
+  and payloads).
+* **propagation** — through assignments, returns and call arguments,
+  inter-procedurally via function summaries; ``sorted(...)`` (and other
+  order-erasing reducers) sanitize set-order taint.
+
+A flow whose taint enters a function through a parameter is reported at
+the call site that supplied the tainted argument, so each bug surfaces
+once, where the entropy originates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.core import Finding, LintContext, ModuleInfo, Rule, dotted_name
+from repro.lint.dataflow import Sink, TaintEngine, TaintHit
+from repro.lint.graph import FunctionInfo, module_key
+from repro.lint.rules.determinism import (
+    GLOBAL_RNG_FUNCTIONS,
+    PROCESS_IDENTITY_FUNCTIONS,
+    SIM_DIRECTORIES,
+    WALL_CLOCK_FUNCTIONS,
+)
+
+#: label prefixes partitioning hits between the two rules
+_ENTROPY = "entropy:"
+_ORDER = "order:"
+
+#: pseudo-label carried by set *values*; becomes real order taint only
+#: when the set is iterated (see ``_transform_iteration``)
+_SET_VALUE = "setvalue"
+
+#: methods whose arguments become event-loop state
+_SCHEDULE_CALLS = frozenset({"schedule", "schedule_at", "call_later"})
+
+
+def _classify_source(dotted: Optional[str], node: ast.AST) -> Optional[str]:
+    """Label entropy-producing calls and unordered-set expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return _SET_VALUE
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+        return _SET_VALUE
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None
+    head, tail = parts[0], parts[-1]
+    if head == "random" and tail in GLOBAL_RNG_FUNCTIONS:
+        return f"{_ENTROPY}the global RNG (`{dotted}()`)"
+    if head in ("time", "datetime") and tail in WALL_CLOCK_FUNCTIONS:
+        return f"{_ENTROPY}a wall-clock read (`{dotted}()`)"
+    if (
+        (head == "os" and tail == "urandom")
+        or (head == "uuid" and tail in ("uuid1", "uuid4"))
+        or head == "secrets"
+    ):
+        return f"{_ENTROPY}OS entropy (`{dotted}()`)"
+    identity = PROCESS_IDENTITY_FUNCTIONS.get(head)
+    if identity and tail in identity:
+        return f"{_ENTROPY}process identity (`{dotted}()`)"
+    return None
+
+
+def _transform_iteration(labels: Set[str]) -> Set[str]:
+    """Iterating a set value turns its order into real taint."""
+    if _SET_VALUE not in labels:
+        return labels
+    return (labels - {_SET_VALUE}) | {_ORDER + "unordered set iteration"}
+
+
+def _sinks_of(func: FunctionInfo) -> List[Sink]:
+    """Simulation-state writes and scheduler arguments in one function."""
+    sinks: List[Sink] = []
+    in_sim = any(d in func.module.parts[:-1] for d in SIM_DIRECTORIES)
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign) and in_sim:
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    chain = dotted_name(target) or target.attr
+                    sinks.append(
+                        Sink(node.value, f"simulation state `{chain}`", node)
+                    )
+        elif isinstance(node, ast.AugAssign) and in_sim:
+            if isinstance(node.target, ast.Attribute):
+                chain = dotted_name(node.target) or node.target.attr
+                sinks.append(
+                    Sink(node.value, f"simulation state `{chain}`", node)
+                )
+        elif isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if (
+                callee is not None
+                and callee.split(".")[-1] in _SCHEDULE_CALLS
+            ):
+                for arg in node.args:
+                    sinks.append(
+                        Sink(arg, "a scheduled event (time or payload)", node)
+                    )
+    return sinks
+
+
+def _engine(ctx: LintContext) -> TaintEngine:
+    return ctx.memo(
+        "detflow.engine",
+        lambda: TaintEngine(
+            ctx.graph,
+            classify_source=_classify_source,
+            sinks_of=_sinks_of,
+            transform_iteration=_transform_iteration,
+        ),
+    )
+
+
+def _hits(ctx: LintContext) -> List[TaintHit]:
+    return ctx.memo("detflow.hits", lambda: list(_engine(ctx).hits()))
+
+
+class FlowRule(Rule):
+    """Base: report engine hits carrying this rule's label prefix."""
+
+    family = "determinism-flow"
+    prefix = ""
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        key = module_key(module)
+        for hit in _hits(ctx):
+            func = ctx.graph.functions.get(hit.function)
+            if func is None or func.module is not module:
+                continue
+            labels = sorted(
+                label[len(self.prefix):]
+                for label in hit.labels
+                if label.startswith(self.prefix)
+            )
+            if not labels:
+                continue
+            local = hit.function[len(key) + 1:] if hit.function.startswith(
+                key + "."
+            ) else hit.function
+            yield self.finding(
+                module,
+                hit.anchor,
+                f"{' and '.join(labels)} reaches {hit.sink} in `{local}`; "
+                f"{self.remedy}",
+            )
+
+
+class EntropyToState(FlowRule):
+    """Unseeded entropy flowing into simulation state or the scheduler."""
+
+    name = "detflow-entropy-to-state"
+    prefix = _ENTROPY
+    description = (
+        "a value derived from the global RNG / wall clock / OS entropy "
+        "flows (possibly through other functions) into simulation state "
+        "or a scheduled event"
+    )
+    remedy = (
+        "derive the value from a seeded RngRegistry stream or virtual time"
+    )
+
+
+class SetOrderToState(FlowRule):
+    """Set-iteration order flowing into simulation state."""
+
+    name = "detflow-set-order"
+    prefix = _ORDER
+    description = (
+        "a value whose ordering comes from iterating an unordered set "
+        "flows into simulation state or a scheduled event"
+    )
+    remedy = "sort the set (sorted(...)) before its order can matter"
+
+
+DETFLOW_RULES = [EntropyToState(), SetOrderToState()]

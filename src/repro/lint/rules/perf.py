@@ -1,0 +1,329 @@
+"""Perf family: keep the event loop's hot path allocation- and
+dispatch-light.
+
+The ROADMAP's top open item is a profile-driven engine overhaul — the
+pure-Python event loop is the ceiling on sweep throughput. These rules
+encode what the profiles keep showing, with *hotness* computed from the
+call graph (:mod:`repro.lint.graph`), never from hardcoded file lists:
+
+* **hot roots** are ``Simulator.run``/``step``, ``*Queue.service``/
+  ``enqueue``/``dequeue`` and ``*Sender.on_ack``/``handle_packet``,
+  plus every function whose reference is ever passed to a
+  ``schedule(...)`` call — the event loop executes those through
+  ``event.callback(*event.args)``, which syntactic call resolution
+  cannot see;
+* anything **reachable** from those roots runs per event, so per-call
+  container literals, f-strings and closures there are per-event
+  allocations (``perf-alloc-in-hot-path``);
+* CPython re-executes every attribute lookup, so a ``self._queue`` read
+  repeated in a tight loop is N dict probes where one local would do
+  (``perf-attr-in-loop``);
+* instances created per event without ``__slots__`` each carry a
+  ``__dict__`` (``perf-missing-slots``);
+* ``isinstance`` checks and exception-handler dispatch in the hot path
+  trade branch cost for control flow better expressed with lookups
+  (``perf-hot-dispatch``) — ``try/finally`` without handlers is exempt,
+  it is how ``Simulator.run`` guards re-entrancy.
+
+Scope: findings are only emitted inside the simulator packages
+(``sim/``, ``net/``, ``cc/``, ``tcp/``), and only in functions the call
+graph proves (conservatively) reachable from the roots. Error paths —
+anything under a ``raise`` — are exempt everywhere: failing fast may
+allocate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.core import Finding, LintContext, ModuleInfo, Rule, dotted_name
+from repro.lint.graph import FunctionInfo, ProjectGraph
+from repro.lint.rules.determinism import SIM_DIRECTORIES
+
+#: (class-name fnmatch pattern, method names) rooting the hot set
+HOT_ROOTS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("Simulator", ("run", "step")),
+    ("*Queue", ("service", "enqueue", "dequeue")),
+    ("*Sender", ("on_ack", "handle_packet")),
+)
+
+#: bases marking error classes; instantiation there is a failing path
+_ERROR_BASES = frozenset({"Exception", "BaseException", "ValueError", "Error"})
+
+
+def hot_functions(ctx: LintContext) -> FrozenSet[str]:
+    """Qualnames reachable from the hot roots (memoized per run)."""
+
+    def build() -> FrozenSet[str]:
+        graph: ProjectGraph = ctx.graph
+        roots: List[str] = []
+        for pattern, methods in HOT_ROOTS:
+            roots.extend(graph.find_methods(pattern, methods))
+        roots.extend(graph.scheduled_callbacks)
+        return graph.reachable(roots)
+
+    return ctx.memo("perf.hot_functions", build)
+
+
+def _in_sim_scope(module: ModuleInfo) -> bool:
+    return any(module.in_directory(d) for d in SIM_DIRECTORIES)
+
+
+def _under_raise(module: ModuleInfo, node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``raise`` statement."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Raise):
+            return True
+    return False
+
+
+def _hot_functions_in(
+    module: ModuleInfo, ctx: LintContext
+) -> Iterator[FunctionInfo]:
+    """Hot functions defined in ``module``."""
+    hot = hot_functions(ctx)
+    for qual, info in sorted(ctx.graph.functions.items()):
+        if info.module is module and qual in hot:
+            yield info
+
+
+class HotPathRule(Rule):
+    """Base for rules that inspect hot functions in sim packages."""
+
+    family = "perf"
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_sim_scope(module):
+            return
+        for func in _hot_functions_in(module, ctx):
+            yield from self.check_function(module, ctx, func)
+
+    def check_function(
+        self, module: ModuleInfo, ctx: LintContext, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class AllocInHotPath(HotPathRule):
+    """Per-event allocations in functions reachable from the event loop."""
+
+    name = "perf-alloc-in-hot-path"
+    description = (
+        "allocation (container literal, f-string, closure, comprehension) "
+        "in a function the call graph reaches from the event loop; hoist "
+        "it out of the per-event path"
+    )
+
+    _WHAT = {
+        ast.Dict: "dict literal",
+        ast.List: "list literal",
+        ast.Set: "set literal",
+        ast.JoinedStr: "f-string",
+        ast.Lambda: "lambda closure",
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+    }
+
+    def check_function(
+        self, module: ModuleInfo, ctx: LintContext, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        annotated = self._annotation_nodes(func.node)
+        for node in ast.walk(func.node):
+            if node is func.node or id(node) in annotated:
+                continue
+            what = self._classify(node)
+            if what is None:
+                continue
+            if _under_raise(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{what} allocates on every event in hot function "
+                f"`{func.name}` (reachable from the event loop); build it "
+                f"once outside the per-event path",
+            )
+
+    def _classify(self, node: ast.AST) -> Optional[str]:
+        what = self._WHAT.get(type(node))
+        if what is not None:
+            return what
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a def executed per call builds a new closure object
+            return "nested function definition"
+        return None
+
+    @staticmethod
+    def _annotation_nodes(root: ast.AST) -> FrozenSet[int]:
+        """ids of nodes inside annotations; `Callable[[], ...]` holds an
+        ast.List that never allocates at runtime under
+        ``from __future__ import annotations``."""
+        anchors: List[ast.AST] = []
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    args.vararg,
+                    args.kwarg,
+                ):
+                    if arg is not None and arg.annotation is not None:
+                        anchors.append(arg.annotation)
+                if node.returns is not None:
+                    anchors.append(node.returns)
+            elif isinstance(node, ast.AnnAssign):
+                anchors.append(node.annotation)
+        ids = set()
+        for anchor in anchors:
+            ids.update(id(sub) for sub in ast.walk(anchor))
+        return frozenset(ids)
+
+
+class AttrInLoop(HotPathRule):
+    """The same attribute chain read ≥ 3 times inside one hot loop."""
+
+    name = "perf-attr-in-loop"
+    description = (
+        "attribute chain read repeatedly inside a loop in a hot function; "
+        "CPython re-runs the lookup every time — hoist it to a local"
+    )
+
+    #: minimum loads of one chain inside a single loop before flagging
+    THRESHOLD = 3
+
+    def check_function(
+        self, module: ModuleInfo, ctx: LintContext, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func.node):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            yield from self._check_loop(module, func, node)
+
+    def _check_loop(
+        self, module: ModuleInfo, func: FunctionInfo, loop: ast.AST
+    ) -> Iterator[Finding]:
+        loads: Dict[str, List[ast.Attribute]] = {}
+        written: set = set()
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain is None:
+                    continue
+                if isinstance(node.ctx, ast.Load):
+                    loads.setdefault(chain, []).append(node)
+                else:
+                    written.add(chain)
+            elif isinstance(node, ast.Name) and not isinstance(
+                node.ctx, ast.Load
+            ):
+                written.add(node.id)
+        flagged = {
+            chain
+            for chain, sites in loads.items()
+            if len(sites) >= self.THRESHOLD
+        }
+        for chain in sorted(flagged):
+            sites = loads[chain]
+            parts = chain.split(".")
+            prefixes = {".".join(parts[:i]) for i in range(1, len(parts) + 1)}
+            if prefixes & written:
+                continue  # rebound inside the loop; hoisting is unsafe
+            if any(
+                other != chain and other.startswith(chain + ".")
+                for other in flagged
+            ):
+                continue  # report only the longest chain; one hoist fixes both
+            yield self.finding(
+                module,
+                sites[0],
+                f"`{chain}` read {len(sites)} times inside this loop in hot "
+                f"function `{func.name}`; bind it to a local before the loop",
+            )
+
+
+class MissingSlots(Rule):
+    """Classes instantiated in the hot path without ``__slots__``."""
+
+    name = "perf-missing-slots"
+    family = "perf"
+    description = (
+        "class instantiated inside the event loop's reachable set has no "
+        "__slots__; every instance carries a __dict__"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        graph: ProjectGraph = ctx.graph
+        hot_classes = ctx.memo(
+            "perf.hot_classes",
+            lambda: graph.classes_instantiated_by(hot_functions(ctx)),
+        )
+        for qual in sorted(hot_classes):
+            info = graph.classes.get(qual)
+            if info is None or info.module is not module:
+                continue
+            if info.has_slots or not _in_sim_scope(module):
+                continue
+            if self._is_error_class(info.name, info.bases):
+                continue  # raised, not hot
+            yield self.finding(
+                module,
+                info.node,
+                f"`{info.name}` is instantiated in the event loop's "
+                f"reachable set but defines no __slots__; each instance "
+                f"pays for a __dict__",
+            )
+
+    @staticmethod
+    def _is_error_class(name: str, bases: List[str]) -> bool:
+        return (
+            name.endswith(("Error", "Exception", "Warning"))
+            or bool(_ERROR_BASES.intersection(bases))
+            or any(base.endswith("Error") for base in bases)
+        )
+
+
+class HotDispatch(HotPathRule):
+    """``isinstance``/except-handler dispatch in hot functions."""
+
+    name = "perf-hot-dispatch"
+    description = (
+        "isinstance() or try/except dispatch in a hot function; prefer a "
+        "lookup (dict.get) or polymorphism — try/finally is exempt"
+    )
+
+    def check_function(
+        self, module: ModuleInfo, ctx: LintContext, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance"
+                and not _under_raise(module, node)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"isinstance() in hot function `{func.name}`; per-event "
+                    f"type dispatch belongs in a lookup table or a method",
+                )
+            elif isinstance(node, ast.Try) and node.handlers:
+                yield self.finding(
+                    module,
+                    node,
+                    f"try/except in hot function `{func.name}` sets up "
+                    f"handler state per event; use a non-raising lookup "
+                    f"(e.g. dict.get) on the expected path",
+                )
+
+
+PERF_RULES = [
+    AllocInHotPath(),
+    AttrInLoop(),
+    HotDispatch(),
+    MissingSlots(),
+]

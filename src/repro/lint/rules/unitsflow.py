@@ -1,0 +1,242 @@
+"""Units-flow family: dimensional analysis across assignments and calls.
+
+The per-file ``units`` family compares *suffixes that are both visible
+in one expression* (``duration_s + delay_ms``). It cannot see that an
+unsuffixed temporary holds watts, or that a helper two modules away
+returns joules. These rules propagate units through the
+:class:`~repro.lint.dataflow.UnitFlow` engine — local assignments,
+function return summaries (to a call-graph fixpoint), and resolved call
+arguments — using the same ``units.py`` suffix table and helper-return
+anchors as the per-file family, so the two families agree on what a
+unit *is* and differ only in how far they can see.
+
+Overlap discipline: each rule skips exactly the cases the per-file
+family already reports, so one bug yields one finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.core import Finding, LintContext, ModuleInfo, Rule, dotted_name
+from repro.lint.dataflow import UnitFlow
+from repro.lint.graph import FunctionInfo, call_params
+from repro.lint.rules.units import unit_of_expr, unit_of_name
+
+Unit = Tuple[str, str]
+
+
+def _flow(ctx: LintContext) -> UnitFlow:
+    return ctx.memo(
+        "unitsflow.engine",
+        lambda: UnitFlow(
+            ctx.graph, unit_of_name=unit_of_name, unit_of_expr=unit_of_expr
+        ),
+    )
+
+
+def _describe(unit: Unit) -> str:
+    return f"{unit[0]} [{unit[1]}]"
+
+
+def _enclosing(
+    module: ModuleInfo, ctx: LintContext, node: ast.AST
+) -> Optional[FunctionInfo]:
+    qual = ctx.graph.function_at(module, node)
+    if qual is None:
+        return None
+    return ctx.graph.functions.get(qual)
+
+
+def _value_unit(
+    module: ModuleInfo, ctx: LintContext, node: ast.AST, value: ast.AST
+) -> Optional[Unit]:
+    """Unit of ``value`` with flow context from its enclosing function."""
+    flow = _flow(ctx)
+    func = _enclosing(module, ctx, node)
+    if func is None:
+        return flow.unit_of(value, {}, None)
+    return flow.unit_of(value, flow.env_of(func.qualname), func)
+
+
+class AssignUnitMismatch(Rule):
+    """Assignment stores a value of one unit into a name declaring another."""
+
+    name = "unitsflow-assign"
+    family = "units-flow"
+    description = (
+        "assignment target's unit suffix conflicts with the inferred unit "
+        "of the right-hand side (tracked through locals and helper returns)"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if module.filename == "units.py":
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                pairs = [(target, node.value) for target in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(node.target, node.value)]
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for target, value in pairs:
+                declared = self._target_unit(target)
+                if declared is None:
+                    continue
+                inferred = _value_unit(module, ctx, node, value)
+                if inferred is None or inferred == declared:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{module.segment(target)}` declares "
+                    f"{_describe(declared)} but the assigned value carries "
+                    f"{_describe(inferred)}; convert explicitly",
+                )
+
+    @staticmethod
+    def _target_unit(target: ast.AST) -> Optional[Unit]:
+        if isinstance(target, ast.Name):
+            return unit_of_name(target.id)
+        if isinstance(target, ast.Attribute):
+            return unit_of_name(target.attr)
+        return None
+
+
+class ReturnUnitMismatch(Rule):
+    """A unit-suffixed function returns a value of a different unit."""
+
+    name = "unitsflow-return"
+    family = "units-flow"
+    description = (
+        "function whose name declares a unit suffix returns a value whose "
+        "inferred unit disagrees"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if module.filename == "units.py":
+            return
+        flow = _flow(ctx)
+        for qual, func in sorted(ctx.graph.functions.items()):
+            if func.module is not module:
+                continue
+            declared = unit_of_name(func.name)
+            if declared is None:
+                continue
+            env = flow.env_of(qual)
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                inferred = flow.unit_of(node.value, env, func)
+                if inferred is None or inferred == declared:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{func.name}` declares {_describe(declared)} but this "
+                    f"return carries {_describe(inferred)}; convert before "
+                    f"returning",
+                )
+
+
+class CallUnitFlowMismatch(Rule):
+    """Call argument's *inferred* unit conflicts with the parameter suffix.
+
+    Extends the per-file ``units-call-mismatch`` in two directions the
+    suffix-only check cannot take: arguments whose unit is known only
+    through dataflow (an unsuffixed local, a helper's return), and
+    callees resolved through the call graph (methods, imported
+    functions) rather than the bare-name signature table.
+    """
+
+    name = "unitsflow-call"
+    family = "units-flow"
+    description = (
+        "call passes a value whose dataflow-inferred unit conflicts with "
+        "the parameter's unit suffix (resolved through the call graph)"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if module.filename == "units.py":
+            return
+        flow = _flow(ctx)
+        for qual, func in sorted(ctx.graph.functions.items()):
+            if func.module is not module:
+                continue
+            env = flow.env_of(qual)
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(module, ctx, flow, func, env, node)
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        ctx: LintContext,
+        flow: UnitFlow,
+        func: FunctionInfo,
+        env,
+        call: ast.Call,
+    ) -> Iterator[Finding]:
+        callees, _ = ctx.graph.resolve_call(func, call)
+        seen = set()
+        for callee_qual in sorted(callees):
+            callee = ctx.graph.functions.get(callee_qual)
+            if callee is None:
+                continue
+            params = call_params(callee, call)
+            args = list(zip(params, call.args)) + [
+                (kw.arg, kw.value)
+                for kw in call.keywords
+                if kw.arg is not None and kw.arg in params
+            ]
+            for param, arg in args:
+                declared = unit_of_name(param)
+                if declared is None:
+                    continue
+                if self._per_file_covers(ctx, call, arg):
+                    continue
+                inferred = flow.unit_of(arg, env, func)
+                if inferred is None or inferred == declared:
+                    continue
+                key = (param, arg)
+                if key in seen:
+                    continue  # conservative resolution: report once
+                seen.add(key)
+                yield self.finding(
+                    module,
+                    call,
+                    f"argument `{module.segment(arg)}` carries "
+                    f"{_describe(inferred)} (inferred through dataflow) but "
+                    f"parameter `{param}` of `{callee.name}` expects "
+                    f"{_describe(declared)}",
+                )
+
+    @staticmethod
+    def _per_file_covers(
+        ctx: LintContext, call: ast.Call, arg: ast.AST
+    ) -> bool:
+        """Whether ``units-call-mismatch`` already reports this pair."""
+        if unit_of_expr(arg) is None:
+            return False  # suffix-blind argument: only dataflow sees it
+        for kw in call.keywords:
+            if kw.value is arg and kw.arg is not None:
+                return True  # keyword + suffixed value: per-file territory
+        callee = dotted_name(call.func)
+        return (
+            isinstance(call.func, ast.Name)
+            and callee is not None
+            and bool(ctx.signatures.get(callee))
+        )
+
+
+UNITSFLOW_RULES = [
+    AssignUnitMismatch(),
+    CallUnitFlowMismatch(),
+    ReturnUnitMismatch(),
+]

@@ -14,7 +14,6 @@ DCTCP needs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 #: Bytes of IP + TCP header on every segment (no options modelled beyond
@@ -29,9 +28,11 @@ ETHERNET_OVERHEAD_BYTES = 38
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """A single simulated frame.
+
+    One instance is allocated per simulated segment and per ACK, so the
+    class defines ``__slots__`` instead of paying for a ``__dict__``.
 
     Attributes
     ----------
@@ -56,36 +57,88 @@ class Packet:
         ``retransmitted`` flag).
     """
 
-    flow_id: int
-    src: str
-    dst: str
-    seq: int = 0
-    payload_bytes: int = 0
-    is_ack: bool = False
-    ack_seq: int = 0
-    sacks: Tuple[Tuple[int, int], ...] = ()
-    ecn_capable: bool = False
-    ecn_marked: bool = False
-    ecn_echo: bool = False
-    #: on ACKs: how many of the newly acknowledged bytes were CE-marked
-    #: (DCTCP's fraction-of-marked-bytes feedback, collapsed to one field)
-    ecn_marked_bytes: int = 0
-    retransmitted: bool = False
-    #: receive window advertised on ACKs (None = field not carried)
-    rwnd_bytes: Optional[int] = None
-    #: in-band network telemetry (INT), stamped by the bottleneck egress
-    #: when enabled and echoed on ACKs — what HPCC consumes. One record
-    #: suffices on a single-bottleneck path.
-    int_qlen_bytes: Optional[int] = None
-    int_tx_bytes: Optional[float] = None
-    int_timestamp: Optional[float] = None
-    int_link_rate_bps: Optional[float] = None
-    #: scheduling priority for pFabric-style switches (lower = sooner);
-    #: senders set it to the flow's remaining bytes to approximate SRPT
-    priority: Optional[int] = None
-    sent_time: float = 0.0
-    echo_time: Optional[float] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "payload_bytes",
+        "is_ack",
+        "ack_seq",
+        "sacks",
+        "ecn_capable",
+        "ecn_marked",
+        "ecn_echo",
+        "ecn_marked_bytes",
+        "retransmitted",
+        "rwnd_bytes",
+        "int_qlen_bytes",
+        "int_tx_bytes",
+        "int_timestamp",
+        "int_link_rate_bps",
+        "priority",
+        "sent_time",
+        "echo_time",
+        "packet_id",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        seq: int = 0,
+        payload_bytes: int = 0,
+        is_ack: bool = False,
+        ack_seq: int = 0,
+        sacks: Tuple[Tuple[int, int], ...] = (),
+        ecn_capable: bool = False,
+        ecn_marked: bool = False,
+        ecn_echo: bool = False,
+        # on ACKs: how many of the newly acknowledged bytes were CE-marked
+        # (DCTCP's fraction-of-marked-bytes feedback, collapsed to one field)
+        ecn_marked_bytes: int = 0,
+        retransmitted: bool = False,
+        # receive window advertised on ACKs (None = field not carried)
+        rwnd_bytes: Optional[int] = None,
+        # in-band network telemetry (INT), stamped by the bottleneck egress
+        # when enabled and echoed on ACKs — what HPCC consumes. One record
+        # suffices on a single-bottleneck path.
+        int_qlen_bytes: Optional[int] = None,
+        int_tx_bytes: Optional[float] = None,
+        int_timestamp: Optional[float] = None,
+        int_link_rate_bps: Optional[float] = None,
+        # scheduling priority for pFabric-style switches (lower = sooner);
+        # senders set it to the flow's remaining bytes to approximate SRPT
+        priority: Optional[int] = None,
+        sent_time: float = 0.0,
+        echo_time: Optional[float] = None,
+        packet_id: Optional[int] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.sacks = sacks
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = ecn_marked
+        self.ecn_echo = ecn_echo
+        self.ecn_marked_bytes = ecn_marked_bytes
+        self.retransmitted = retransmitted
+        self.rwnd_bytes = rwnd_bytes
+        self.int_qlen_bytes = int_qlen_bytes
+        self.int_tx_bytes = int_tx_bytes
+        self.int_timestamp = int_timestamp
+        self.int_link_rate_bps = int_link_rate_bps
+        self.priority = priority
+        self.sent_time = sent_time
+        self.echo_time = echo_time
+        self.packet_id = (
+            next(_packet_ids) if packet_id is None else packet_id
+        )
 
     @property
     def size_bytes(self) -> int:

@@ -158,21 +158,22 @@ class PriorityQueue(DropTailQueue):
 
     def enqueue(self, packet: Packet) -> bool:
         arriving_prio = self._priority_of(packet)
+        count = self.counters.add
         while self._occupancy + packet.size_bytes > self.capacity_bytes:
             victim_flow = self._least_urgent_flow()
             if (
                 victim_flow is None
                 or self._flow_prio[victim_flow] <= arriving_prio
             ):
-                self.counters.add("drops")
-                self.counters.add("dropped_bytes", packet.size_bytes)
+                count("drops")
+                count("dropped_bytes", packet.size_bytes)
                 self._probe_drop()
                 return False
             victim = self._flows[victim_flow].pop()  # newest of worst flow
             self._occupancy -= victim.size_bytes
-            self.counters.add("drops")
-            self.counters.add("evictions")
-            self.counters.add("dropped_bytes", victim.size_bytes)
+            count("drops")
+            count("evictions")
+            count("dropped_bytes", victim.size_bytes)
             self._probe_drop()
         queue = self._flows.setdefault(packet.flow_id, deque())
         queue.append(packet)

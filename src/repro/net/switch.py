@@ -38,13 +38,13 @@ class Switch:
 
     def port_for(self, dst_host: str) -> Interface:
         """The output interface serving ``dst_host``."""
-        try:
-            return self._ports[dst_host]
-        except KeyError:
+        port = self._ports.get(dst_host)
+        if port is None:
             raise NetworkConfigError(
                 f"{self.name}: no route to {dst_host!r} "
                 f"(known: {sorted(self._ports)})"
-            ) from None
+            )
+        return port
 
     def receive(self, packet: Packet) -> None:
         """Forward an arriving packet to its output port."""

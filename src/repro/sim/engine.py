@@ -20,7 +20,6 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -29,20 +28,41 @@ from repro.sim.probe import NULL_PROBE_SINK, ProbeSink
 Callback = Callable[..., None]
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
     Events compare by ``(time, seq)`` so the heap pops them in timestamp
     order with FIFO tie-breaking. The callback and its arguments do not
-    participate in ordering.
+    participate in ordering. One Event is allocated per scheduled
+    callback — every simulated packet, timer and sample — so the class
+    uses ``__slots__``.
     """
 
-    time: float
-    seq: int
-    callback: Callback = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callback,
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"callback={self.callback!r}, args={self.args!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark this event dead; the simulator will skip it."""
@@ -148,13 +168,14 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
+                head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(queue)
                     continue
                 if until is not None and head.time > until:
                     break

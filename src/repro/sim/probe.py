@@ -98,7 +98,9 @@ class TimeSeriesProbeSink(ProbeSink):
         key = (channel, entity)
         series = self._series.get(key)
         if series is None:
-            series = TimeSeries(name=f"{entity}:{channel}")
+            # runs once per (channel, entity), not per event: the branch
+            # is only taken on a stream's very first sample
+            series = TimeSeries(name=f"{entity}:{channel}")  # simlint: ignore[perf-alloc-in-hot-path]
             self._series[key] = series
         elif self.min_interval_s is not None:
             if time_s - self._last_kept[key] < self.min_interval_s:

@@ -12,17 +12,46 @@ primitives cover all of them:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass
 class TimeSeries:
-    """An append-only series of (time, value) samples."""
+    """An append-only series of (time, value) samples.
 
-    name: str = ""
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    Probe sinks allocate one per telemetry channel inside the event
+    loop, so the class defines ``__slots__``.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(
+        self,
+        name: str = "",
+        times: Optional[List[float]] = None,
+        values: Optional[List[float]] = None,
+    ) -> None:
+        self.name = name
+        # fresh lists are the mutable defaults; one series is built per
+        # telemetry stream, not per event
+        self.times: List[float] = [] if times is None else times  # simlint: ignore[perf-alloc-in-hot-path]
+        self.values: List[float] = [] if values is None else values  # simlint: ignore[perf-alloc-in-hot-path]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries(name={self.name!r}, times={self.times!r}, "
+            f"values={self.values!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (self.name, self.times, self.values) == (
+            other.name,
+            other.times,
+            other.values,
+        )
+
+    __hash__ = None  # mutable, like the dataclass it replaced
 
     def record(self, time: float, value: float) -> None:
         """Append a sample. Times must be non-decreasing."""

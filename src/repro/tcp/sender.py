@@ -22,7 +22,6 @@ events — the sender never talks to the energy model directly.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.errors import TcpStateError
@@ -50,19 +49,45 @@ CompletionCallback = Callable[[float], None]
 DUPACK_THRESHOLD = 3
 
 
-@dataclass
 class SegmentInfo:
-    """Sender-side bookkeeping for one outstanding data segment."""
+    """Sender-side bookkeeping for one outstanding data segment.
 
-    seq: int
-    length: int
-    first_sent_time: float
-    sent_time: float
-    delivered_at_send: int
-    retransmitted: bool = False
-    sacked: bool = False
-    in_flight: bool = False
-    app_limited: bool = False
+    One is allocated per transmitted segment, hence ``__slots__``.
+    """
+
+    __slots__ = (
+        "seq",
+        "length",
+        "first_sent_time",
+        "sent_time",
+        "delivered_at_send",
+        "retransmitted",
+        "sacked",
+        "in_flight",
+        "app_limited",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        length: int,
+        first_sent_time: float,
+        sent_time: float,
+        delivered_at_send: int,
+        retransmitted: bool = False,
+        sacked: bool = False,
+        in_flight: bool = False,
+        app_limited: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.length = length
+        self.first_sent_time = first_sent_time
+        self.sent_time = sent_time
+        self.delivered_at_send = delivered_at_send
+        self.retransmitted = retransmitted
+        self.sacked = sacked
+        self.in_flight = in_flight
+        self.app_limited = app_limited
 
     @property
     def end_seq(self) -> int:
@@ -104,6 +129,9 @@ class TcpSender:
 
         self.rtt = RttEstimator(min_rto=min_rto)
         self.counters = CounterSet()
+        #: probe entity label, precomputed so the per-ACK telemetry path
+        #: does not build an f-string per event
+        self._probe_entity = f"flow-{flow_id}"
 
         # sequence space
         self.snd_una = 0
@@ -274,7 +302,7 @@ class TcpSender:
             # trajectory claims (§4.1, §4.5) are read from. Downsampling
             # happens in the sink, never here.
             now = self.sim.now
-            entity = f"flow-{self.flow_id}"
+            entity = self._probe_entity
             sink.sample(now, CWND_CHANNEL, entity, float(self.cca.cwnd))
             sink.sample(
                 now, SSTHRESH_CHANNEL, entity, float(self.cca.ssthresh)
@@ -459,16 +487,18 @@ class TcpSender:
         amortized rather than O(outstanding) per ACK.
         """
         best: Optional[SegmentInfo] = None
-        while self._order:
-            seq = self._order[0]
-            seg = self._segments.get(seq)
+        order = self._order
+        segments = self._segments
+        while order:
+            seq = order[0]
+            seg = segments.get(seq)
             if seg is None:
-                self._order.popleft()
+                order.popleft()
                 continue
             if seg.end_seq > ack_seq:
                 break
-            self._order.popleft()
-            del self._segments[seq]
+            order.popleft()
+            del segments[seq]
             if seg.in_flight:
                 self._in_flight -= seg.length
             if not seg.retransmitted:
@@ -602,11 +632,12 @@ class TcpSender:
             self._transmit_new(size)
 
     def _peek_retransmit(self) -> Optional[int]:
-        while self._retx_queue:
-            seq = self._retx_queue[0]
+        retx = self._retx_queue
+        while retx:
+            seq = retx[0]
             seg = self._segments.get(seq)
             if seg is None or seg.sacked or seg.end_seq <= self.snd_una:
-                self._retx_queue.popleft()
+                retx.popleft()
                 self._retx_queued.discard(seq)
                 continue
             return seq

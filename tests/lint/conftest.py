@@ -29,13 +29,18 @@ CLEAN_FIXTURES = (
     "contract/cc/registry.py",
     "contract_noreg/cc/orphan.py",
     "hygiene/clean_hygiene.py",
+    "perf_cold/sim/coldpath.py",
+    "detflow/sim/clean_flow.py",
+    "unitsflow/flow_clean.py",
 )
 
 
 @pytest.fixture
 def lint():
-    def _lint(*rel, select=None):
-        return run_lint([str(FIXTURES / r) for r in rel], select=select)
+    def _lint(*rel, select=None, ignore=None):
+        return run_lint(
+            [str(FIXTURES / r) for r in rel], select=select, ignore=ignore
+        )
 
     return _lint
 

@@ -1,0 +1,25 @@
+"""Sanitized flows the determinism-flow family must accept (lint
+fixture, never run).
+
+Sorting a set before iterating removes the order dependence, and a
+value derived only from parameters carries no entropy.
+"""
+
+from __future__ import annotations
+
+
+def doubled(value):
+    return value * 2.0
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self.first = ""
+        self.total = 0.0
+
+    def rebuild(self, names) -> None:
+        for name in sorted({name for name in names}):
+            self.first = name
+
+    def accumulate(self, amount) -> None:
+        self.total = doubled(amount)

@@ -1,0 +1,38 @@
+"""Cross-function entropy and set-order flows (lint fixture, never run).
+
+``jitter`` touches the global RNG; ``adjust`` stores its return value
+into simulation state two calls away. ``rebuild`` iterates a set and
+lets the visitation order decide what lands in state. Neither flow is
+visible to a single-function check.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def wobble():
+    return jitter() * 2.0
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.offset = 0.0
+
+    def adjust(self) -> None:
+        shift = wobble()
+        self.offset = shift
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.first = ""
+
+    def rebuild(self, names) -> None:
+        pool = {name for name in names}
+        for name in pool:
+            self.first = name

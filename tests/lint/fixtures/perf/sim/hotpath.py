@@ -1,0 +1,38 @@
+"""Pre-fix hot path (lint fixture, never run).
+
+A miniature event loop exhibiting every perf-family violation at once:
+the demonstration that the call graph finds hot-path waste without any
+hardcoded file list.
+"""
+
+from __future__ import annotations
+
+
+class Telemetry:
+    """Instantiated per event in run() but defines no __slots__."""
+
+    def __init__(self, label):
+        self.label = label
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self._queue = [3, 2, 1]
+        self.seen = 0
+        self.state = 0
+
+    def run(self) -> None:
+        while self._queue:
+            item = self._queue[0]
+            self._queue.remove(item)
+            total = self.seen + self.seen + self.seen
+            record = {"item": item, "total": total}
+            tag = f"evt-{item}"
+            sample = Telemetry(tag)
+            if isinstance(item, int):
+                self.state = item
+            try:
+                self.state = record["total"]
+            except KeyError:
+                self.state = 0
+            self.state = total if sample.label else item

@@ -1,0 +1,23 @@
+"""Scheduled-callback hotness (lint fixture, never run).
+
+``_tick`` is never called syntactically — only its *reference* is
+passed to ``schedule``. The event loop runs it per event through
+``event.callback(*event.args)``, so the call graph must treat it as a
+hot root.
+"""
+
+from __future__ import annotations
+
+
+class Pump:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def start(self) -> None:
+        self.sim.schedule(0.1, self._tick)
+
+    def _tick(self) -> None:
+        payload = {"count": self.count}
+        self.count = len(payload)
+        self.sim.schedule(0.1, self._tick)

@@ -1,0 +1,27 @@
+"""Cold path (lint fixture, never run).
+
+The same allocation-heavy shapes as ``perf/sim/hotpath.py`` — dict
+literal, f-string, isinstance, a slot-less class — but with no hot root
+and no schedule() call anywhere, so the call graph proves none of it is
+reachable from an event loop and the perf family stays silent.
+"""
+
+from __future__ import annotations
+
+
+class Report:
+    def __init__(self, label):
+        self.label = label
+
+
+class Analyzer:
+    def __init__(self) -> None:
+        self.seen = 0
+
+    def summarize(self):
+        total = self.seen + self.seen + self.seen
+        record = {"total": total}
+        tag = f"report-{total}"
+        if isinstance(total, int):
+            return Report(tag)
+        return record

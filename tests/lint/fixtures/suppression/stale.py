@@ -1,0 +1,7 @@
+"""Dead and misspelled ignore comments (lint fixture, never run)."""
+
+from __future__ import annotations
+
+GOOD_BPS = 1e9  # simlint: ignore[units-raw-literal]
+CLEAN = 42  # simlint: ignore[units-raw-literal] -- nothing to suppress here
+TYPO_BPS = 2e9  # simlint: ignore[units-raw-litteral]

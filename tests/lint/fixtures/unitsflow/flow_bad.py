@@ -1,0 +1,33 @@
+"""Unit flows only whole-program analysis can see (lint fixture, never
+run).
+
+Every violation here routes a unit through an unsuffixed local or a
+helper's return value, so the per-file suffix comparison is blind to
+all of them.
+"""
+
+from __future__ import annotations
+
+
+def make_delay_ms():
+    return 12.0
+
+
+def consume(delay_s):
+    return delay_s
+
+
+def bad_assign():
+    raw = make_delay_ms()
+    delay_s = raw
+    return delay_s
+
+
+def speed_bps():
+    packet_bytes = 1500.0
+    return packet_bytes
+
+
+def bad_call():
+    raw = make_delay_ms()
+    return consume(raw)

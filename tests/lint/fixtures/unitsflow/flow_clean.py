@@ -1,0 +1,21 @@
+"""Unit flows that agree end to end (lint fixture, never run)."""
+
+from __future__ import annotations
+
+
+def make_delay_s():
+    return 0.5
+
+
+def wait(delay_s):
+    return delay_s
+
+
+def relay():
+    pause = make_delay_s()
+    return wait(pause)
+
+
+def total_delay_s():
+    pause = make_delay_s()
+    return pause + make_delay_s()

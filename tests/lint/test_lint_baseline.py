@@ -1,0 +1,91 @@
+"""Baseline ratchet: known findings pass, new ones fail."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintUsageError,
+    load_baseline,
+    make_baseline,
+    new_findings,
+    render_baseline,
+)
+from repro.lint.baseline import BASELINE_VERSION
+
+
+def _finding(path="src/a.py", line=1, rule="units-raw-literal", message="m"):
+    return Finding(
+        path=path, line=line, col=1, rule=rule, family="units", message=message
+    )
+
+
+class TestFormat:
+    def test_round_trip(self, tmp_path):
+        findings = [_finding(), _finding(line=9), _finding(rule="other")]
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline(findings), encoding="utf-8")
+        loaded = load_baseline(out)
+        assert loaded[("src/a.py", "units-raw-literal", "m")] == 2
+        assert loaded[("src/a.py", "other", "m")] == 1
+
+    def test_stable_and_sorted(self):
+        findings = [_finding(path="src/b.py"), _finding(path="src/a.py")]
+        text = render_baseline(findings)
+        assert text == render_baseline(list(reversed(findings)))
+        paths = [e["path"] for e in json.loads(text)["findings"]]
+        assert paths == sorted(paths)
+
+    def test_line_numbers_are_not_recorded(self):
+        payload = make_baseline([_finding(line=7)])
+        assert "line" not in payload["findings"][0]
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError, match="no such baseline"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_wrong_version_is_usage_error(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        out.write_text(
+            json.dumps({"version": BASELINE_VERSION + 1, "findings": []})
+        )
+        with pytest.raises(LintUsageError, match="version"):
+            load_baseline(out)
+
+
+class TestGating:
+    def test_baseline_absorbs_known_findings(self, tmp_path):
+        findings = [_finding(), _finding(rule="other")]
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline(findings), encoding="utf-8")
+        assert new_findings(findings, load_baseline(out)) == []
+
+    def test_new_finding_escapes_the_baseline(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline([_finding()]), encoding="utf-8")
+        fresh = _finding(message="something new")
+        escaped = new_findings([_finding(), fresh], load_baseline(out))
+        assert escaped == [fresh]
+
+    def test_count_overflow_is_new(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline([_finding()]), encoding="utf-8")
+        duplicated = [_finding(line=1), _finding(line=50)]
+        escaped = new_findings(duplicated, load_baseline(out))
+        assert len(escaped) == 1
+
+    def test_line_motion_does_not_escape(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline([_finding(line=10)]), encoding="utf-8")
+        assert new_findings([_finding(line=99)], load_baseline(out)) == []
+
+
+class TestEndToEnd:
+    def test_write_then_gate_a_dirty_fixture(self, tmp_path, lint, fixtures_dir):
+        result = lint("units/bad_units.py")
+        assert not result.clean
+        out = tmp_path / "baseline.json"
+        out.write_text(render_baseline(result.findings), encoding="utf-8")
+        again = lint("units/bad_units.py")
+        assert new_findings(again.findings, load_baseline(out)) == []

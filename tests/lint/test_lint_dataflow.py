@@ -1,0 +1,57 @@
+"""The dataflow rule families: determinism-flow and units-flow.
+
+Both depend on inter-procedural summaries — the fixtures deliberately
+route every violation through at least one function boundary so a
+per-file check could never see it.
+"""
+
+
+class TestDeterminismFlow:
+    def test_entropy_reaches_state_two_calls_away(self, lint):
+        result = lint(
+            "detflow/sim/tainted.py", select=["detflow-entropy-to-state"]
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.family == "determinism-flow"
+        assert "self.offset" in finding.message
+        assert "Clock.adjust" in finding.message
+
+    def test_set_order_reaches_state(self, lint):
+        result = lint("detflow/sim/tainted.py", select=["detflow-set-order"])
+        assert len(result.findings) == 1
+        assert "self.first" in result.findings[0].message
+        assert "Registry.rebuild" in result.findings[0].message
+
+    def test_sorted_sanitizes_and_params_carry_no_entropy(self, lint):
+        result = lint(
+            "detflow/sim/clean_flow.py",
+            select=["detflow-entropy-to-state", "detflow-set-order"],
+        )
+        assert result.clean
+
+
+class TestUnitsFlow:
+    def test_assign_mismatch_through_helper_return(self, lint):
+        result = lint("unitsflow/flow_bad.py", select=["unitsflow-assign"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "delay_s" in finding.message
+        assert "[s]" in finding.message and "[ms]" in finding.message
+
+    def test_return_mismatch_against_function_suffix(self, lint):
+        result = lint("unitsflow/flow_bad.py", select=["unitsflow-return"])
+        assert len(result.findings) == 1
+        assert "speed_bps" in result.findings[0].message
+        assert "[bytes]" in result.findings[0].message
+
+    def test_call_mismatch_with_unsuffixed_argument(self, lint):
+        result = lint("unitsflow/flow_bad.py", select=["unitsflow-call"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "`raw`" in finding.message
+        assert "consume" in finding.message
+
+    def test_agreeing_flows_are_clean(self, lint):
+        result = lint("unitsflow/flow_clean.py")
+        assert result.clean

@@ -5,17 +5,23 @@ from pathlib import Path
 import pytest
 
 from repro.lint import LintUsageError, all_rule_names, run_lint
-from repro.lint.engine import PARSE_ERROR_RULE, iter_rules
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    UNKNOWN_SUPPRESSION_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    iter_rules,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestRuleRegistry:
-    def test_eighteen_rules_in_four_families(self):
+    def test_twentyseven_rules_in_seven_families(self):
         rules = iter_rules()
-        assert len(rules) == 18
+        assert len(rules) == 27
         assert {r.family for r in rules} == {
-            "units", "determinism", "cca-contract", "api-hygiene",
+            "units", "units-flow", "determinism", "determinism-flow",
+            "cca-contract", "api-hygiene", "perf",
         }
 
     def test_rules_have_names_and_descriptions(self):
@@ -59,6 +65,85 @@ class TestSuppression:
         # an ignore[det-import-random] comment must not silence units rules
         result = lint("suppression/suppressed.py", select=["units-raw-literal"])
         assert any("2e9" in f.message for f in result.findings)
+
+
+class TestIgnore:
+    def test_ignore_drops_named_rules(self, lint):
+        full = lint("units/bad_units.py")
+        trimmed = lint("units/bad_units.py", ignore=["units-raw-literal"])
+        assert "units-raw-literal" not in trimmed.rules_run
+        assert all(f.rule != "units-raw-literal" for f in trimmed.findings)
+        assert len(trimmed.rules_run) == len(full.rules_run) - 1
+
+    def test_unknown_ignore_is_usage_error(self, fixtures_dir):
+        with pytest.raises(LintUsageError, match="unknown rule"):
+            run_lint([str(fixtures_dir)], ignore=["no-such-rule"])
+
+    def test_select_minus_ignore_can_empty_out(self, fixtures_dir):
+        with pytest.raises(LintUsageError, match="excludes every rule"):
+            run_lint(
+                [str(fixtures_dir)],
+                select=["units-raw-literal"],
+                ignore=["units-raw-literal"],
+            )
+
+
+class TestSuppressionHygiene:
+    """Full runs audit the ignore comments themselves."""
+
+    def test_dead_comment_is_unused_suppression(self, lint):
+        result = lint("suppression/stale.py")
+        unused = [
+            f for f in result.findings if f.rule == UNUSED_SUPPRESSION_RULE
+        ]
+        assert [f.line for f in unused] == [6]
+        assert unused[0].family == "engine"
+        assert "suppresses nothing" in unused[0].message
+
+    def test_misspelled_rule_is_unknown_suppression(self, lint):
+        result = lint("suppression/stale.py")
+        unknown = [
+            f for f in result.findings if f.rule == UNKNOWN_SUPPRESSION_RULE
+        ]
+        assert [f.line for f in unknown] == [7]
+        assert "units-raw-litteral" in unknown[0].message
+        # and the misspelled comment suppresses nothing: 2e9 still fires
+        assert any("2e9" in f.message for f in result.findings)
+
+    def test_working_comment_is_not_flagged(self, lint):
+        result = lint("suppression/stale.py")
+        assert not any(f.line == 5 for f in result.findings)
+
+    def test_partial_runs_skip_the_audit(self, lint):
+        for kwargs in (
+            {"select": ["units-raw-literal"]},
+            {"ignore": ["det-import-random"]},
+        ):
+            result = lint("suppression/stale.py", **kwargs)
+            assert not any(
+                f.rule
+                in (UNUSED_SUPPRESSION_RULE, UNKNOWN_SUPPRESSION_RULE)
+                for f in result.findings
+            )
+
+
+class TestDisplayPaths:
+    """Finding paths anchor at the project root, not the CWD."""
+
+    EXPECTED = "tests/lint/fixtures/engine/broken.py"
+
+    def _parse_error_path(self, fixtures_dir):
+        result = run_lint([str(fixtures_dir / "engine" / "broken.py")])
+        assert len(result.findings) == 1
+        return result.findings[0].path
+
+    def test_path_from_repo_root(self, fixtures_dir, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert self._parse_error_path(fixtures_dir) == self.EXPECTED
+
+    def test_path_is_cwd_independent(self, fixtures_dir, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert self._parse_error_path(fixtures_dir) == self.EXPECTED
 
 
 class TestParseErrors:

@@ -1,0 +1,154 @@
+"""Whole-program graph: call resolution, reachability, hot roots.
+
+Unit tests build tiny module sets in ``tmp_path`` and interrogate
+:class:`~repro.lint.graph.ProjectGraph` directly; the fixture-driven
+tests check the property the perf family rests on — the *same* code is
+flagged when an event loop reaches it and silent when nothing does.
+"""
+
+from repro.lint.core import ModuleInfo
+from repro.lint.graph import ProjectGraph
+
+
+def _modules(tmp_path, sources):
+    out = []
+    for rel, src in sources.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(src, encoding="utf-8")
+        out.append(ModuleInfo.parse(path, rel))
+    return out
+
+
+class TestCallResolution:
+    def test_helper_called_from_run_is_reachable(self, tmp_path):
+        graph = ProjectGraph(
+            _modules(
+                tmp_path,
+                {
+                    "sim/engine.py": (
+                        "class Simulator:\n"
+                        "    def run(self):\n"
+                        "        self._drain()\n"
+                        "    def _drain(self):\n"
+                        "        helper()\n"
+                        "def helper():\n"
+                        "    pass\n"
+                    )
+                },
+            )
+        )
+        roots = graph.find_methods("Simulator", ("run",))
+        reachable = graph.reachable(roots)
+        assert "sim.engine.Simulator.run" in reachable
+        assert "sim.engine.Simulator._drain" in reachable
+        assert "sim.engine.helper" in reachable
+
+    def test_uncalled_helper_is_not_reachable(self, tmp_path):
+        graph = ProjectGraph(
+            _modules(
+                tmp_path,
+                {
+                    "sim/engine.py": (
+                        "class Simulator:\n"
+                        "    def run(self):\n"
+                        "        pass\n"
+                        "def helper():\n"
+                        "    pass\n"
+                    )
+                },
+            )
+        )
+        reachable = graph.reachable(graph.find_methods("Simulator", ("run",)))
+        assert "sim.engine.helper" not in reachable
+
+    def test_reachability_crosses_modules(self, tmp_path):
+        graph = ProjectGraph(
+            _modules(
+                tmp_path,
+                {
+                    "sim/engine.py": (
+                        "from sim.util import tally\n"
+                        "class Simulator:\n"
+                        "    def run(self):\n"
+                        "        tally()\n"
+                    ),
+                    "sim/util.py": "def tally():\n    pass\n",
+                },
+            )
+        )
+        reachable = graph.reachable(graph.find_methods("Simulator", ("run",)))
+        assert "sim.util.tally" in reachable
+
+    def test_instantiation_reaches_init_and_records_class(self, tmp_path):
+        graph = ProjectGraph(
+            _modules(
+                tmp_path,
+                {
+                    "sim/engine.py": (
+                        "class Event:\n"
+                        "    def __init__(self):\n"
+                        "        self.t = 0\n"
+                        "class Simulator:\n"
+                        "    def run(self):\n"
+                        "        Event()\n"
+                    )
+                },
+            )
+        )
+        roots = graph.find_methods("Simulator", ("run",))
+        assert "sim.engine.Event.__init__" in graph.reachable(roots)
+        assert "sim.engine.Event" in graph.classes_instantiated_by(
+            graph.reachable(roots)
+        )
+
+
+class TestScheduledCallbacks:
+    def test_callback_reference_is_a_hot_root(self, tmp_path):
+        graph = ProjectGraph(
+            _modules(
+                tmp_path,
+                {
+                    "sim/pump.py": (
+                        "class Pump:\n"
+                        "    def start(self):\n"
+                        "        self.sim.schedule(0.1, self._tick)\n"
+                        "    def _tick(self):\n"
+                        "        self._leaf()\n"
+                        "    def _leaf(self):\n"
+                        "        pass\n"
+                    )
+                },
+            )
+        )
+        assert "sim.pump.Pump._tick" in graph.scheduled_callbacks
+        assert "sim.pump.Pump._leaf" in graph.reachable(
+            graph.scheduled_callbacks
+        )
+
+
+class TestHotPathRulesUseTheGraph:
+    """The acceptance property: hotness comes from reachability."""
+
+    def test_hot_fixture_reports_at_least_five_perf_findings(self, lint):
+        result = lint("perf/sim/hotpath.py")
+        perf = [f for f in result.findings if f.family == "perf"]
+        assert len(perf) >= 5
+        assert {f.rule for f in perf} == {
+            "perf-alloc-in-hot-path",
+            "perf-attr-in-loop",
+            "perf-hot-dispatch",
+            "perf-missing-slots",
+        }
+
+    def test_same_shapes_unreachable_stay_silent(self, lint):
+        result = lint("perf_cold/sim/coldpath.py")
+        assert not [f for f in result.findings if f.family == "perf"]
+        assert result.clean
+
+    def test_scheduled_callback_is_hot(self, lint):
+        result = lint(
+            "perf/sim/scheduled.py", select=["perf-alloc-in-hot-path"]
+        )
+        assert [f.rule for f in result.findings] == ["perf-alloc-in-hot-path"]
+        assert "_tick" in result.findings[0].message

@@ -112,8 +112,41 @@ class TestLintCommand:
     def test_list_rules_exits_zero(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for family in ("units", "determinism", "cca-contract", "api-hygiene"):
+        for family in (
+            "units", "units-flow", "determinism", "determinism-flow",
+            "cca-contract", "api-hygiene", "perf",
+        ):
             assert family in out
+
+    def test_sarif_flag_emits_sarif(self, capsys):
+        code = main(
+            ["lint", "--sarif",
+             str(LINT_FIXTURES / "hygiene" / "bad_hygiene.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "simlint"
+        assert payload["runs"][0]["results"]
+
+    def test_ignore_drops_a_rule(self, capsys):
+        code = main(
+            ["lint", "--ignore", "units-raw-literal",
+             str(LINT_FIXTURES / "units" / "bad_units.py")]
+        )
+        out = capsys.readouterr().out
+        assert "units-raw-literal" not in out
+        assert code in (0, 1)
+
+    def test_baseline_write_then_gate(self, capsys, tmp_path):
+        target = str(LINT_FIXTURES / "units" / "bad_units.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline), target]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        assert main(["lint", "--baseline", str(baseline), target]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        assert "absorbed by the baseline" in out
 
     def test_default_path_is_src_and_clean(self, capsys, monkeypatch):
         monkeypatch.chdir(Path(__file__).resolve().parents[1])
