@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint lint-baseline sarif ruff mypy bench bench-sim obs-bench baseline obs-diff
+.PHONY: check test lint lint-baseline sarif ruff mypy bench bench-sim bench-fabric obs-bench baseline obs-diff fabric-baseline fabric-obs-diff
 
 check: test lint ruff mypy
 
@@ -53,6 +53,11 @@ bench:
 bench-sim:
 	$(PYTHON) benchmarks/bench_sim.py
 
+# refresh the committed 1k-flow fabric snapshot (BENCH_fabric.json);
+# runs the FABRIC_SWEEP under a recording observer
+bench-fabric:
+	$(PYTHON) benchmarks/bench_fabric.py
+
 # the observability zero-overhead gate (also a CI step)
 obs-bench:
 	$(PYTHON) -m pytest -q benchmarks/test_obs_overhead.py
@@ -75,3 +80,22 @@ obs-diff:
 	rm -rf $(BASELINE_TRACE)
 	$(PYTHON) -m repro.cli $(BASELINE_SWEEP) --trace $(BASELINE_TRACE) >/dev/null
 	$(PYTHON) -m repro.cli obs diff $(BASELINE_FILE) $(BASELINE_TRACE)
+
+# the 1k-flow leaf-spine sweep the committed fabric baseline snapshots;
+# the CI fabric-obs-diff gate replays exactly this and diffs against it
+FABRIC_SWEEP = fabric --flows 1000 --ccas dctcp,dcqcn --mix rpc
+FABRIC_BASELINE_FILE = benchmarks/baselines/fabric.json
+FABRIC_TRACE ?= /tmp/greenenvy-fabric-trace
+
+# regenerate the committed fabric baseline (run after an intentional
+# behavior change, then commit the updated JSON with the change)
+fabric-baseline:
+	rm -rf $(FABRIC_TRACE)
+	$(PYTHON) -m repro.cli $(FABRIC_SWEEP) --trace $(FABRIC_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs snapshot $(FABRIC_TRACE) -o $(FABRIC_BASELINE_FILE)
+
+# replay the fabric sweep and fail on drift (the CI regression gate)
+fabric-obs-diff:
+	rm -rf $(FABRIC_TRACE)
+	$(PYTHON) -m repro.cli $(FABRIC_SWEEP) --trace $(FABRIC_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs diff $(FABRIC_BASELINE_FILE) $(FABRIC_TRACE)

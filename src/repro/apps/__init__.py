@@ -12,10 +12,18 @@ from repro.apps.iperf import (
 from repro.apps.probe import ThroughputProbe
 from repro.apps.workload import (
     DATA_MINING_CDF,
+    ELEPHANT_CDF,
+    MIXES,
+    RPC_CDF,
     WEB_SEARCH_CDF,
+    FabricFlow,
+    FabricWorkload,
     FlowArrival,
     Workload,
+    generate_fabric_workload,
     generate_workload,
+    mean_mix_flow_size,
+    mix_components,
     sample_flow_size,
 )
 
@@ -32,4 +40,12 @@ __all__ = [
     "sample_flow_size",
     "WEB_SEARCH_CDF",
     "DATA_MINING_CDF",
+    "RPC_CDF",
+    "ELEPHANT_CDF",
+    "MIXES",
+    "mix_components",
+    "mean_mix_flow_size",
+    "FabricFlow",
+    "FabricWorkload",
+    "generate_fabric_workload",
 ]

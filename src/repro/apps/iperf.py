@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.errors import ExperimentError
-from repro.net.topology import Testbed
+from repro.net.host import Host
+from repro.net.topology import Fabric, Testbed
 from repro.sim.timer import PeriodicTimer
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
@@ -93,11 +94,16 @@ class IperfSession:
         completion-chained full-speed-then-idle schedules).
     ecn:
         Force ECN on/off; default enables it for the algorithms that use it.
+    src_host / dst_host:
+        Explicit endpoint hosts. Default to the testbed's dedicated
+        sender/receiver pair; multi-switch fabrics (where any host pair
+        may converse) pass both explicitly, in which case ``testbed``
+        only supplies the simulator.
     """
 
     def __init__(
         self,
-        testbed: Testbed,
+        testbed: Union[Testbed, Fabric],
         total_bytes: int,
         cca: str = "cubic",
         target_bitrate_bps: Optional[float] = None,
@@ -106,12 +112,24 @@ class IperfSession:
         flow_id: Optional[int] = None,
         cca_kwargs: Optional[dict] = None,
         report_interval_s: Optional[float] = None,
+        src_host: Optional[Host] = None,
+        dst_host: Optional[Host] = None,
     ):
         if total_bytes <= 0:
             raise ExperimentError(f"transfer size must be > 0, got {total_bytes}")
         if target_bitrate_bps is not None and target_bitrate_bps <= 0:
             raise ExperimentError(
                 f"target bitrate must be > 0, got {target_bitrate_bps}"
+            )
+        if src_host is not None and dst_host is not None:
+            src, dst = src_host, dst_host
+        elif isinstance(testbed, Testbed):
+            src = src_host if src_host is not None else testbed.sender
+            dst = dst_host if dst_host is not None else testbed.receiver
+        else:
+            raise ExperimentError(
+                f"{type(testbed).__name__} sessions must name both "
+                f"src_host and dst_host"
             )
         self.testbed = testbed
         self.sim = testbed.sim
@@ -124,17 +142,17 @@ class IperfSession:
 
         self.receiver = TcpReceiver(
             self.sim,
-            testbed.receiver,
+            dst,
             self.flow_id,
-            peer=testbed.sender.name,
+            peer=src.name,
             expected_bytes=total_bytes,
         )
         rate_limited = target_bitrate_bps is not None
         self.sender = TcpSender(
             self.sim,
-            testbed.sender,
+            src,
             self.flow_id,
-            dst=testbed.receiver.name,
+            dst=dst.name,
             cca_factory=cca_factory(cca, **(cca_kwargs or {})),
             total_bytes=total_bytes,
             ecn_capable=ecn_capable,

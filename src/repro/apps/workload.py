@@ -55,10 +55,66 @@ DATA_MINING_CDF: Sequence[Tuple[int, float]] = (
     (30_000_000, 1.00),
 )
 
+#: RPC request/response traffic (memcached/Thrift-style): overwhelmingly
+#: small messages, capped at 16 KB
+RPC_CDF: Sequence[Tuple[int, float]] = (
+    (64, 0.05),
+    (256, 0.30),
+    (512, 0.50),
+    (1_000, 0.70),
+    (2_000, 0.85),
+    (4_000, 0.95),
+    (16_000, 1.00),
+)
+
+#: elephant/background transfers (storage replication, shuffles): every
+#: flow is at least 1 MB, capped at 10 MB to stay simulator-friendly
+ELEPHANT_CDF: Sequence[Tuple[int, float]] = (
+    (1_000_000, 0.25),
+    (2_000_000, 0.55),
+    (4_000_000, 0.85),
+    (10_000_000, 1.00),
+)
+
 DISTRIBUTIONS = {
     "web-search": WEB_SEARCH_CDF,
     "data-mining": DATA_MINING_CDF,
+    "rpc": RPC_CDF,
+    "elephant": ELEPHANT_CDF,
 }
+
+#: named traffic mixes for fabric workloads: (flow class, weight) pairs
+#: over DISTRIBUTIONS entries. Weights are normalized at sampling time.
+MIXES = {
+    "datacenter": (("rpc", 0.60), ("web-search", 0.35), ("elephant", 0.05)),
+    "rpc-heavy": (("rpc", 0.90), ("web-search", 0.09), ("elephant", 0.01)),
+    "web-search": (("web-search", 1.0),),
+    "data-mining": (("data-mining", 1.0),),
+    "rpc": (("rpc", 1.0),),
+    "elephant": (("elephant", 1.0),),
+}
+
+
+def mix_components(mix: str) -> Sequence[Tuple[str, float]]:
+    """The (flow class, weight) components of a named mix."""
+    if mix not in MIXES:
+        raise ExperimentError(
+            f"unknown traffic mix {mix!r}; known: {sorted(MIXES)}"
+        )
+    return MIXES[mix]
+
+
+def mean_mix_flow_size(mix: str, seed: int = 0) -> float:
+    """Weight-averaged mean flow size of a mix (sizes arrival rates)."""
+    components = mix_components(mix)
+    total_weight = sum(weight for _cls, weight in components)
+    return (
+        sum(
+            weight * mean_flow_size(DISTRIBUTIONS[cls], seed=seed)
+            for cls, weight in components
+        )
+        / total_weight
+    )
 
 
 def sample_flow_size(
@@ -164,4 +220,216 @@ def generate_workload(
         flows=flows,
         target_load=target_load,
         capacity_bps=capacity_bps,
+    )
+
+
+# -- fabric workloads (multi-rack traffic matrices) -------------------
+
+
+@dataclass
+class FabricFlow:
+    """One generated fabric flow: size plus placement.
+
+    ``incast_group`` is ``-1`` for ordinary point-to-point flows; flows
+    sharing a non-negative group id are the synchronized senders of one
+    incast fan-in (same destination, same start time — the partition/
+    aggregate pattern FairQ and the DCTCP study both highlight).
+    """
+
+    start_time_s: float
+    size_bytes: int
+    src: str
+    dst: str
+    flow_class: str
+    incast_group: int = -1
+
+
+@dataclass
+class FabricWorkload:
+    """A generated fabric-wide open-loop workload."""
+
+    mix: str
+    flows: List[FabricFlow]
+    target_load: float
+    #: aggregate host-uplink capacity the load target is expressed against
+    capacity_bps: float
+    rack_of: "dict[str, int]"
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.flows)
+
+    @property
+    def span_s(self) -> float:
+        return max(f.start_time_s for f in self.flows) if self.flows else 0.0
+
+    @property
+    def offered_load(self) -> float:
+        """Offered fraction of the aggregate host-uplink capacity."""
+        if self.span_s <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.span_s / self.capacity_bps
+
+    @property
+    def incast_groups(self) -> int:
+        return len({f.incast_group for f in self.flows if f.incast_group >= 0})
+
+    @property
+    def cross_rack_fraction(self) -> float:
+        if not self.flows:
+            return 0.0
+        cross = sum(
+            1 for f in self.flows if self.rack_of[f.src] != self.rack_of[f.dst]
+        )
+        return cross / len(self.flows)
+
+    def class_counts(self) -> "dict[str, int]":
+        counts: "dict[str, int]" = {}
+        for f in self.flows:
+            counts[f.flow_class] = counts.get(f.flow_class, 0) + 1
+        return counts
+
+
+def _pick_weighted(
+    components: Sequence[Tuple[str, float]], rng: random.Random
+) -> str:
+    total = sum(weight for _cls, weight in components)
+    u = rng.random() * total
+    acc = 0.0
+    for cls, weight in components:
+        acc += weight
+        if u <= acc:
+            return cls
+    return components[-1][0]
+
+
+def generate_fabric_workload(
+    hosts: Sequence[str],
+    rack_of: "dict[str, int]",
+    mix: str = "datacenter",
+    n_flows: int = 1000,
+    target_load: float = 0.3,
+    host_capacity_bps: float = gbps(10.0),
+    rack_local_fraction: float = 0.3,
+    incast_fraction: float = 0.05,
+    incast_fan_in: int = 8,
+    seed: int = 0,
+) -> FabricWorkload:
+    """Generate exactly ``n_flows`` flows over a fabric's hosts.
+
+    Arrivals are Poisson at the rate that offers ``target_load`` of the
+    aggregate host-uplink capacity given the mix's mean flow size.
+    Placement draws a source uniformly, then keeps the destination in
+    the source's rack with probability ``rack_local_fraction`` (VL2's
+    measured matrices are rack-skewed, not uniform). A
+    ``incast_fraction`` share of arrival events instead fan
+    ``incast_fan_in`` rack-external senders into one destination
+    simultaneously — each sender counts toward ``n_flows``.
+
+    All randomness flows through four named :class:`RngRegistry`
+    streams ("fabric-arrivals", "fabric-size", "fabric-placement",
+    "fabric-incast"), so identical arguments yield byte-identical
+    workloads on any platform.
+    """
+    if len(hosts) < 2:
+        raise ExperimentError(f"need >= 2 hosts, got {len(hosts)}")
+    if n_flows < 1:
+        raise ExperimentError(f"need >= 1 flow, got {n_flows}")
+    if not 0.0 < target_load < 1.0:
+        raise ExperimentError(f"load must be in (0, 1), got {target_load}")
+    if not 0.0 <= rack_local_fraction <= 1.0:
+        raise ExperimentError(
+            f"rack-local fraction must be in [0, 1], got {rack_local_fraction}"
+        )
+    if not 0.0 <= incast_fraction <= 1.0:
+        raise ExperimentError(
+            f"incast fraction must be in [0, 1], got {incast_fraction}"
+        )
+    if incast_fan_in < 2:
+        raise ExperimentError(f"incast fan-in must be >= 2, got {incast_fan_in}")
+    for host in hosts:
+        if host not in rack_of:
+            raise ExperimentError(f"host {host!r} has no rack assignment")
+
+    components = mix_components(mix)
+    registry = RngRegistry(seed)
+    arrivals_rng = registry.stream("fabric-arrivals")
+    size_rng = registry.stream("fabric-size")
+    placement_rng = registry.stream("fabric-placement")
+    incast_rng = registry.stream("fabric-incast")
+
+    hosts = list(hosts)
+    racks: "dict[int, List[str]]" = {}
+    for host in hosts:
+        racks.setdefault(rack_of[host], []).append(host)
+
+    mean_size = mean_mix_flow_size(mix, seed=seed)
+    # an incast event injects fan_in flows at once; thin the event rate
+    # so the *byte* rate still offers target_load
+    flows_per_event = (
+        1.0 - incast_fraction
+    ) + incast_fraction * incast_fan_in
+    arrival_rate = target_load * host_capacity_bps * len(hosts) / (
+        mean_size * 8.0 * flows_per_event
+    )
+
+    def _sample_size() -> Tuple[str, int]:
+        cls = _pick_weighted(components, size_rng)
+        return cls, sample_flow_size(DISTRIBUTIONS[cls], size_rng)
+
+    def _pick_dst(src: str) -> str:
+        src_rack = rack_of[src]
+        local_peers = [h for h in racks[src_rack] if h != src]
+        if local_peers and placement_rng.random() < rack_local_fraction:
+            return local_peers[placement_rng.randrange(len(local_peers))]
+        remote = [h for h in hosts if rack_of[h] != src_rack]
+        if not remote:  # single-rack fabric: everything is rack-local
+            return local_peers[placement_rng.randrange(len(local_peers))]
+        return remote[placement_rng.randrange(len(remote))]
+
+    flows: List[FabricFlow] = []
+    clock = 0.0
+    incast_group = 0
+    while len(flows) < n_flows:
+        clock += arrivals_rng.expovariate(arrival_rate)
+        if incast_rng.random() < incast_fraction:
+            # one incast event: fan_in rack-external senders -> one dst
+            dst = hosts[incast_rng.randrange(len(hosts))]
+            candidates = [h for h in hosts if rack_of[h] != rack_of[dst]]
+            if not candidates:
+                candidates = [h for h in hosts if h != dst]
+            fan_in = min(incast_fan_in, n_flows - len(flows), len(candidates))
+            chosen = incast_rng.sample(candidates, fan_in)
+            for src in chosen:
+                _cls, size = _sample_size()
+                flows.append(
+                    FabricFlow(
+                        start_time_s=clock,
+                        size_bytes=size,
+                        src=src,
+                        dst=dst,
+                        flow_class="incast",
+                        incast_group=incast_group,
+                    )
+                )
+            incast_group += 1
+            continue
+        src = hosts[placement_rng.randrange(len(hosts))]
+        cls, size = _sample_size()
+        flows.append(
+            FabricFlow(
+                start_time_s=clock,
+                size_bytes=size,
+                src=src,
+                dst=_pick_dst(src),
+                flow_class=cls,
+            )
+        )
+
+    return FabricWorkload(
+        mix=mix,
+        flows=flows,
+        target_load=target_load,
+        capacity_bps=host_capacity_bps * len(hosts),
+        rack_of=dict(rack_of),
     )

@@ -372,6 +372,39 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.figures.fabric import run_fabric_figure
+    from repro.units import MILLION
+
+    ccas = [c.strip() for c in args.ccas.split(",") if c.strip()]
+    with _observer(args) as obs:
+        result = run_fabric_figure(
+            ccas=ccas,
+            n_flows=args.flows,
+            mix=args.mix,
+            target_load=args.load,
+            topology=args.topology,
+            leaves=args.leaves,
+            spines=args.spines,
+            hosts_per_leaf=args.hosts_per_leaf,
+            switch_power=args.switch_power,
+            repetitions=args.reps,
+            base_seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            observer=obs,
+        )
+    print(result.format_table())
+    best = max(result.points, key=lambda point: point.savings_percent)
+    print(
+        f"\nbest fleet saving: {best.savings_percent:.1f}% ({best.cca}), "
+        f"worth ${result.annualized_value_usd(best.cca) / MILLION:.1f}M/year "
+        f"at datacenter scale"
+    )
+    _trace_note(args)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validation import run_validation, validation_passed
 
@@ -593,6 +626,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--load", type=float, default=0.5)
     p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser(
+        "fabric",
+        help="leaf-spine fleet energy at 1k+ flows: fair vs serialized "
+        "per datacenter CCA",
+    )
+    p.add_argument(
+        "--flows", type=int, default=1000,
+        help="concurrent flows in the generated workload",
+    )
+    p.add_argument(
+        "--ccas", default="dctcp,dcqcn",
+        help="comma-separated datacenter CCAs (dctcp, dcqcn, hpcc, swift)",
+    )
+    p.add_argument("--leaves", type=int, default=8, help="leaf (ToR) switches")
+    p.add_argument("--spines", type=int, default=2, help="spine switches")
+    p.add_argument(
+        "--hosts-per-leaf", type=int, default=8, help="hosts per rack"
+    )
+    p.add_argument(
+        "--topology", default="leaf-spine", choices=("leaf-spine", "fat-tree")
+    )
+    p.add_argument(
+        "--load", type=float, default=0.3,
+        help="target offered load as a fraction of host capacity",
+    )
+    p.add_argument(
+        "--mix", default="datacenter",
+        help="traffic mix (datacenter, rpc-heavy, or a single distribution)",
+    )
+    p.add_argument(
+        "--switch-power", default="today", choices=("today", "rate-adaptive"),
+        help="switch power hardware model",
+    )
+    p.add_argument("--reps", type=int, default=1, help="repetitions per arm")
+    p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    _add_parallel(p)
+    p.set_defaults(func=_cmd_fabric)
 
     p = sub.add_parser(
         "validate", help="fast calibration self-check (no simulation)"

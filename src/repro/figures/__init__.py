@@ -10,6 +10,11 @@ from repro.figures.ablation import (
     concavity_ablation,
     ecn_threshold_ablation,
 )
+from repro.figures.fabric import (
+    FabricCcaPoint,
+    FabricResult,
+    run_fabric_figure,
+)
 from repro.figures.fig1 import Fig1Point, Fig1Result, run_fig1
 from repro.figures.fig2 import Fig2Point, Fig2Result, run_fig2
 from repro.figures.fig3 import Fig3Result, run_fig3
@@ -39,6 +44,9 @@ from repro.figures.workload_energy import (
 )
 
 __all__ = [
+    "run_fabric_figure",
+    "FabricResult",
+    "FabricCcaPoint",
     "run_srpt_comparison",
     "SrptResult",
     "run_incast_sweep",

@@ -1,0 +1,215 @@
+"""Fleet-level fabric figure: fair vs serialized across datacenter CCAs.
+
+The paper's single-bottleneck experiments (Figs. 1-4) show an unfair
+full-speed-then-idle allocation beating fair sharing on energy. This
+figure asks the fleet-scale version of the question: run the *same*
+generated datacenter workload — 1k+ flows over a leaf-spine fabric —
+once with every flow starting at its arrival (fair sharing under
+contention) and once with each source host serializing its flows
+(full-speed-then-idle, fleet-wide), for each datacenter CCA, and
+compare total fleet energy (host CPUs + switches) and flow completion
+times.
+
+Scenario names follow the ``fabric_<cca>-<mode>`` convention so the
+baseline snapshotter (:mod:`repro.obs.baseline`) derives each CCA's
+``savings_vs_fair_percent`` automatically from the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.core.advisor import EnergyAdvisor
+from repro.errors import ExperimentError
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor
+from repro.harness.experiment import FabricScenario
+from repro.harness.runner import RepeatedResult, RunMeasurement
+from repro.harness.sweep import Sweep
+from repro.obs.observer import Observer
+from repro.units import MILLION, to_msec
+
+#: the datacenter CCAs the ISSUE's fleet comparison covers
+DEFAULT_CCAS = ("dctcp", "dcqcn", "hpcc", "swift")
+
+#: both scheduling arms of every comparison
+MODES = ("fair", "serialized")
+
+
+def fabric_scenario_name(cca: str, mode: str) -> str:
+    """The ``fabric_<cca>-<mode>`` naming convention (baseline-aware)."""
+    return f"fabric_{cca}-{mode}"
+
+
+def _extras_mean(runs: Sequence[RunMeasurement], key: str) -> float:
+    return mean([float(r.extras.get(key, 0.0)) for r in runs])
+
+
+@dataclass
+class FabricCcaPoint:
+    """One CCA's fair/serialized pair of repeated fleet measurements."""
+
+    cca: str
+    fair: RepeatedResult
+    serialized: RepeatedResult
+
+    @property
+    def savings_percent(self) -> float:
+        """Fleet energy saved by serializing, relative to fair sharing."""
+        fair_energy = self.fair.mean_energy_j
+        if fair_energy <= 0:
+            raise ExperimentError(
+                f"{self.cca}: fair arm measured non-positive energy"
+            )
+        return 100.0 * (fair_energy - self.serialized.mean_energy_j) / fair_energy
+
+    def fct_p50_s(self, mode: str) -> float:
+        return _extras_mean(self._arm(mode).runs, "fct_p50_s")
+
+    def fct_p99_s(self, mode: str) -> float:
+        return _extras_mean(self._arm(mode).runs, "fct_p99_s")
+
+    def host_energy_j(self, mode: str) -> float:
+        return _extras_mean(self._arm(mode).runs, "host_energy_j")
+
+    def switch_energy_j(self, mode: str) -> float:
+        return _extras_mean(self._arm(mode).runs, "switch_energy_j")
+
+    def _arm(self, mode: str) -> RepeatedResult:
+        if mode == "fair":
+            return self.fair
+        if mode == "serialized":
+            return self.serialized
+        raise ExperimentError(f"unknown mode {mode!r}")
+
+
+@dataclass
+class FabricResult:
+    """All CCAs' fleet-level comparisons, plus the sweep's shape."""
+
+    points: List[FabricCcaPoint]
+    n_flows: int
+    topology: str
+
+    def point(self, cca: str) -> FabricCcaPoint:
+        for point in self.points:
+            if point.cca == cca:
+                return point
+        raise ExperimentError(f"no fabric point for CCA {cca!r}")
+
+    def annualized_value_usd(self, cca: str) -> float:
+        """$/year the CCA's measured fleet saving is worth at DC scale.
+
+        The cost model's domain is a fraction in [-1, 1]; a small run
+        whose serialized arm burns more than twice the fair energy (an
+        idle-dominated toy fleet) saturates at -100% rather than erroring
+        out of the whole figure.
+        """
+        fraction = self.point(cca).savings_percent / 100.0
+        return EnergyAdvisor().annualized_value(max(-1.0, min(1.0, fraction)))
+
+    def format_table(self) -> str:
+        """The figure as text: energy split, savings, FCTs per CCA."""
+        rows = []
+        for point in self.points:
+            rows.append(
+                (
+                    point.cca,
+                    point.fair.mean_energy_j,
+                    point.serialized.mean_energy_j,
+                    point.savings_percent,
+                    to_msec(point.fct_p50_s("fair")),
+                    to_msec(point.fct_p50_s("serialized")),
+                    to_msec(point.fct_p99_s("fair")),
+                    to_msec(point.fct_p99_s("serialized")),
+                    self.annualized_value_usd(point.cca) / MILLION,
+                )
+            )
+        body = format_table(
+            [
+                "cca",
+                "fair (J)",
+                "serial (J)",
+                "savings %",
+                "p50 fair (ms)",
+                "p50 serial (ms)",
+                "p99 fair (ms)",
+                "p99 serial (ms)",
+                "value ($M/yr)",
+            ],
+            rows,
+            float_fmt="{:.3f}",
+        )
+        header = (
+            f"fleet energy, fair vs serialized - {self.n_flows} flows on "
+            f"{self.topology}"
+        )
+        return header + "\n" + body
+
+
+def run_fabric_figure(
+    ccas: Sequence[str] = DEFAULT_CCAS,
+    n_flows: int = 1000,
+    mix: str = "datacenter",
+    target_load: float = 0.3,
+    topology: str = "leaf-spine",
+    leaves: int = 8,
+    spines: int = 2,
+    hosts_per_leaf: int = 8,
+    fat_tree_k: int = 4,
+    switch_power: str = "today",
+    repetitions: int = 1,
+    base_seed: int = 0,
+    *,
+    executor: Union[None, str, Executor] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Union[None, str, Path, ResultCache] = None,
+    observer: Union[None, str, Path, Observer] = None,
+) -> FabricResult:
+    """Run the fair/serialized fleet comparison for every CCA.
+
+    The whole CCA x mode grid flattens into one work-item batch, so a
+    ``jobs=N`` run parallelizes across all arms at once and stays
+    bit-identical to a serial run (the executor layer's contract).
+    """
+    if not ccas:
+        raise ExperimentError("need at least one CCA")
+
+    def factory(cca: str, mode: str) -> FabricScenario:
+        return FabricScenario(
+            name=fabric_scenario_name(cca, mode),
+            cca=cca,
+            mode=mode,
+            n_flows=n_flows,
+            mix=mix,
+            target_load=target_load,
+            topology=topology,
+            leaves=leaves,
+            spines=spines,
+            hosts_per_leaf=hosts_per_leaf,
+            fat_tree_k=fat_tree_k,
+            switch_power=switch_power,
+        )
+
+    results = Sweep({"cca": list(ccas), "mode": list(MODES)}).run(
+        factory,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        executor=executor,
+        jobs=jobs,
+        cache=cache_dir,
+        observer=observer,
+    )
+    points = [
+        FabricCcaPoint(
+            cca=cca,
+            fair=results.one(cca=cca, mode="fair").result,
+            serialized=results.one(cca=cca, mode="serialized").result,
+        )
+        for cca in ccas
+    ]
+    return FabricResult(points=points, n_flows=n_flows, topology=topology)

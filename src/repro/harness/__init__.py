@@ -17,7 +17,14 @@ from repro.harness.executor import (
     resolve_executor,
     run_work_items,
 )
-from repro.harness.experiment import FlowSpec, Scenario, scenario_from_plan
+from repro.harness.experiment import (
+    AnyScenario,
+    FabricScenario,
+    FlowSpec,
+    Scenario,
+    scenario_from_plan,
+)
+from repro.harness.fabric import run_fabric_once
 from repro.harness.runner import (
     RepeatedResult,
     RunMeasurement,
@@ -29,6 +36,9 @@ from repro.harness.sweep import Sweep, SweepResults, SweepRow
 __all__ = [
     "FlowSpec",
     "Scenario",
+    "FabricScenario",
+    "AnyScenario",
+    "run_fabric_once",
     "scenario_from_plan",
     "RunMeasurement",
     "RepeatedResult",

@@ -30,18 +30,19 @@ from typing import Any, Dict, Optional, Union
 
 from repro.apps.iperf import IperfResult
 from repro.errors import ExperimentError
-from repro.harness.experiment import Scenario
+from repro.harness.experiment import AnyScenario
 from repro.harness.runner import RunMeasurement
 from repro.sim.trace import TimeSeries
 
 #: bump when simulator physics or the measurement schema change; every
 #: previously cached entry becomes a miss
 #: (2: throughput series renamed to the telemetry "entity:channel" form)
-SCHEMA_VERSION = 2
+#: (3: fabric runs — the ``extras`` energy-split map joined the schema)
+SCHEMA_VERSION = 3
 
 
 def compute_key(
-    scenario: Scenario, seed: int, schema_version: int = SCHEMA_VERSION
+    scenario: AnyScenario, seed: int, schema_version: int = SCHEMA_VERSION
 ) -> str:
     """The content address of one (scenario, seed) measurement."""
     payload = json.dumps(
@@ -97,6 +98,7 @@ def measurement_to_dict(measurement: RunMeasurement) -> Dict[str, Any]:
             str(flow_id): _series_to_dict(s)
             for flow_id, s in measurement.throughput_series.items()
         },
+        "extras": dict(measurement.extras),
     }
 
 
@@ -117,6 +119,7 @@ def measurement_from_dict(data: Dict[str, Any]) -> RunMeasurement:
             int(flow_id): _series_from_dict(s)
             for flow_id, s in data["throughput_series"].items()
         },
+        extras=dict(data["extras"]),
     )
 
 
@@ -140,14 +143,16 @@ class ResultCache:
         self.misses = 0
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def key(self, scenario: Scenario, seed: int) -> str:
+    def key(self, scenario: AnyScenario, seed: int) -> str:
         return compute_key(scenario, seed, self.schema_version)
 
     def path(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, scenario: Scenario, seed: int) -> Optional[RunMeasurement]:
+    def get(
+        self, scenario: AnyScenario, seed: int
+    ) -> Optional[RunMeasurement]:
         """The stored measurement, or None on a miss."""
         path = self.path(self.key(scenario, seed))
         try:
@@ -160,7 +165,7 @@ class ResultCache:
         return measurement
 
     def put(
-        self, scenario: Scenario, seed: int, measurement: RunMeasurement
+        self, scenario: AnyScenario, seed: int, measurement: RunMeasurement
     ) -> Path:
         """Store one measurement; returns the entry's path.
 

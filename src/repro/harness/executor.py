@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
 from repro.harness.cache import ResultCache, compute_key, ensure_cache
-from repro.harness.experiment import Scenario
+from repro.harness.experiment import AnyScenario
 from repro.harness.runner import RunMeasurement, run_once
 from repro.obs.journal import perf_clock, worker_id
 from repro.obs.observer import (
@@ -56,7 +56,7 @@ from repro.obs.observer import (
 class WorkItem:
     """One independent simulation: a scenario plus its repetition seed."""
 
-    scenario: Scenario
+    scenario: AnyScenario
     seed: int
 
 
@@ -111,6 +111,7 @@ def run_item_observed(
         energy_j=measurement.energy_j,
         sim_time_s=measurement.duration_s,
         counters=measurement.counters(),
+        extras=measurement.extras,
         wall_s=perf_clock() - started,
         **common,
     )

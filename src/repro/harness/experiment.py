@@ -13,7 +13,7 @@ import functools
 import json
 import warnings
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.allocation import AllocationPlan
 from repro.errors import ExperimentError
@@ -165,6 +165,95 @@ class Scenario:
         return json.dumps(
             self.canonical_dict(), sort_keys=True, separators=(",", ":")
         )
+
+
+@_keyword_only_after_first
+@dataclass
+class FabricScenario:
+    """A fleet-scale experiment: one CCA over a multi-switch fabric.
+
+    The fabric analogue of :class:`Scenario` — a declarative, hashable
+    description the runner (:mod:`repro.harness.fabric`) realizes
+    against a fresh fabric. The same executor/cache/telemetry plumbing
+    applies because both classes expose ``name`` and ``cache_key()``.
+    """
+
+    name: str
+    cca: str = "dctcp"
+    #: "fair" starts every flow at its generated arrival time (fair
+    #: sharing under contention); "serialized" chains each source host's
+    #: flows so at most one runs per host at a time (the paper's
+    #: full-speed-then-idle allocation, fleet-wide)
+    mode: str = "fair"
+    n_flows: int = 1000
+    mix: str = "datacenter"
+    target_load: float = 0.3
+    #: topology: "leaf-spine" (leaves/spines/hosts_per_leaf) or
+    #: "fat-tree" (shape fully determined by fat_tree_k)
+    topology: str = "leaf-spine"
+    leaves: int = 8
+    spines: int = 2
+    hosts_per_leaf: int = 8
+    fat_tree_k: int = 4
+    rack_local_fraction: float = 0.3
+    incast_fraction: float = 0.05
+    incast_fan_in: int = 8
+    mtu_bytes: int = 9000
+    ecn_threshold_bytes: Optional[int] = field(default=100 * 1024)
+    buffer_bytes: Optional[int] = None
+    #: per-CCA constructor overrides, as in :class:`FlowSpec`
+    cca_kwargs: Optional[dict] = None
+    #: switch power hardware: "today" (load-independent) or
+    #: "rate-adaptive" (Nedevschi-style sleeping ports)
+    switch_power: str = "today"
+    time_limit_s: float = 600.0
+    sample_interval_s: float = msec(5.0)
+    #: fabric runs default to noise-free power so fleet deltas are exact
+    power_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fair", "serialized"):
+            raise ExperimentError(
+                f"unknown fabric mode {self.mode!r}; "
+                f"known: ['fair', 'serialized']"
+            )
+        if self.topology not in ("leaf-spine", "fat-tree"):
+            raise ExperimentError(
+                f"unknown topology {self.topology!r}; "
+                f"known: ['fat-tree', 'leaf-spine']"
+            )
+        if self.switch_power not in ("today", "rate-adaptive"):
+            raise ExperimentError(
+                f"unknown switch power model {self.switch_power!r}; "
+                f"known: ['rate-adaptive', 'today']"
+            )
+        if self.n_flows < 1:
+            raise ExperimentError(f"need >= 1 flow, got {self.n_flows}")
+
+    def with_name(self, name: str) -> "FabricScenario":
+        """A copy under a different name."""
+        return replace(self, name=name)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Every field as JSON-ready plain data, marked as a fabric run.
+
+        The ``kind`` marker keeps fabric cache keys disjoint from
+        :class:`Scenario` keys even if the field sets ever collide.
+        """
+        payload = asdict(self)
+        payload["kind"] = "fabric"
+        return payload
+
+    def cache_key(self) -> str:
+        """Canonical serialization (see :meth:`Scenario.cache_key`)."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+
+#: anything the runner/executor/cache stack can execute: both classes
+#: expose ``name``, ``canonical_dict()`` and ``cache_key()``
+AnyScenario = Union[Scenario, FabricScenario]
 
 
 def scenario_from_plan(

@@ -1,0 +1,232 @@
+"""Fabric scenario execution: fleet-level runs of the paper's claim.
+
+:func:`run_fabric_once` is the multi-switch sibling of
+:func:`repro.harness.runner.run_once`: build a fresh leaf–spine (or
+fat-tree) fabric, realize a generated workload of ~10^3 concurrent
+flows on it under one congestion controller, and measure *fleet-level*
+energy — every host CPU plus every switch — over the makespan. The
+returned :class:`~repro.harness.runner.RunMeasurement` flows through
+the ordinary executor/cache/telemetry plumbing, which is what lets 1k+
+flow sweeps fan out over worker processes and stay bit-identical to
+serial runs.
+
+Two scheduling modes realize the paper's §4.2 comparison fleet-wide:
+
+* ``fair`` — every flow starts at its generated arrival time, so
+  concurrent flows share links fairly (what today's CCAs converge to);
+* ``serialized`` — each source host runs its flows one at a time in
+  arrival order (the full-speed-then-idle allocation the paper shows is
+  cheaper), a successor starting at its predecessor's completion or its
+  own arrival, whichever is later.
+
+Both modes transfer exactly the same bytes between the same host pairs,
+so the energy delta is the allocation's doing, not the workload's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.iperf import IperfSession
+from repro.apps.workload import FabricWorkload, generate_fabric_workload
+from repro.energy.cpu import CpuModel
+from repro.energy.fleet import fleet_energy_report
+from repro.energy.meter import EnergyMeter
+from repro.energy.switch_power import rate_adaptive_switch, todays_switch
+from repro.errors import ExperimentError
+from repro.harness.experiment import FabricScenario
+from repro.harness.runner import RunMeasurement
+from repro.net.host import Host
+from repro.net.topology import (
+    Fabric,
+    FabricConfig,
+    build_fat_tree,
+    build_leaf_spine,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.report import percentile
+from repro.sim.engine import Simulator
+from repro.sim.probe import ProbeSink
+from repro.sim.rng import RngRegistry
+
+
+def _build_fabric(scenario: FabricScenario, sim: Simulator) -> Fabric:
+    kwargs: Dict[str, object] = dict(
+        mtu_bytes=scenario.mtu_bytes,
+        ecn_threshold_bytes=scenario.ecn_threshold_bytes,
+        # HPCC's switch support: stamp in-band telemetry on every port.
+        int_telemetry=scenario.cca == "hpcc",
+    )
+    if scenario.buffer_bytes is not None:
+        kwargs["buffer_bytes"] = scenario.buffer_bytes
+    if scenario.topology == "fat-tree":
+        return build_fat_tree(
+            sim, k=scenario.fat_tree_k, config=FabricConfig(**kwargs)  # type: ignore[arg-type]
+        )
+    kwargs.update(
+        leaves=scenario.leaves,
+        spines=scenario.spines,
+        hosts_per_leaf=scenario.hosts_per_leaf,
+    )
+    return build_leaf_spine(sim, FabricConfig(**kwargs))  # type: ignore[arg-type]
+
+
+def _workload_for(scenario: FabricScenario, fabric: Fabric, seed: int) -> FabricWorkload:
+    return generate_fabric_workload(
+        hosts=[h.name for h in fabric.hosts],
+        rack_of=fabric.host_rack,
+        mix=scenario.mix,
+        n_flows=scenario.n_flows,
+        target_load=scenario.target_load,
+        host_capacity_bps=fabric.config.host_link_rate_bps,
+        rack_local_fraction=scenario.rack_local_fraction,
+        incast_fraction=scenario.incast_fraction,
+        incast_fan_in=scenario.incast_fan_in,
+        seed=seed,
+    )
+
+
+def _start_sessions(
+    scenario: FabricScenario,
+    fabric: Fabric,
+    workload: FabricWorkload,
+) -> List[IperfSession]:
+    """Instantiate one session per generated flow, honoring the mode."""
+    hosts: Dict[str, Host] = {h.name: h for h in fabric.hosts}
+    serialized = scenario.mode == "serialized"
+    sessions: List[IperfSession] = []
+    last_on_host: Dict[str, IperfSession] = {}
+    sim = fabric.sim
+    for i, flow in enumerate(workload.flows):
+        predecessor = last_on_host.get(flow.src) if serialized else None
+        session = IperfSession(
+            fabric,
+            total_bytes=flow.size_bytes,
+            cca=scenario.cca,
+            # Dormant when chained behind the host's previous flow.
+            start_time=None if predecessor is not None else flow.start_time_s,
+            cca_kwargs=scenario.cca_kwargs,
+            # Per-run ids (not the process-global counter): measurements
+            # must stay a pure function of (scenario, seed).
+            flow_id=i + 1,
+            src_host=hosts[flow.src],
+            dst_host=hosts[flow.dst],
+        )
+        if predecessor is not None:
+            # Full-speed-then-idle per host: start at the predecessor's
+            # completion, but never before this flow's own arrival.
+            arrival = flow.start_time_s
+            predecessor.sender.on_complete(
+                lambda done_t, s=session, t0=arrival: sim.schedule_at(
+                    max(done_t, t0), s.begin
+                )
+            )
+        if serialized:
+            last_on_host[flow.src] = session
+        sessions.append(session)
+    return sessions
+
+
+def run_fabric_once(
+    scenario: FabricScenario,
+    seed: int = 0,
+    observer: Optional[Observer] = None,
+    probe_sink: Optional[ProbeSink] = None,
+) -> RunMeasurement:
+    """Execute one fabric scenario on a fresh fabric and measure it.
+
+    The measurement's ``energy_j`` is the *fleet* total — summed host
+    CPU energy plus per-switch energy under the scenario's switch power
+    model, integrated over the makespan — and ``extras`` carries the
+    split plus FCT percentiles, so baselines gate on each component:
+
+    * ``host_energy_j`` / ``switch_energy_j`` — the fleet split;
+    * ``fct_p50_s`` / ``fct_p99_s`` — flow-completion-time percentiles;
+    * ``offered_load`` — the workload's realized load fraction.
+
+    ``bottleneck_drops`` and ``ecn_marks`` aggregate every queue in the
+    fabric (there is no single bottleneck port at this scale).
+    """
+    obs = NULL_OBSERVER if observer is None else observer
+    sim = Simulator()
+    sink = probe_sink if probe_sink is not None else obs.probe_sink(
+        scenario.name, seed
+    )
+    sim.probe_sink = sink
+    with obs.span("fabric_build", scenario=scenario.name, seed=seed):
+        fabric = _build_fabric(scenario, sim)
+        workload = _workload_for(scenario, fabric, seed)
+        cpu_models = [
+            CpuModel(
+                sim,
+                host,
+                packages=1,
+                sample_interval_s=scenario.sample_interval_s,
+            )
+            for host in fabric.hosts
+        ]
+        if scenario.power_noise_sigma > 0:
+            noise_rng = RngRegistry(seed).stream("power-noise")
+            for model in cpu_models:
+                model.set_noise(noise_rng, scenario.power_noise_sigma)
+        sessions = _start_sessions(scenario, fabric, workload)
+        meter = EnergyMeter(sim, cpu_models)
+    meter.start()
+
+    loop_span = obs.span("sim_loop", scenario=scenario.name, seed=seed)
+    with loop_span:
+        while not all(s.complete for s in sessions):
+            if sim.now > scenario.time_limit_s:
+                stuck = sum(1 for s in sessions if not s.complete)
+                raise ExperimentError(
+                    f"{scenario.name}: {stuck} of {len(sessions)} flows "
+                    f"incomplete after {scenario.time_limit_s}s virtual"
+                )
+            if not sim.step():
+                raise ExperimentError(
+                    f"{scenario.name}: event queue drained before completion"
+                )
+        loop_span.add(events_executed=sim.events_executed)
+    if loop_span.wall_s > 0:
+        obs.set_gauge(
+            "sim_events_per_second", sim.events_executed / loop_span.wall_s
+        )
+
+    with obs.span("measurement", scenario=scenario.name, seed=seed):
+        host_energy_j = meter.stop()
+        switch_model = (
+            rate_adaptive_switch()
+            if scenario.switch_power == "rate-adaptive"
+            else todays_switch()
+        )
+        fleet = fleet_energy_report(
+            fabric.switches,
+            duration_s=meter.duration_s,
+            host_energy_j=host_energy_j,
+            model=switch_model,
+        )
+        flow_results = [s.result() for s in sessions]
+        fcts = [r.duration_s for r in flow_results]
+        measurement = RunMeasurement(
+            scenario=scenario.name,
+            seed=seed,
+            energy_j=fleet.total_energy_j,
+            duration_s=meter.duration_s,
+            flow_results=flow_results,
+            bottleneck_drops=int(
+                sum(q.counters.get("drops") for q in fabric.queues)
+            ),
+            ecn_marks=int(
+                sum(q.counters.get("ecn_marks") for q in fabric.queues)
+            ),
+            extras={
+                "host_energy_j": fleet.host_energy_j,
+                "switch_energy_j": fleet.switch_energy_j,
+                "fct_p50_s": percentile(fcts, 50.0),
+                "fct_p99_s": percentile(fcts, 99.0),
+                "offered_load": workload.offered_load,
+            },
+        )
+    if probe_sink is None:
+        obs.record_telemetry(sink, scenario=scenario.name, seed=seed)
+    return measurement

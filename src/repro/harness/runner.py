@@ -16,7 +16,7 @@ from repro.apps.probe import ThroughputProbe
 from repro.energy.cpu import CpuModel
 from repro.energy.meter import EnergyMeter
 from repro.errors import ExperimentError
-from repro.harness.experiment import Scenario
+from repro.harness.experiment import AnyScenario, FabricScenario, Scenario
 from repro.net.topology import Testbed, TestbedConfig, build_testbed
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.engine import Simulator
@@ -38,6 +38,10 @@ class RunMeasurement:
     ecn_marks: int
     power_series: List[TimeSeries] = field(default_factory=list)
     throughput_series: Dict[int, TimeSeries] = field(default_factory=dict)
+    #: measurement-kind-specific scalars (e.g. a fabric run's
+    #: host/switch energy split); deterministic, cache-round-tripped,
+    #: and journaled alongside :meth:`counters`
+    extras: Dict[str, float] = field(default_factory=dict)
 
     @property
     def average_power_w(self) -> float:
@@ -224,7 +228,7 @@ class _PreparedRun:
 
 
 def run_once(
-    scenario: Scenario,
+    scenario: AnyScenario,
     seed: int = 0,
     observer: Optional[Observer] = None,
     probe_sink: Optional[ProbeSink] = None,
@@ -244,6 +248,13 @@ def run_once(
     observer hands back the shared no-op sink. Like the observer, a
     sink is write-only: it cannot affect the measurement.
     """
+    if isinstance(scenario, FabricScenario):
+        # Imported lazily: the fabric runner builds on this module.
+        from repro.harness.fabric import run_fabric_once
+
+        return run_fabric_once(
+            scenario, seed=seed, observer=observer, probe_sink=probe_sink
+        )
     obs = NULL_OBSERVER if observer is None else observer
     sim = Simulator()
     sink = probe_sink if probe_sink is not None else obs.probe_sink(
@@ -303,7 +314,7 @@ def run_once(
 
 
 def run_repeated(
-    scenario: Scenario,
+    scenario: AnyScenario,
     repetitions: int = 10,
     base_seed: int = 0,
     *,

@@ -33,11 +33,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro.errors import ExperimentError
 from repro.harness.cache import ResultCache
 from repro.harness.executor import Executor, WorkItem, run_work_items
-from repro.harness.experiment import Scenario
+from repro.harness.experiment import AnyScenario
 from repro.harness.runner import RepeatedResult
 from repro.obs.observer import Observer, resolve_observer
 
-ScenarioFactory = Callable[..., Scenario]
+ScenarioFactory = Callable[..., AnyScenario]
 
 
 @dataclass

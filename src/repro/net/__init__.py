@@ -14,10 +14,15 @@ from repro.net.packet import (
 from repro.net.queue import DropTailQueue, EcnQueue, PriorityQueue
 from repro.net.switch import Switch
 from repro.net.topology import (
+    ConservationLedger,
+    Fabric,
+    FabricConfig,
     IncastTestbed,
     Testbed,
     TestbedConfig,
+    build_fat_tree,
     build_incast_testbed,
+    build_leaf_spine,
     build_testbed,
 )
 
@@ -42,4 +47,9 @@ __all__ = [
     "build_testbed",
     "IncastTestbed",
     "build_incast_testbed",
+    "Fabric",
+    "FabricConfig",
+    "ConservationLedger",
+    "build_leaf_spine",
+    "build_fat_tree",
 ]

@@ -95,6 +95,17 @@ def snapshot_from_journal(
             records,
             lambda r: float(dict(r.get("counters") or {}).get("bottleneck_drops", 0.0)),
         )
+        # Measurement-kind-specific scalars (e.g. a fabric run's
+        # host/switch energy split and FCT percentiles) gate too: every
+        # extras value is deterministic by the RunMeasurement contract.
+        extras_keys = sorted(
+            {key for r in records for key in dict(r.get("extras") or {})}
+        )
+        for key in extras_keys:
+            metrics[f"{scenario}/{key}"] = _mean(
+                records,
+                lambda r, k=key: float(dict(r.get("extras") or {}).get(k, 0.0)),
+            )
         walls = [float(r.get("wall_s", 0.0)) for r in records]
         info[f"{scenario}/p50_wall_s"] = percentile(walls, 50.0)
         info[f"{scenario}/p90_wall_s"] = percentile(walls, 90.0)

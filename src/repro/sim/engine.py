@@ -12,7 +12,10 @@ Design notes
 * Cancellation is O(1): :meth:`Event.cancel` marks the event dead and the
   main loop skips it. This is the standard "lazy deletion" heap idiom and
   avoids O(n) heap surgery for the very common cancel-and-rearm pattern of
-  TCP retransmission timers.
+  TCP retransmission timers. The simulator keeps an exact tally of dead
+  entries so :attr:`Simulator.pending_events` reports *live* events even
+  though cancelled ones still occupy heap slots until popped
+  (:attr:`Simulator.queued_events` exposes the raw heap size).
 * The kernel knows nothing about networking or energy; those layers only
   use :meth:`Simulator.schedule` / :attr:`Simulator.now`.
 """
@@ -38,7 +41,7 @@ class Event:
     uses ``__slots__``.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(
         self,
@@ -47,12 +50,17 @@ class Event:
         callback: Callback,
         args: tuple = (),
         cancelled: bool = False,
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = cancelled
+        #: back-reference while the event sits in a simulator's heap, so
+        #: cancel() can keep the live-event tally exact; cleared when the
+        #: event is popped (consumed or compacted).
+        self.sim = sim
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,7 +74,10 @@ class Event:
 
     def cancel(self) -> None:
         """Mark this event dead; the simulator will skip it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     @property
     def alive(self) -> bool:
@@ -93,6 +104,8 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        #: cancelled-but-not-yet-popped heap entries (lazy deletion)
+        self._dead_in_queue = 0
         #: where instrumented components (TCP senders, queues, CPU
         #: packages) send telemetry samples; the shared no-op by
         #: default, swapped by the harness when telemetry is collected.
@@ -114,8 +127,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued.
+
+        Cancelled events stay in the heap until popped (lazy deletion)
+        but are excluded here, so this is the number of callbacks that
+        will actually fire — the quantity 10k-flow diagnostics care
+        about. See :attr:`queued_events` for the raw heap size.
+        """
+        return len(self._queue) - self._dead_in_queue
+
+    @property
+    def queued_events(self) -> int:
+        """Raw heap size, cancelled entries included (memory diagnostics)."""
         return len(self._queue)
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is heap-resident."""
+        self._dead_in_queue += 1
 
     # -- scheduling ---------------------------------------------------
 
@@ -131,7 +159,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        event = Event(
+            time=time, seq=self._seq, callback=callback, args=args, sim=self
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -143,9 +173,15 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._dead_in_queue -= 1
+                event.sim = None
                 continue
             self._now = event.time
-            event.cancelled = True  # consumed; a later cancel() is a no-op
+            # consumed: drop the heap back-reference *before* marking
+            # cancelled so a later cancel() neither double-counts nor
+            # touches the tally
+            event.sim = None
+            event.cancelled = True
             self._events_executed += 1
             event.callback(*event.args)
             return True
@@ -175,7 +211,8 @@ class Simulator:
                     break
                 head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(queue)
+                    heapq.heappop(queue).sim = None
+                    self._dead_in_queue -= 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -190,5 +227,6 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue).sim = None
+            self._dead_in_queue -= 1
         return self._queue[0].time if self._queue else None

@@ -1,0 +1,202 @@
+"""Fleet-level invariants over multi-switch fabrics.
+
+Three families the 1k-flow experiments rest on:
+
+* **packet conservation** — every packet a host sent is, at drain,
+  either delivered, dropped by a queue/qdisc, or corrupted on a wire;
+  nothing is silently created or destroyed anywhere in the fabric;
+* **ECMP stability** — a fixed (src, dst, flow) 5-tuple maps to one
+  egress port forever (no path flaps: reordering would wreck TCP), and
+  the mapping actually spreads distinct flows across the group;
+* **energy additivity** — the fleet energy report is exactly the sum of
+  its per-switch readings plus the host term, under both switch power
+  models.
+"""
+
+import pytest
+
+from repro.apps.iperf import IperfSession
+from repro.energy.fleet import fleet_energy_report
+from repro.energy.switch_power import rate_adaptive_switch, todays_switch
+from repro.net.packet import Packet
+from repro.net.topology import (
+    FabricConfig,
+    build_fat_tree,
+    build_leaf_spine,
+)
+from repro.sim.engine import Simulator
+
+
+def small_fabric(sim, **overrides):
+    defaults = dict(leaves=3, spines=2, hosts_per_leaf=2)
+    defaults.update(overrides)
+    return build_leaf_spine(sim, FabricConfig(**defaults))
+
+
+def run_sessions(sim, fabric, pairs, size=200_000, cca="dctcp"):
+    sessions = [
+        IperfSession(
+            fabric,
+            total_bytes=size,
+            cca=cca,
+            flow_id=i + 1,
+            src_host=fabric.host(src),
+            dst_host=fabric.host(dst),
+        )
+        for i, (src, dst) in enumerate(pairs)
+    ]
+    sim.run()
+    assert all(s.complete for s in sessions)
+    return sessions
+
+
+class TestPacketConservation:
+    def test_cross_rack_flows_conserve_packets(self):
+        sim = Simulator()
+        fabric = small_fabric(sim)
+        run_sessions(
+            sim, fabric, [("h0-0", "h1-0"), ("h1-1", "h2-0"), ("h2-1", "h0-1")]
+        )
+        ledger = fabric.conservation()
+        assert ledger.sent > 0
+        assert ledger.residual == 0
+
+    def test_conservation_under_drops(self):
+        # Shallow buffers force queue drops; the ledger must still
+        # balance — drops are accounted, not lost.
+        sim = Simulator()
+        fabric = small_fabric(
+            sim, buffer_bytes=40_000, ecn_threshold_bytes=20_000
+        )
+        run_sessions(
+            sim,
+            fabric,
+            [("h0-0", "h2-0"), ("h0-1", "h2-0"), ("h1-0", "h2-0")],
+            size=800_000,
+            cca="cubic",
+        )
+        ledger = fabric.conservation()
+        assert ledger.queue_drops > 0
+        assert ledger.residual == 0
+
+    def test_conservation_on_fat_tree(self):
+        sim = Simulator()
+        fabric = build_fat_tree(sim, k=4)
+        pairs = [("h0-0-0", "h3-1-1"), ("h1-0-1", "h2-1-0")]
+        run_sessions(sim, fabric, pairs)
+        assert fabric.conservation().residual == 0
+
+    def test_incast_fan_in_conserves_packets(self):
+        sim = Simulator()
+        fabric = small_fabric(sim)
+        victim = "h0-0"
+        senders = ["h1-0", "h1-1", "h2-0", "h2-1"]
+        run_sessions(sim, fabric, [(s, victim) for s in senders], size=300_000)
+        assert fabric.conservation().residual == 0
+
+
+class TestEcmpStability:
+    def packet(self, src, dst, flow_id, seq=0):
+        return Packet(
+            flow_id=flow_id, src=src, dst=dst, seq=seq, payload_bytes=1448
+        )
+
+    def test_fixed_tuple_never_flaps(self):
+        sim = Simulator()
+        fabric = small_fabric(sim, spines=4)
+        leaf = fabric.tiers["leaf"][0]
+        first = leaf.port_for_packet(self.packet("h0-0", "h2-1", 7))
+        for seq in range(1, 500):
+            port = leaf.port_for_packet(self.packet("h0-0", "h2-1", 7, seq))
+            assert port is first  # same object, every single packet
+
+    def test_distinct_flows_spread_across_group(self):
+        sim = Simulator()
+        fabric = small_fabric(sim, spines=4)
+        leaf = fabric.tiers["leaf"][0]
+        ports = {
+            id(leaf.port_for_packet(self.packet("h0-0", "h2-1", fid)))
+            for fid in range(64)
+        }
+        assert len(ports) == 4  # all four uplinks carry some flow
+
+    def test_switches_hash_independently(self):
+        # Same 5-tuple, different switch: the per-switch salt must keep
+        # leaf choices decorrelated, or every flow that hashed onto
+        # spine k at leaf 0 would hash onto spine k everywhere
+        # (the classic hash-polarization failure).
+        sim = Simulator()
+        fabric = small_fabric(sim, leaves=2, spines=4)
+        choices_a, choices_b = [], []
+        for fid in range(128):
+            pkt = self.packet("x", "y", fid)
+            a = fabric.tiers["leaf"][0].port_for_packet(pkt)
+            b = fabric.tiers["leaf"][1].port_for_packet(pkt)
+            choices_a.append(a.link.name)
+            choices_b.append(b.link.name)
+        # Positions (spine index) must differ for a healthy fraction.
+        differing = sum(
+            1
+            for a, b in zip(choices_a, choices_b)
+            if a.split("-to-")[-1] != b.split("-to-")[-1]
+        )
+        assert differing > 32
+
+    def test_no_flaps_under_live_traffic(self):
+        # End to end: after a real multi-flow run, every (src, dst,
+        # flow) key in every switch's cache still maps to one port.
+        sim = Simulator()
+        fabric = small_fabric(sim)
+        run_sessions(
+            sim, fabric, [("h0-0", "h1-0"), ("h0-1", "h2-1")], size=400_000
+        )
+        for switch in fabric.switches:
+            cache = switch._flow_port_cache
+            for key, port in cache.items():
+                assert switch.port_for_packet(
+                    self.packet(key[0], key[1], key[2], seq=10**6)
+                ) is port
+
+
+class TestFleetEnergyAdditivity:
+    @pytest.mark.parametrize(
+        "model_factory", [todays_switch, rate_adaptive_switch]
+    )
+    def test_per_switch_readings_sum_to_fleet_total(self, model_factory):
+        sim = Simulator()
+        fabric = small_fabric(sim)
+        run_sessions(sim, fabric, [("h0-0", "h1-0"), ("h2-0", "h0-1")])
+        report = fleet_energy_report(
+            fabric.switches,
+            duration_s=sim.now,
+            host_energy_j=12.5,
+            model=model_factory(),
+        )
+        assert len(report.switch_readings) == len(fabric.switches)
+        assert report.switch_energy_j == pytest.approx(
+            sum(r.energy_j for r in report.switch_readings)
+        )
+        assert report.total_energy_j == pytest.approx(
+            12.5 + report.switch_energy_j
+        )
+        assert all(r.energy_j > 0 for r in report.switch_readings)
+
+    def test_busier_fabric_costs_more_with_adaptive_switches(self):
+        def fleet_joules(pairs):
+            sim = Simulator()
+            fabric = small_fabric(sim)
+            run_sessions(sim, fabric, pairs, size=500_000)
+            # Fixed window, not sim.now: equal idle tails, so the
+            # difference is purely traffic.
+            return fleet_energy_report(
+                fabric.switches,
+                duration_s=0.01,
+                host_energy_j=0.0,
+                model=rate_adaptive_switch(),
+            ).switch_energy_j
+
+        light = fleet_joules([("h0-0", "h1-0")])
+        heavy = fleet_joules(
+            [("h0-0", "h1-0"), ("h0-1", "h2-0"), ("h1-1", "h2-1")]
+        )
+        assert heavy > light

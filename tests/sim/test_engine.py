@@ -133,3 +133,73 @@ class TestRunBounds:
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_executed == 5
+
+
+class TestPendingEventAccounting:
+    """pending_events counts live events only; cancellations never inflate it.
+
+    The heap uses lazy deletion, so cancelled events stay resident until
+    popped — the old ``len(self._queue)`` overcounted them, which broke
+    drain checks ("is anything still scheduled?") at fabric scale where
+    TCP timers are cancelled by the thousand.
+    """
+
+    def test_cancel_decrements_pending_immediately(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        events[2].cancel()
+        assert sim.pending_events == 4
+        # ...while the dead entry genuinely still sits in the heap.
+        assert sim.queued_events == 5
+
+    def test_double_cancel_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 0
+        assert sim.queued_events == 1
+
+    def test_pop_of_cancelled_event_rebalances_tally(self, sim):
+        keep = []
+        sim.schedule(1.0, lambda: keep.append("a"))
+        sim.schedule(2.0, lambda: keep.append("b")).cancel()
+        sim.run()
+        assert keep == ["a"]
+        assert sim.pending_events == 0
+        assert sim.queued_events == 0
+
+    def test_executed_events_do_not_count_as_cancelled(self, sim):
+        # step() marks consumed events cancelled (so re-cancel is a
+        # no-op); that must not drive the live count negative.
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        extra = sim.schedule(10.0, lambda: None)
+        assert sim.pending_events == 1
+        extra.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_execution_is_inert(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # late cancel of a consumed event
+        assert sim.pending_events == 0
+        assert sim.queued_events == 0
+
+    def test_mass_cancellation_keeps_exact_count(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_events == 50
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_peek_time_compaction_updates_tally(self, sim):
+        sim.schedule(1.0, lambda: None).cancel()
+        later = sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0  # compacts the dead head entry
+        assert sim.pending_events == 1
+        assert sim.queued_events == 1
+        later.cancel()
+        assert sim.pending_events == 0
