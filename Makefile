@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint lint-baseline sarif ruff mypy bench bench-sim bench-fabric obs-bench baseline obs-diff fabric-baseline fabric-obs-diff
+.PHONY: check test lint lint-baseline sarif ruff mypy bench bench-sim bench-fabric obs-bench baseline obs-diff fabric-baseline fabric-obs-diff pareto-baseline pareto
 
 check: test lint ruff mypy
 
@@ -99,3 +99,22 @@ fabric-obs-diff:
 	rm -rf $(FABRIC_TRACE)
 	$(PYTHON) -m repro.cli $(FABRIC_SWEEP) --trace $(FABRIC_TRACE) >/dev/null
 	$(PYTHON) -m repro.cli obs diff $(FABRIC_BASELINE_FILE) $(FABRIC_TRACE)
+
+# the every-policy FCT-vs-energy sweep (both workloads) the committed
+# pareto baseline snapshots; the CI pareto gate replays exactly this
+PARETO_SWEEP = pareto
+PARETO_BASELINE_FILE = benchmarks/baselines/pareto.json
+PARETO_TRACE ?= /tmp/greenenvy-pareto-trace
+
+# regenerate the committed pareto baseline (run after an intentional
+# scheduling-policy change, then commit the updated JSON with it)
+pareto-baseline:
+	rm -rf $(PARETO_TRACE)
+	$(PYTHON) -m repro.cli $(PARETO_SWEEP) --trace $(PARETO_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs snapshot $(PARETO_TRACE) -o $(PARETO_BASELINE_FILE)
+
+# replay the pareto sweep and fail on drift (the CI regression gate)
+pareto:
+	rm -rf $(PARETO_TRACE)
+	$(PYTHON) -m repro.cli $(PARETO_SWEEP) --trace $(PARETO_TRACE) >/dev/null
+	$(PYTHON) -m repro.cli obs diff $(PARETO_BASELINE_FILE) $(PARETO_TRACE)

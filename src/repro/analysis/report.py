@@ -208,8 +208,8 @@ def quick_report(
         batch=(transfer_bytes, transfer_bytes // 2, transfer_bytes // 4),
         seed=seed,
     )
-    saving = srpt.energy_savings_vs_fair("pfabric")
-    speedup = srpt.fct_speedup_vs_fair("pfabric")
+    saving = srpt.energy_savings_vs_fair("srpt")
+    speedup = srpt.fct_speedup_vs_fair("srpt")
     sec.add(
         "pFabric-style SRPT saves energy vs fair",
         "predicted by Theorem 1",

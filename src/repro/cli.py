@@ -9,6 +9,13 @@ One subcommand per paper artifact::
     greenenvy grid                 # the CCA x MTU grid feeding figs 5-8
     greenenvy theorem              # Theorem 1 numeric verification
     greenenvy advise 1e9 5e8 2e9   # green-schedule a batch of transfers
+    greenenvy policies             # list registered scheduling policies
+    greenenvy pareto --policy all  # FCT-vs-energy frontier across them
+
+The figure commands that admit multiple scheduling arms (``fig3``,
+``srpt``, ``workload``, ``fabric``, ``pareto``) all spell them the
+same way: a repeatable ``--policy NAME`` flag naming entries of the
+:mod:`repro.sched` registry.
 
 Sizes are scaled down from the paper's (DESIGN.md §5) so every command
 finishes in seconds to minutes on a laptop; pass ``--bytes``/``--reps``
@@ -49,6 +56,40 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
         "into DIR; inspect with 'greenenvy obs report DIR'. Tracing "
         "never changes results",
     )
+
+
+def _add_policy(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--policy", action="append", dest="policies", metavar="NAME",
+        help="scheduling policy to run (repeatable; comma lists and "
+        f"'all' also work; default: {default}; see 'greenenvy policies')",
+    )
+
+
+def _policies(args: argparse.Namespace) -> Optional[List[str]]:
+    """Canonical, deduplicated policy names from ``--policy`` flags.
+
+    ``None`` when the user gave no flag, so each figure keeps its own
+    classic default arms. ``all`` expands to the whole registry;
+    retired spellings resolve through the aliases (with their
+    deprecation warning).
+    """
+    values = getattr(args, "policies", None)
+    if not values:
+        return None
+    from repro.sched import policy_names, resolve_policy_name
+
+    names: List[str] = []
+    for value in values:
+        for part in value.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part.lower() == "all":
+                names.extend(policy_names())
+            else:
+                names.append(resolve_policy_name(part))
+    return list(dict.fromkeys(names)) or None
 
 
 def _observer(args: argparse.Namespace):
@@ -98,8 +139,10 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
     from repro.units import to_gbps
 
-    result = run_fig3(transfer_bytes=args.bytes, seed=args.seed)
-    for panel in ("fair", "fsti"):
+    result = run_fig3(
+        transfer_bytes=args.bytes, seed=args.seed, policies=_policies(args)
+    )
+    for panel in result.panels:
         print(f"\n== {panel} ==")
         for flow, series in result.panel(panel):
             samples = " ".join(f"{to_gbps(v):.1f}" for v in series.values)
@@ -325,12 +368,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_srpt(args: argparse.Namespace) -> int:
     from repro.figures.srpt import run_srpt_comparison
 
-    result = run_srpt_comparison(seed=args.seed)
+    result = run_srpt_comparison(seed=args.seed, policies=_policies(args))
     print(result.format_table())
-    print(
-        f"\npFabric SRPT: {result.energy_savings_vs_fair('pfabric'):.1%} "
-        f"energy saving, {result.fct_speedup_vs_fair('pfabric'):.2f}x mean FCT"
-    )
+    for name in sorted(set(result.points) - {"fair"}):
+        print(
+            f"\n{name}: {result.energy_savings_vs_fair(name):.1%} "
+            f"energy saving, {result.fct_speedup_vs_fair(name):.2f}x mean FCT"
+        )
     return 0
 
 
@@ -358,22 +402,27 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.figures.workload_energy import run_workload_energy
 
     result = run_workload_energy(
-        distribution=args.distribution, target_load=args.load, seed=args.seed
+        distribution=args.distribution, target_load=args.load, seed=args.seed,
+        policies=_policies(args),
     )
     print(
         f"{result.workload.name}: {len(result.workload.flows)} flows, "
         f"offered load {result.workload.offered_load:.2f}\n"
     )
     print(result.format_table())
-    print(
-        f"\nSRPT: {result.fct_speedup:.2f}x mean FCT at "
-        f"{result.energy_ratio:.3f}x the energy"
-    )
+    if "fair" in result.points:
+        fair = result.points["fair"]
+        for name in sorted(set(result.points) - {"fair"}):
+            point = result.points[name]
+            print(
+                f"\n{name}: {fair.mean_fct_s / point.mean_fct_s:.2f}x mean "
+                f"FCT at {point.energy_j / fair.energy_j:.3f}x the energy"
+            )
     return 0
 
 
 def _cmd_fabric(args: argparse.Namespace) -> int:
-    from repro.figures.fabric import run_fabric_figure
+    from repro.figures.fabric import DEFAULT_POLICIES, run_fabric_figure
     from repro.units import MILLION
 
     ccas = [c.strip() for c in args.ccas.split(",") if c.strip()]
@@ -390,18 +439,78 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             switch_power=args.switch_power,
             repetitions=args.reps,
             base_seed=args.seed,
+            policies=_policies(args) or DEFAULT_POLICIES,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             observer=obs,
         )
     print(result.format_table())
-    best = max(result.points, key=lambda point: point.savings_percent)
+    # The fair arms score exactly 0% against themselves, so the best
+    # (cca, policy) cell is fair only when every other arm costs energy.
+    cca, policy, saving = max(
+        (
+            (point.cca, name, point.savings_percent_vs_fair(name))
+            for point in result.points
+            for name in result.policies
+        ),
+        key=lambda row: row[2],
+    )
     print(
-        f"\nbest fleet saving: {best.savings_percent:.1f}% ({best.cca}), "
-        f"worth ${result.annualized_value_usd(best.cca) / MILLION:.1f}M/year "
+        f"\nbest fleet saving: {saving:.1f}% ({cca}, {policy}), worth "
+        f"${result.annualized_value_usd(cca, policy) / MILLION:.1f}M/year "
         f"at datacenter scale"
     )
     _trace_note(args)
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.figures.pareto import WORKLOADS, run_pareto
+
+    kwargs = {}
+    if args.link_batch:
+        kwargs["link_batch"] = tuple(
+            int(float(s)) for s in args.link_batch.split(",") if s.strip()
+        )
+    with _observer(args) as obs:
+        result = run_pareto(
+            policies=_policies(args),
+            link_cca=args.link_cca,
+            deadline_slack=args.deadline_slack,
+            fabric_cca=args.fabric_cca,
+            n_flows=args.flows,
+            mix=args.mix,
+            target_load=args.load,
+            leaves=args.leaves,
+            spines=args.spines,
+            hosts_per_leaf=args.hosts_per_leaf,
+            repetitions=args.reps,
+            base_seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            observer=obs,
+            **kwargs,
+        )
+    print(result.format_table())
+    for workload in WORKLOADS:
+        front = " -> ".join(p.policy for p in result.frontier(workload))
+        print(f"\n{workload} frontier (fastest -> greenest): {front}")
+    _trace_note(args)
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.sched import POLICY_ALIASES, get_policy, policy_names
+
+    names = policy_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {get_policy(name).description}")
+    if POLICY_ALIASES:
+        spellings = ", ".join(
+            f"{old} -> {new}" for old, new in sorted(POLICY_ALIASES.items())
+        )
+        print(f"\nretired spellings (deprecated): {spellings}")
     return 0
 
 
@@ -535,8 +644,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel(p)
     p.set_defaults(func=_cmd_fig2)
 
-    p = sub.add_parser("fig3", help="fair vs serialized throughput timeseries")
+    p = sub.add_parser(
+        "fig3", help="per-policy throughput timeseries (one panel each)"
+    )
     _add_common(p, default_bytes=12_500_000)
+    _add_policy(p, default="fair, serialized")
     p.set_defaults(func=_cmd_fig3)
 
     p = sub.add_parser("fig4", help="loaded-host power curves")
@@ -605,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("srpt", help="SRPT transport energy (§5 extension)")
     _add_common(p, default_bytes=0)
+    _add_policy(p, default="fair, srpt, serialized")
     p.set_defaults(func=_cmd_srpt)
 
     p = sub.add_parser("incast", help="incast fan-in energy (§5 extension)")
@@ -617,7 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_loadbalance)
 
     p = sub.add_parser(
-        "workload", help="production workloads: fair vs SRPT energy"
+        "workload", help="production workloads: per-policy energy and FCT"
     )
     _add_common(p, default_bytes=0)
     p.add_argument(
@@ -625,12 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("web-search", "data-mining"),
     )
     p.add_argument("--load", type=float, default=0.5)
+    _add_policy(p, default="fair, srpt")
     p.set_defaults(func=_cmd_workload)
 
     p = sub.add_parser(
         "fabric",
-        help="leaf-spine fleet energy at 1k+ flows: fair vs serialized "
-        "per datacenter CCA",
+        help="leaf-spine fleet energy at 1k+ flows, per scheduling "
+        "policy and datacenter CCA",
     )
     p.add_argument(
         "--flows", type=int, default=1000,
@@ -662,8 +776,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--reps", type=int, default=1, help="repetitions per arm")
     p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    _add_policy(p, default="fair, serialized")
     _add_parallel(p)
     p.set_defaults(func=_cmd_fabric)
+
+    p = sub.add_parser(
+        "pareto",
+        help="FCT-vs-energy Pareto frontier across scheduling policies "
+        "on a link batch and a leaf-spine workload",
+    )
+    _add_policy(p, default="every registered policy")
+    p.add_argument(
+        "--link-batch", metavar="BYTES,BYTES,...",
+        help="comma-separated flow sizes for the link workload "
+        "(default: 20M,10M,5M,2.5M)",
+    )
+    p.add_argument(
+        "--link-cca", default="cubic", help="CCA for the link workload"
+    )
+    p.add_argument(
+        "--deadline-slack", type=float, default=4.0,
+        help="per-flow deadline as a multiple of line-rate duration",
+    )
+    p.add_argument(
+        "--fabric-cca", default="dctcp", help="CCA for the fabric workload"
+    )
+    p.add_argument(
+        "--flows", type=int, default=200, help="fabric workload flow count"
+    )
+    p.add_argument(
+        "--mix", default="rpc",
+        help="fabric traffic mix (datacenter, rpc-heavy, or a distribution)",
+    )
+    p.add_argument(
+        "--load", type=float, default=0.3,
+        help="fabric target offered load as a fraction of host capacity",
+    )
+    p.add_argument("--leaves", type=int, default=4, help="leaf (ToR) switches")
+    p.add_argument("--spines", type=int, default=2, help="spine switches")
+    p.add_argument(
+        "--hosts-per-leaf", type=int, default=4, help="hosts per rack"
+    )
+    p.add_argument("--reps", type=int, default=1, help="repetitions per arm")
+    p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    _add_parallel(p)
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser(
+        "policies",
+        help="list the registered scheduling policies (see docs/scheduling.md)",
+    )
+    p.set_defaults(func=_cmd_policies)
 
     p = sub.add_parser(
         "validate", help="fast calibration self-check (no simulation)"

@@ -19,6 +19,10 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ExperimentError
 
+#: the sweep's anchor plan names (consumers match on these, not literals)
+FAIR_PLAN_NAME = "fair"
+FSTI_PLAN_NAME = "full-speed-then-idle"
+
 
 @dataclass
 class FlowPlan:
@@ -54,7 +58,7 @@ def fair_split(
     """Everybody gets C/n simultaneously — the TCP fair share."""
     share = capacity_bps / n_flows
     return AllocationPlan(
-        name="fair",
+        name=FAIR_PLAN_NAME,
         flows=[FlowPlan(total_bytes, share) for _ in range(n_flows)],
         flow0_fraction=1.0 / n_flows,
     )
@@ -118,7 +122,7 @@ def full_speed_then_idle(
         FlowPlan(total_bytes, None, start_time_s=i * (duration + guard_s))
         for i in range(n_flows)
     ]
-    return AllocationPlan(name="full-speed-then-idle", flows=flows, flow0_fraction=1.0)
+    return AllocationPlan(name=FSTI_PLAN_NAME, flows=flows, flow0_fraction=1.0)
 
 
 def fig1_allocations(

@@ -37,6 +37,7 @@ from repro.figures.friendliness import (
 )
 from repro.figures.mechanisms import MechanismResult, run_mechanism_breakdown
 from repro.figures.mptcp import MptcpResult, run_mptcp_comparison
+from repro.figures.pareto import ParetoPoint, ParetoResult, run_pareto
 from repro.figures.srpt import SrptResult, run_srpt_comparison
 from repro.figures.workload_energy import (
     WorkloadEnergyResult,
@@ -49,6 +50,9 @@ __all__ = [
     "FabricCcaPoint",
     "run_srpt_comparison",
     "SrptResult",
+    "run_pareto",
+    "ParetoResult",
+    "ParetoPoint",
     "run_incast_sweep",
     "run_incast_point",
     "IncastResult",

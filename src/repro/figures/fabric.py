@@ -1,16 +1,14 @@
-"""Fleet-level fabric figure: fair vs serialized across datacenter CCAs.
+"""Fleet-level fabric figure: scheduling policies across datacenter CCAs.
 
 The paper's single-bottleneck experiments (Figs. 1-4) show an unfair
 full-speed-then-idle allocation beating fair sharing on energy. This
 figure asks the fleet-scale version of the question: run the *same*
 generated datacenter workload — 1k+ flows over a leaf-spine fabric —
-once with every flow starting at its arrival (fair sharing under
-contention) and once with each source host serializing its flows
-(full-speed-then-idle, fleet-wide), for each datacenter CCA, and
-compare total fleet energy (host CPUs + switches) and flow completion
-times.
+once per scheduling policy (classically ``fair`` vs ``serialized``),
+for each datacenter CCA, and compare total fleet energy (host CPUs +
+switches) and flow completion times.
 
-Scenario names follow the ``fabric_<cca>-<mode>`` convention so the
+Scenario names follow the ``fabric_<cca>-<policy>`` convention so the
 baseline snapshotter (:mod:`repro.obs.baseline`) derives each CCA's
 ``savings_vs_fair_percent`` automatically from the journal.
 """
@@ -31,18 +29,19 @@ from repro.harness.experiment import FabricScenario
 from repro.harness.runner import RepeatedResult, RunMeasurement
 from repro.harness.sweep import Sweep
 from repro.obs.observer import Observer
+from repro.sched import resolve_policy_name
 from repro.units import MILLION, to_msec
 
 #: the datacenter CCAs the ISSUE's fleet comparison covers
 DEFAULT_CCAS = ("dctcp", "dcqcn", "hpcc", "swift")
 
-#: both scheduling arms of every comparison
-MODES = ("fair", "serialized")
+#: both classic scheduling arms of every comparison
+DEFAULT_POLICIES = ("fair", "serialized")
 
 
-def fabric_scenario_name(cca: str, mode: str) -> str:
-    """The ``fabric_<cca>-<mode>`` naming convention (baseline-aware)."""
-    return f"fabric_{cca}-{mode}"
+def fabric_scenario_name(cca: str, policy: str) -> str:
+    """The ``fabric_<cca>-<policy>`` naming convention (baseline-aware)."""
+    return f"fabric_{cca}-{policy}"
 
 
 def _extras_mean(runs: Sequence[RunMeasurement], key: str) -> float:
@@ -51,40 +50,57 @@ def _extras_mean(runs: Sequence[RunMeasurement], key: str) -> float:
 
 @dataclass
 class FabricCcaPoint:
-    """One CCA's fair/serialized pair of repeated fleet measurements."""
+    """One CCA's per-policy repeated fleet measurements."""
 
     cca: str
-    fair: RepeatedResult
-    serialized: RepeatedResult
+    arms: Dict[str, RepeatedResult]
+
+    def arm(self, policy: str) -> RepeatedResult:
+        name = resolve_policy_name(policy)
+        if name not in self.arms:
+            ran = ", ".join(sorted(self.arms))
+            raise ExperimentError(
+                f"{self.cca}: no arm for policy {policy!r} (ran: {ran})"
+            )
+        return self.arms[name]
 
     @property
-    def savings_percent(self) -> float:
-        """Fleet energy saved by serializing, relative to fair sharing."""
+    def fair(self) -> RepeatedResult:
+        return self.arms["fair"]
+
+    @property
+    def serialized(self) -> RepeatedResult:
+        return self.arms["serialized"]
+
+    def savings_percent_vs_fair(self, policy: str) -> float:
+        """Fleet energy a policy saves relative to fair sharing."""
         fair_energy = self.fair.mean_energy_j
         if fair_energy <= 0:
             raise ExperimentError(
                 f"{self.cca}: fair arm measured non-positive energy"
             )
-        return 100.0 * (fair_energy - self.serialized.mean_energy_j) / fair_energy
+        return (
+            100.0
+            * (fair_energy - self.arm(policy).mean_energy_j)
+            / fair_energy
+        )
 
-    def fct_p50_s(self, mode: str) -> float:
-        return _extras_mean(self._arm(mode).runs, "fct_p50_s")
+    @property
+    def savings_percent(self) -> float:
+        """The classic headline: serializing vs fair sharing."""
+        return self.savings_percent_vs_fair("serialized")
 
-    def fct_p99_s(self, mode: str) -> float:
-        return _extras_mean(self._arm(mode).runs, "fct_p99_s")
+    def fct_p50_s(self, policy: str) -> float:
+        return _extras_mean(self.arm(policy).runs, "fct_p50_s")
 
-    def host_energy_j(self, mode: str) -> float:
-        return _extras_mean(self._arm(mode).runs, "host_energy_j")
+    def fct_p99_s(self, policy: str) -> float:
+        return _extras_mean(self.arm(policy).runs, "fct_p99_s")
 
-    def switch_energy_j(self, mode: str) -> float:
-        return _extras_mean(self._arm(mode).runs, "switch_energy_j")
+    def host_energy_j(self, policy: str) -> float:
+        return _extras_mean(self.arm(policy).runs, "host_energy_j")
 
-    def _arm(self, mode: str) -> RepeatedResult:
-        if mode == "fair":
-            return self.fair
-        if mode == "serialized":
-            return self.serialized
-        raise ExperimentError(f"unknown mode {mode!r}")
+    def switch_energy_j(self, policy: str) -> float:
+        return _extras_mean(self.arm(policy).runs, "switch_energy_j")
 
 
 @dataclass
@@ -94,6 +110,7 @@ class FabricResult:
     points: List[FabricCcaPoint]
     n_flows: int
     topology: str
+    policies: Sequence[str] = DEFAULT_POLICIES
 
     def point(self, cca: str) -> FabricCcaPoint:
         for point in self.points:
@@ -101,53 +118,59 @@ class FabricResult:
                 return point
         raise ExperimentError(f"no fabric point for CCA {cca!r}")
 
-    def annualized_value_usd(self, cca: str) -> float:
-        """$/year the CCA's measured fleet saving is worth at DC scale.
+    def annualized_value_usd(self, cca: str, policy: str = "serialized") -> float:
+        """$/year a policy's measured fleet saving is worth at DC scale.
 
         The cost model's domain is a fraction in [-1, 1]; a small run
-        whose serialized arm burns more than twice the fair energy (an
+        whose chained arm burns more than twice the fair energy (an
         idle-dominated toy fleet) saturates at -100% rather than erroring
         out of the whole figure.
         """
-        fraction = self.point(cca).savings_percent / 100.0
+        fraction = self.point(cca).savings_percent_vs_fair(policy) / 100.0
         return EnergyAdvisor().annualized_value(max(-1.0, min(1.0, fraction)))
 
     def format_table(self) -> str:
-        """The figure as text: energy split, savings, FCTs per CCA."""
+        """The figure as text: per CCA x policy energy, savings, FCTs."""
         rows = []
         for point in self.points:
-            rows.append(
-                (
-                    point.cca,
-                    point.fair.mean_energy_j,
-                    point.serialized.mean_energy_j,
-                    point.savings_percent,
-                    to_msec(point.fct_p50_s("fair")),
-                    to_msec(point.fct_p50_s("serialized")),
-                    to_msec(point.fct_p99_s("fair")),
-                    to_msec(point.fct_p99_s("serialized")),
-                    self.annualized_value_usd(point.cca) / MILLION,
+            for policy in self.policies:
+                arm = point.arm(policy)
+                rows.append(
+                    (
+                        point.cca,
+                        policy,
+                        arm.mean_energy_j,
+                        point.savings_percent_vs_fair(policy),
+                        to_msec(point.fct_p50_s(policy)),
+                        to_msec(point.fct_p99_s(policy)),
+                    )
                 )
-            )
         body = format_table(
             [
                 "cca",
-                "fair (J)",
-                "serial (J)",
+                "policy",
+                "energy (J)",
                 "savings %",
-                "p50 fair (ms)",
-                "p50 serial (ms)",
-                "p99 fair (ms)",
-                "p99 serial (ms)",
-                "value ($M/yr)",
+                "p50 (ms)",
+                "p99 (ms)",
             ],
             rows,
             float_fmt="{:.3f}",
         )
+        parts = []
+        for point in self.points:
+            try:
+                value = self.annualized_value_usd(point.cca)
+            except ExperimentError:
+                continue  # no serialized arm in this sweep
+            parts.append(f"{point.cca}=${value / MILLION:.3f}M/yr")
+        values = "  ".join(parts)
         header = (
-            f"fleet energy, fair vs serialized - {self.n_flows} flows on "
+            f"fleet energy by scheduling policy - {self.n_flows} flows on "
             f"{self.topology}"
         )
+        if values:
+            header += f"\nannualized value of serializing: {values}"
         return header + "\n" + body
 
 
@@ -164,26 +187,34 @@ def run_fabric_figure(
     switch_power: str = "today",
     repetitions: int = 1,
     base_seed: int = 0,
+    policies: Sequence[str] = DEFAULT_POLICIES,
     *,
     executor: Union[None, str, Executor] = None,
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
     observer: Union[None, str, Path, Observer] = None,
 ) -> FabricResult:
-    """Run the fair/serialized fleet comparison for every CCA.
+    """Run the per-policy fleet comparison for every CCA.
 
-    The whole CCA x mode grid flattens into one work-item batch, so a
+    The whole CCA x policy grid flattens into one work-item batch, so a
     ``jobs=N`` run parallelizes across all arms at once and stays
     bit-identical to a serial run (the executor layer's contract).
+    ``fair`` must be among the policies: every comparison is relative
+    to it.
     """
     if not ccas:
         raise ExperimentError("need at least one CCA")
+    names = [resolve_policy_name(p) for p in policies]
+    if "fair" not in names:
+        raise ExperimentError(
+            "the fabric figure reports savings vs fair; include 'fair'"
+        )
 
-    def factory(cca: str, mode: str) -> FabricScenario:
+    def factory(cca: str, policy: str) -> FabricScenario:
         return FabricScenario(
-            name=fabric_scenario_name(cca, mode),
+            name=fabric_scenario_name(cca, policy),
             cca=cca,
-            mode=mode,
+            policy=policy,
             n_flows=n_flows,
             mix=mix,
             target_load=target_load,
@@ -195,7 +226,7 @@ def run_fabric_figure(
             switch_power=switch_power,
         )
 
-    results = Sweep({"cca": list(ccas), "mode": list(MODES)}).run(
+    results = Sweep({"cca": list(ccas), "policy": names}).run(
         factory,
         repetitions=repetitions,
         base_seed=base_seed,
@@ -207,9 +238,13 @@ def run_fabric_figure(
     points = [
         FabricCcaPoint(
             cca=cca,
-            fair=results.one(cca=cca, mode="fair").result,
-            serialized=results.one(cca=cca, mode="serialized").result,
+            arms={
+                policy: results.one(cca=cca, policy=policy).result
+                for policy in names
+            },
         )
         for cca in ccas
     ]
-    return FabricResult(points=points, n_flows=n_flows, topology=topology)
+    return FabricResult(
+        points=points, n_flows=n_flows, topology=topology, policies=names
+    )

@@ -18,7 +18,12 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
-from repro.core.allocation import AllocationPlan, fig1_allocations
+from repro.core.allocation import (
+    FAIR_PLAN_NAME,
+    FSTI_PLAN_NAME,
+    AllocationPlan,
+    fig1_allocations,
+)
 from repro.core.savings import savings_percent
 from repro.harness.cache import ResultCache
 from repro.harness.executor import Executor
@@ -55,14 +60,14 @@ class Fig1Result:
     @property
     def fair_point(self) -> Fig1Point:
         for point in self.points:
-            if point.label == "fair":
+            if point.label == FAIR_PLAN_NAME:
                 return point
         raise LookupError("sweep has no fair point")
 
     @property
     def fsti_point(self) -> Fig1Point:
         for point in self.points:
-            if point.label == "full-speed-then-idle":
+            if point.label == FSTI_PLAN_NAME:
                 return point
         raise LookupError("sweep has no full-speed-then-idle point")
 
@@ -135,7 +140,7 @@ def run_fig1(
         Fig1Point(
             label=row["plan"].name,
             flow0_fraction=row["plan"].flow0_fraction
-            if row["plan"].name != "full-speed-then-idle"
+            if row["plan"].name != FSTI_PLAN_NAME
             else None,
             result=row.result,
         )

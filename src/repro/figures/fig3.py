@@ -1,17 +1,23 @@
-"""Figure 3: throughput-over-time for fair vs full-speed-then-idle.
+"""Figure 3: throughput-over-time, one panel per scheduling policy.
 
-Left panel: two flows hold ~5 Gb/s each until both finish at ~2 s
-(scaled). Right panel: flow 1 runs at ~10 Gb/s then idles while flow 2
-runs at ~10 Gb/s; both average 5 Gb/s over the experiment.
+The paper's original figure: under ``fair``, two flows hold ~5 Gb/s
+each until both finish at ~2 s (scaled); under ``serialized`` (the
+full-speed-then-idle allocation the paper calls FSTI), flow 1 runs at
+~10 Gb/s then idles while flow 2 runs at ~10 Gb/s — and both average
+5 Gb/s over the experiment. Any registered :mod:`repro.sched` policy
+can be rendered as an extra panel; the retired "fsti" spelling still
+resolves to ``serialized`` through the registry aliases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ExperimentError
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
+from repro.sched import resolve_policy_name
 from repro.sim.probe import THROUGHPUT_CHANNEL, TimeSeriesProbeSink
 from repro.sim.trace import TimeSeries
 from repro.units import gbps, msec, to_gbps
@@ -19,28 +25,47 @@ from repro.units import gbps, msec, to_gbps
 DEFAULT_TRANSFER_BYTES = 12_500_000
 DEFAULT_CAPACITY_BPS = gbps(10.0)
 
+#: the figure's two classic panels (left: fair sharing, right: FSTI)
+DEFAULT_POLICIES = ("fair", "serialized")
+
+
+@dataclass
+class Fig3Panel:
+    """One policy's run: per-flow throughput series plus the window."""
+
+    policy: str
+    series: Dict[int, TimeSeries]
+    duration_s: float
+
 
 @dataclass
 class Fig3Result:
-    """Per-flow throughput series for both panels."""
+    """Per-flow throughput series for every rendered policy panel."""
 
-    fair_series: Dict[int, TimeSeries]
-    fsti_series: Dict[int, TimeSeries]
-    fair_duration_s: float
-    fsti_duration_s: float
+    panels: Dict[str, Fig3Panel]
+
+    def _panel(self, which: str) -> Fig3Panel:
+        name = resolve_policy_name(which)
+        if name not in self.panels:
+            rendered = ", ".join(sorted(self.panels))
+            raise ExperimentError(
+                f"no fig3 panel for policy {which!r} (rendered: {rendered})"
+            )
+        return self.panels[name]
 
     def panel(self, which: str) -> List[Tuple[int, TimeSeries]]:
-        """Ordered (flow, series) pairs for 'fair' or 'fsti'."""
-        series = self.fair_series if which == "fair" else self.fsti_series
-        return sorted(series.items())
+        """Ordered (flow, series) pairs for one policy's panel."""
+        return sorted(self._panel(which).series.items())
+
+    def duration_s(self, which: str) -> float:
+        """One panel's measured window (time until its last flow ends)."""
+        return self._panel(which).duration_s
 
     def mean_throughputs_gbps(self, which: str) -> List[float]:
         """Average per-flow throughput over its panel's full window
         (idle time included — the paper's point is that every flow in
-        both panels averages C/2 over the experiment)."""
-        duration = (
-            self.fair_duration_s if which == "fair" else self.fsti_duration_s
-        )
+        both classic panels averages C/2 over the experiment)."""
+        duration = self.duration_s(which)
         result = []
         for _flow, ts in self.panel(which):
             if not len(ts) or duration <= 0:
@@ -66,41 +91,67 @@ def _per_flow_throughput(
     }
 
 
+def _capped_pair(
+    transfer_bytes: int, capacity_bps: float, cca: str
+) -> List[FlowSpec]:
+    """The classic fair panel: two flows rate-capped at C/2 each."""
+    return [
+        FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
+        FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
+    ]
+
+
+def _uncapped_pair(
+    transfer_bytes: int, capacity_bps: float, cca: str
+) -> List[FlowSpec]:
+    return [
+        FlowSpec(transfer_bytes, cca=cca),
+        FlowSpec(transfer_bytes, cca=cca),
+    ]
+
+
+#: per-policy flow declarations: the fair panel keeps its paper-faithful
+#: C/2 rate caps; every other policy gets the uncapped pair and decides
+#: admit/defer itself (dispatch by name — no mode-literal branching)
+_PANEL_FLOWS = {"fair": _capped_pair}
+
+
 def run_fig3(
     transfer_bytes: int = DEFAULT_TRANSFER_BYTES,
     capacity_bps: float = DEFAULT_CAPACITY_BPS,
     cca: str = "cubic",
     probe_interval_s: float = msec(1.0),
     seed: int = 0,
+    policies: Optional[Sequence[str]] = None,
 ) -> Fig3Result:
-    """Produce both Figure 3 panels (one run each; it's a timeseries)."""
-    fair = Scenario(
-        "fig3-fair",
-        flows=[
-            FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
-            FlowSpec(transfer_bytes, cca=cca, target_rate_bps=capacity_bps / 2),
-        ],
-        probe_interval_s=probe_interval_s,
-    )
-    fsti = Scenario(
-        "fig3-fsti",
-        flows=[
-            FlowSpec(transfer_bytes, cca=cca),
-            FlowSpec(transfer_bytes, cca=cca, after_flow=0),
-        ],
-        probe_interval_s=probe_interval_s,
-    )
-    # The figure consumes the telemetry path: each run gets a collecting
-    # probe sink (no downsampling — the probes already pace sampling at
-    # probe_interval_s) and the panels read per-flow throughput streams
-    # off it, the same series a traced run writes to telemetry.jsonl.
-    fair_sink = TimeSeriesProbeSink()
-    fair_m = run_once(fair, seed=seed, probe_sink=fair_sink)
-    fsti_sink = TimeSeriesProbeSink()
-    fsti_m = run_once(fsti, seed=seed, probe_sink=fsti_sink)
-    return Fig3Result(
-        fair_series=_per_flow_throughput(fair_sink, len(fair.flows)),
-        fsti_series=_per_flow_throughput(fsti_sink, len(fsti.flows)),
-        fair_duration_s=fair_m.duration_s,
-        fsti_duration_s=fsti_m.duration_s,
-    )
+    """Produce one Figure 3 panel per policy (one run each; timeseries)."""
+    names = [
+        resolve_policy_name(p)
+        for p in (DEFAULT_POLICIES if policies is None else policies)
+    ]
+    if not names:
+        raise ExperimentError("need at least one policy to render")
+    panels: Dict[str, Fig3Panel] = {}
+    for name in names:
+        flows = _PANEL_FLOWS.get(name, _uncapped_pair)(
+            transfer_bytes, capacity_bps, cca
+        )
+        scenario = Scenario(
+            f"fig3-{name}",
+            flows=flows,
+            probe_interval_s=probe_interval_s,
+            policy=name,
+        )
+        # The figure consumes the telemetry path: each run gets a
+        # collecting probe sink (no downsampling — the probes already
+        # pace sampling at probe_interval_s) and the panels read
+        # per-flow throughput streams off it, the same series a traced
+        # run writes to telemetry.jsonl.
+        sink = TimeSeriesProbeSink()
+        measurement = run_once(scenario, seed=seed, probe_sink=sink)
+        panels[name] = Fig3Panel(
+            policy=name,
+            series=_per_flow_throughput(sink, len(flows)),
+            duration_s=measurement.duration_s,
+        )
+    return Fig3Result(panels=panels)

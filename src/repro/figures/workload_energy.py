@@ -2,35 +2,42 @@
 
 Runs the published web-search / data-mining flow-size distributions as
 an open-loop Poisson workload through one sender host (the paper's
-"multiplexing multiple flows at the same sender" case) and compares:
+"multiplexing multiple flows at the same sender" case) under any set
+of registered scheduling policies — classically:
 
 * **fair** — every flow is a normal CUBIC connection over the FIFO
   bottleneck;
 * **srpt** — pFabric-style priority bottleneck with line-rate senders.
 
+The workload's target load reaches each policy as the scheduling
+context's ``offered_load`` (what ``load-adaptive`` conditions on).
 Reported: total energy over the busy window, mean and p99-ish FCT. The
-expected shape: on heavy-tailed traffic SRPT slashes mean FCT (mice stop
-waiting behind elephants) at equal-or-better energy — the "green and
-fast" conclusion of §5 under realistic load.
+expected shape: on heavy-tailed traffic SRPT slashes mean FCT (mice
+stop waiting behind elephants) at equal-or-better energy — the "green
+and fast" conclusion of §5 under realistic load.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
 from repro.apps.workload import Workload, generate_workload
-from repro.figures.srpt import PFABRIC_WINDOW_SEGMENTS
+from repro.errors import ExperimentError
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import RunMeasurement, run_once
+from repro.sched import resolve_policy_name
 from repro.units import to_msec
+
+#: the classic two-way comparison
+DEFAULT_POLICIES = ("fair", "srpt")
 
 
 @dataclass
 class WorkloadPoint:
-    """One schedule's outcome on one workload."""
+    """One policy's outcome on one workload."""
 
     schedule: str
     measurement: RunMeasurement
@@ -52,13 +59,24 @@ class WorkloadPoint:
 
 @dataclass
 class WorkloadEnergyResult:
-    """fair vs srpt on one generated workload."""
+    """Per-policy outcomes on one generated workload."""
 
     workload: Workload
     points: Dict[str, WorkloadPoint]
 
+    def point(self, schedule: str) -> WorkloadPoint:
+        """One policy's point; retired spellings resolve via aliases."""
+        name = resolve_policy_name(schedule)
+        if name not in self.points:
+            ran = ", ".join(sorted(self.points))
+            raise ExperimentError(
+                f"no workload point for policy {schedule!r} (ran: {ran})"
+            )
+        return self.points[name]
+
     @property
     def fct_speedup(self) -> float:
+        """Mean-FCT speedup of the srpt arm over fair (the classic pair)."""
         return self.points["fair"].mean_fct_s / self.points["srpt"].mean_fct_s
 
     @property
@@ -67,8 +85,7 @@ class WorkloadEnergyResult:
 
     def format_table(self) -> str:
         rows = []
-        for name in ("fair", "srpt"):
-            p = self.points[name]
+        for name, p in sorted(self.points.items()):
             rows.append(
                 (
                     name,
@@ -83,31 +100,22 @@ class WorkloadEnergyResult:
         )
 
 
-def _scenario(workload: Workload, schedule: str) -> Scenario:
-    flows: List[FlowSpec] = []
-    for arrival in workload.flows:
-        if schedule == "fair":
-            flows.append(
-                FlowSpec(
-                    arrival.size_bytes, cca="cubic",
-                    start_time_s=arrival.start_time_s,
-                )
-            )
-        else:
-            flows.append(
-                FlowSpec(
-                    arrival.size_bytes,
-                    cca="baseline",
-                    start_time_s=arrival.start_time_s,
-                    cca_kwargs={"window_segments": PFABRIC_WINDOW_SEGMENTS},
-                )
-            )
+def _scenario(workload: Workload, policy: str, target_load: float) -> Scenario:
+    flows: List[FlowSpec] = [
+        FlowSpec(
+            arrival.size_bytes,
+            cca="cubic",
+            start_time_s=arrival.start_time_s,
+        )
+        for arrival in workload.flows
+    ]
     return Scenario(
-        name=f"workload-{workload.name}-{schedule}",
+        name=f"workload-{workload.name}-{policy}",
         flows=flows,
         packages=1,  # one sender host: the multiplexing case
-        bottleneck_discipline="priority" if schedule == "srpt" else "fifo",
         time_limit_s=600.0,
+        policy=policy,
+        offered_load=target_load,
     )
 
 
@@ -116,8 +124,15 @@ def run_workload_energy(
     target_load: float = 0.5,
     duration_s: float = 0.03,
     seed: int = 0,
+    policies: Optional[Sequence[str]] = None,
 ) -> WorkloadEnergyResult:
-    """Generate one workload and run it under both schedules."""
+    """Generate one workload and run it under every requested policy."""
+    names = [
+        resolve_policy_name(p)
+        for p in (DEFAULT_POLICIES if policies is None else policies)
+    ]
+    if not names:
+        raise ExperimentError("need at least one policy")
     workload = generate_workload(
         distribution=distribution,
         target_load=target_load,
@@ -125,9 +140,10 @@ def run_workload_energy(
         seed=seed,
     )
     points = {
-        schedule: WorkloadPoint(
-            schedule, run_once(_scenario(workload, schedule), seed=seed)
+        name: WorkloadPoint(
+            name,
+            run_once(_scenario(workload, name, target_load), seed=seed),
         )
-        for schedule in ("fair", "srpt")
+        for name in names
     }
     return WorkloadEnergyResult(workload=workload, points=points)

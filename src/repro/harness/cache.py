@@ -38,7 +38,9 @@ from repro.sim.trace import TimeSeries
 #: previously cached entry becomes a miss
 #: (2: throughput series renamed to the telemetry "entity:channel" form)
 #: (3: fabric runs — the ``extras`` energy-split map joined the schema)
-SCHEMA_VERSION = 3
+#: (4: the scheduling-policy redesign — ``policy`` joined both scenario
+#:  specs, single-link runs grew FCT-percentile extras)
+SCHEMA_VERSION = 4
 
 
 def compute_key(

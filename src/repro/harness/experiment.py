@@ -15,8 +15,9 @@ import warnings
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Union
 
-from repro.core.allocation import AllocationPlan
+from repro.core.allocation import FSTI_PLAN_NAME, AllocationPlan
 from repro.errors import ExperimentError
+from repro.sched.registry import resolve_policy_name
 from repro.units import msec, usec
 
 
@@ -48,6 +49,39 @@ def _keyword_only_after_first(cls):
     return cls
 
 
+def _accepts_deprecated_mode(cls):
+    """Accept the retired ``mode=`` spelling as ``policy=`` (shim).
+
+    ``FabricScenario.mode`` predates the :mod:`repro.sched` registry;
+    its two spellings ("fair"/"serialized") are canonical policy names,
+    so the shim forwards them verbatim and warns. Removed after one
+    release.
+    """
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def __init__(
+        self, *args: Any, mode: Optional[str] = None, **kwargs: Any
+    ) -> None:
+        if mode is not None:
+            warnings.warn(
+                f"{cls.__name__}(mode=...) is deprecated and will be "
+                f"removed in the next release; use policy= (registry "
+                f"names from repro.sched)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if "policy" in kwargs:
+                raise ExperimentError(
+                    "pass policy= or the deprecated mode=, not both"
+                )
+            kwargs["policy"] = mode
+        original_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
+
+
 @_keyword_only_after_first
 @dataclass
 class FlowSpec:
@@ -70,6 +104,9 @@ class FlowSpec:
     #: extra keyword arguments for the CCA constructor (e.g. the
     #: baseline's window_segments, bbr2's alpha_quality)
     cca_kwargs: Optional[dict] = None
+    #: absolute virtual time this flow should complete by; only the
+    #: ``deadline`` scheduling policy reads it (None = unconstrained)
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.total_bytes <= 0:
@@ -110,10 +147,35 @@ class Scenario:
     bottleneck_discipline: str = "fifo"
     #: stamp INT at the bottleneck (required by hpcc)
     int_telemetry: bool = False
+    #: scheduling policy (a :mod:`repro.sched` registry name). None
+    #: keeps the declared flows exactly as written (legacy
+    #: ``after_flow`` chains included); a name hands admit/defer and
+    #: network-hint decisions to that policy at run time
+    policy: Optional[str] = None
+    #: the workload's offered load fraction, if known; a policy input
+    #: (``load-adaptive`` shares above its threshold). None = closed
+    #: batch. Does not affect the physics of the declared flows.
+    offered_load: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.flows:
             raise ExperimentError(f"scenario {self.name!r} has no flows")
+        if self.policy is not None:
+            # Canonicalize so aliases hash identically in cache keys.
+            self.policy = resolve_policy_name(self.policy)
+            conflicted = [
+                i for i, f in enumerate(self.flows) if f.after_flow is not None
+            ]
+            if conflicted:
+                raise ExperimentError(
+                    f"scenario {self.name!r} declares after_flow chains on "
+                    f"flows {conflicted} AND policy={self.policy!r}; the "
+                    f"policy owns admit/defer decisions — drop one"
+                )
+        if self.offered_load is not None and self.offered_load < 0:
+            raise ExperimentError(
+                f"offered load must be >= 0, got {self.offered_load}"
+            )
         if not 0.0 <= self.background_load <= 1.0:
             raise ExperimentError(
                 f"background load must be in [0, 1], got {self.background_load}"
@@ -125,6 +187,9 @@ class Scenario:
             and len(self.flows) > 1
             and concurrent > 1
             and self.bottleneck_discipline != "priority"
+            # A policy owns the discipline at run time (srpt pairs the
+            # baseline CCA with a priority bottleneck itself).
+            and self.policy is None
         ):
             # Footnote 2 of the paper: the no-CC module must never share
             # a FIFO bottleneck — it would cause congestion collapse.
@@ -167,6 +232,7 @@ class Scenario:
         )
 
 
+@_accepts_deprecated_mode
 @_keyword_only_after_first
 @dataclass
 class FabricScenario:
@@ -180,11 +246,14 @@ class FabricScenario:
 
     name: str
     cca: str = "dctcp"
-    #: "fair" starts every flow at its generated arrival time (fair
-    #: sharing under contention); "serialized" chains each source host's
-    #: flows so at most one runs per host at a time (the paper's
-    #: full-speed-then-idle allocation, fleet-wide)
-    mode: str = "fair"
+    #: scheduling policy (a :mod:`repro.sched` registry name): "fair"
+    #: starts every flow at its generated arrival (fair sharing under
+    #: contention); "serialized" chains each source host's flows so at
+    #: most one runs per host at a time (full-speed-then-idle,
+    #: fleet-wide); "srpt"/"deadline"/"load-adaptive" as documented in
+    #: docs/scheduling.md. The retired ``mode=`` spelling still maps
+    #: here with a DeprecationWarning.
+    policy: str = "fair"
     n_flows: int = 1000
     mix: str = "datacenter"
     target_load: float = 0.3
@@ -210,12 +279,18 @@ class FabricScenario:
     sample_interval_s: float = msec(5.0)
     #: fabric runs default to noise-free power so fleet deltas are exact
     power_noise_sigma: float = 0.0
+    #: per-flow deadline slack for the ``deadline`` policy: a flow's
+    #: deadline is ``arrival + slack x its line-rate duration``; other
+    #: policies ignore it
+    deadline_slack: float = 4.0
 
     def __post_init__(self) -> None:
-        if self.mode not in ("fair", "serialized"):
+        # Canonicalize so aliases hash identically in cache keys.
+        self.policy = resolve_policy_name(self.policy)
+        if self.deadline_slack < 1.0:
             raise ExperimentError(
-                f"unknown fabric mode {self.mode!r}; "
-                f"known: ['fair', 'serialized']"
+                f"deadline slack must be >= 1 (a line-rate flow can never "
+                f"beat its own transmission time), got {self.deadline_slack}"
             )
         if self.topology not in ("leaf-spine", "fat-tree"):
             raise ExperimentError(
@@ -260,19 +335,41 @@ def scenario_from_plan(
     name: str,
     plan: AllocationPlan,
     cca: str = "cubic",
-    serialize_extreme: bool = True,
+    serialize_extreme: Optional[bool] = None,
+    *,
+    policy: Optional[str] = None,
     **kwargs,
 ) -> Scenario:
     """Build a scenario from a :class:`~repro.core.allocation.AllocationPlan`.
 
     The full-speed-then-idle plan is realized with completion chaining
     (flow i+1 starts when flow i finishes) rather than nominal start
-    times when ``serialize_extreme`` is True, matching how the paper runs
-    it (the second flow starts when the first ends, whatever the actual
-    first-flow FCT was).
+    times, matching how the paper runs it (the second flow starts when
+    the first ends, whatever the actual first-flow FCT was).
+
+    ``policy=`` hands that chaining decision to a :mod:`repro.sched`
+    registry policy instead of baking ``after_flow`` chains into the
+    flow specs — the ``serialized`` policy reproduces the legacy
+    chaining bit-for-bit. ``serialize_extreme`` is the deprecated
+    spelling of that choice (True == ``policy="serialized"`` for
+    full-speed-then-idle plans) and warns when passed explicitly.
     """
+    if serialize_extreme is not None:
+        warnings.warn(
+            "serialize_extreme= is deprecated and will be removed in the "
+            "next release; pass policy='serialized' (or policy='fair' "
+            "for serialize_extreme=False) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if policy is not None:
+            raise ExperimentError(
+                "pass policy= or the deprecated serialize_extreme=, not both"
+            )
     flows = []
-    serialized = plan.name == "full-speed-then-idle" and serialize_extreme
+    serialized = plan.name == FSTI_PLAN_NAME and (
+        policy is not None or serialize_extreme is None or serialize_extreme
+    )
     for i, flow_plan in enumerate(plan.flows):
         flows.append(
             FlowSpec(
@@ -280,8 +377,10 @@ def scenario_from_plan(
                 cca=cca,
                 target_rate_bps=flow_plan.target_rate_bps,
                 start_time_s=0.0 if serialized else flow_plan.start_time_s,
-                after_flow=(i - 1) if serialized and i > 0 else None,
+                after_flow=(
+                    (i - 1) if serialized and policy is None and i > 0 else None
+                ),
                 uncap_after=flow_plan.uncap_after,
             )
         )
-    return Scenario(name=name, flows=flows, **kwargs)
+    return Scenario(name=name, flows=flows, policy=policy, **kwargs)

@@ -10,17 +10,18 @@ the ordinary executor/cache/telemetry plumbing, which is what lets 1k+
 flow sweeps fan out over worker processes and stay bit-identical to
 serial runs.
 
-Two scheduling modes realize the paper's §4.2 comparison fleet-wide:
+The scenario's scheduling policy (a :mod:`repro.sched` registry name)
+decides per-flow admit/defer fleet-wide: ``fair`` starts every flow at
+its generated arrival time (concurrent flows share links), while
+``serialized`` chains each source host's flows one at a time (the
+full-speed-then-idle allocation the paper shows is cheaper), a deferred
+successor starting at its predecessor's completion or its own arrival,
+whichever is later. ``srpt``/``deadline``/``load-adaptive`` produce
+other chain shapes through the same mechanism.
 
-* ``fair`` — every flow starts at its generated arrival time, so
-  concurrent flows share links fairly (what today's CCAs converge to);
-* ``serialized`` — each source host runs its flows one at a time in
-  arrival order (the full-speed-then-idle allocation the paper shows is
-  cheaper), a successor starting at its predecessor's completion or its
-  own arrival, whichever is later.
-
-Both modes transfer exactly the same bytes between the same host pairs,
-so the energy delta is the allocation's doing, not the workload's.
+Every policy transfers exactly the same bytes between the same host
+pairs, so the energy delta is the allocation's doing, not the
+workload's.
 """
 
 from __future__ import annotations
@@ -45,9 +46,16 @@ from repro.net.topology import (
 )
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.report import percentile
+from repro.sched import (
+    FlowRequest,
+    SchedulePlan,
+    SchedulingContext,
+    get_policy,
+)
 from repro.sim.engine import Simulator
 from repro.sim.probe import ProbeSink
 from repro.sim.rng import RngRegistry
+from repro.units import BITS_PER_BYTE
 
 
 def _build_fabric(scenario: FabricScenario, sim: Simulator) -> Fabric:
@@ -86,44 +94,77 @@ def _workload_for(scenario: FabricScenario, fabric: Fabric, seed: int) -> Fabric
     )
 
 
+def _plan_sessions(
+    scenario: FabricScenario, fabric: Fabric, workload: FabricWorkload
+) -> SchedulePlan:
+    """Ask the scenario's policy for the fleet-wide admit/defer plan."""
+    rate = fabric.config.host_link_rate_bps
+    requests = [
+        FlowRequest(
+            index=i,
+            size_bytes=flow.size_bytes,
+            arrival_s=flow.start_time_s,
+            src=flow.src,
+            dst=flow.dst,
+            deadline_s=flow.start_time_s
+            + scenario.deadline_slack
+            * (flow.size_bytes * BITS_PER_BYTE / rate),
+        )
+        for i, flow in enumerate(workload.flows)
+    ]
+    ctx = SchedulingContext(
+        capacity_bps=rate,
+        offered_load=workload.offered_load,
+        # Fabric ports are FIFO/ECN; no pFabric qdisc at this scale.
+        supports_priority=False,
+    )
+    return get_policy(scenario.policy).plan(requests, ctx)
+
+
 def _start_sessions(
     scenario: FabricScenario,
     fabric: Fabric,
     workload: FabricWorkload,
 ) -> List[IperfSession]:
-    """Instantiate one session per generated flow, honoring the mode."""
+    """Instantiate one session per generated flow, honoring the policy.
+
+    Sessions are created in workload order first (a policy may defer a
+    flow behind a *later* index — srpt's shortest-first chains), then
+    chained: a deferred flow starts at its predecessor's completion,
+    but never before its own arrival.
+    """
     hosts: Dict[str, Host] = {h.name: h for h in fabric.hosts}
-    serialized = scenario.mode == "serialized"
+    plan = _plan_sessions(scenario, fabric, workload)
     sessions: List[IperfSession] = []
-    last_on_host: Dict[str, IperfSession] = {}
     sim = fabric.sim
     for i, flow in enumerate(workload.flows):
-        predecessor = last_on_host.get(flow.src) if serialized else None
-        session = IperfSession(
-            fabric,
-            total_bytes=flow.size_bytes,
-            cca=scenario.cca,
-            # Dormant when chained behind the host's previous flow.
-            start_time=None if predecessor is not None else flow.start_time_s,
-            cca_kwargs=scenario.cca_kwargs,
-            # Per-run ids (not the process-global counter): measurements
-            # must stay a pure function of (scenario, seed).
-            flow_id=i + 1,
-            src_host=hosts[flow.src],
-            dst_host=hosts[flow.dst],
-        )
-        if predecessor is not None:
-            # Full-speed-then-idle per host: start at the predecessor's
-            # completion, but never before this flow's own arrival.
-            arrival = flow.start_time_s
-            predecessor.sender.on_complete(
-                lambda done_t, s=session, t0=arrival: sim.schedule_at(
-                    max(done_t, t0), s.begin
-                )
+        deferred = plan.schedule_for(i).deferred
+        sessions.append(
+            IperfSession(
+                fabric,
+                total_bytes=flow.size_bytes,
+                cca=scenario.cca,
+                # Dormant when chained behind another flow.
+                start_time=None if deferred else flow.start_time_s,
+                cca_kwargs=scenario.cca_kwargs,
+                # Per-run ids (not the process-global counter):
+                # measurements must stay a pure function of
+                # (scenario, seed).
+                flow_id=i + 1,
+                src_host=hosts[flow.src],
+                dst_host=hosts[flow.dst],
             )
-        if serialized:
-            last_on_host[flow.src] = session
-        sessions.append(session)
+        )
+    for i, flow in enumerate(workload.flows):
+        after = plan.schedule_for(i).after_index
+        if after is None:
+            continue
+        arrival = flow.start_time_s
+        sessions[after].sender.on_complete(
+            lambda done_t, s=sessions[i], t0=arrival: sim.schedule_at(
+                max(done_t, t0), s.begin
+            )
+        )
     return sessions
 
 

@@ -19,6 +19,13 @@ from repro.errors import ExperimentError
 from repro.harness.experiment import AnyScenario, FabricScenario, Scenario
 from repro.net.topology import Testbed, TestbedConfig, build_testbed
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.report import percentile
+from repro.sched import (
+    FlowRequest,
+    SchedulePlan,
+    SchedulingContext,
+    get_policy,
+)
 from repro.sim.engine import Simulator
 from repro.sim.probe import ProbeSink
 from repro.sim.rng import RngRegistry
@@ -119,23 +126,57 @@ class RepeatedResult:
         return mean([float(r.total_retransmissions) for r in self.runs])
 
 
-def _build_testbed(scenario: Scenario, sim: Simulator) -> Testbed:
+def _build_testbed(
+    scenario: Scenario, sim: Simulator, plan: Optional[SchedulePlan] = None
+) -> Testbed:
     kwargs = dict(mtu_bytes=scenario.mtu_bytes)
     if scenario.buffer_bytes is not None:
         kwargs["buffer_bytes"] = scenario.buffer_bytes
     kwargs["ecn_threshold_bytes"] = scenario.ecn_threshold_bytes
     if scenario.host_packet_gap_s is not None:
         kwargs["host_packet_gap_s"] = scenario.host_packet_gap_s
-    kwargs["bottleneck_discipline"] = scenario.bottleneck_discipline
+    discipline = scenario.bottleneck_discipline
+    if plan is not None and plan.bottleneck_discipline != "fifo":
+        # Network-level policy hint (srpt's pFabric-style priority qdisc).
+        discipline = plan.bottleneck_discipline
+    kwargs["bottleneck_discipline"] = discipline
     kwargs["int_telemetry"] = scenario.int_telemetry
     return build_testbed(sim, TestbedConfig(**kwargs))
+
+
+def _plan_for(scenario: Scenario) -> Optional[SchedulePlan]:
+    """The scenario's policy plan, or None for legacy declared flows.
+
+    Planning happens before the testbed exists, so the context carries
+    the testbed's *configured* bottleneck rate (the default dumbbell's
+    link rate — single-link scenarios never override it). Plans are
+    pure functions of the scenario, never of the run's seed.
+    """
+    if scenario.policy is None:
+        return None
+    requests = [
+        FlowRequest(
+            index=i,
+            size_bytes=flow.total_bytes,
+            arrival_s=flow.start_time_s,
+            deadline_s=flow.deadline_s,
+        )
+        for i, flow in enumerate(scenario.flows)
+    ]
+    ctx = SchedulingContext(
+        capacity_bps=TestbedConfig().link_rate_bps,
+        offered_load=scenario.offered_load,
+        supports_priority=True,
+    )
+    return get_policy(scenario.policy).plan(requests, ctx)
 
 
 def _prepare_run(
     scenario: Scenario, sim: Simulator, rngs: RngRegistry
 ) -> "_PreparedRun":
     """Build the testbed, sessions, probes and meter for one run."""
-    testbed = _build_testbed(scenario, sim)
+    plan = _plan_for(scenario)
+    testbed = _build_testbed(scenario, sim, plan)
 
     n_packages = scenario.packages or max(2, len(scenario.flows))
     sender_cpu = CpuModel(
@@ -162,23 +203,36 @@ def _prepare_run(
         for model in cpu_models:
             model.set_background_load(scenario.background_load)
 
+    def _after_index(i: int) -> Optional[int]:
+        if plan is not None:
+            return plan.schedule_for(i).after_index
+        return scenario.flows[i].after_flow
+
     jitter_rng = rngs.stream("start-jitter")
     sessions: List[IperfSession] = []
     for i, flow in enumerate(scenario.flows):
-        if flow.after_flow is not None:
+        if _after_index(i) is not None:
+            # Deferred flows draw no jitter (a chained start replaces
+            # the arrival entirely) — identical stream consumption to
+            # the legacy after_flow path.
             start: Optional[float] = None
         else:
             start = flow.start_time_s + jitter_rng.uniform(
                 0.0, scenario.start_jitter_s
             )
+        override_cca = plan is not None and plan.sender_cca is not None
         session = IperfSession(
             testbed,
             total_bytes=flow.total_bytes,
-            cca=flow.cca,
+            cca=plan.sender_cca if override_cca else flow.cca,  # type: ignore[union-attr]
             target_bitrate_bps=flow.target_rate_bps,
             start_time=start,
             ecn=flow.ecn,
-            cca_kwargs=flow.cca_kwargs,
+            cca_kwargs=(
+                dict(plan.sender_cca_kwargs or {})  # type: ignore[union-attr]
+                if override_cca
+                else flow.cca_kwargs
+            ),
             # Per-run ids, not the process-global counter: measurements
             # must be a pure function of (scenario, seed) so serial,
             # process-pool, and cached runs are interchangeable.
@@ -189,13 +243,25 @@ def _prepare_run(
             model.pin_flow(session.flow_id, i % n_packages)
 
     # Completion chaining for serialized (full-speed-then-idle) schedules
-    # and Fig. 1-style cap lifting.
+    # and Fig. 1-style cap lifting. Policy plans may defer behind any
+    # index (srpt's shortest-first chains), so sessions all exist first.
     for i, flow in enumerate(scenario.flows):
-        if flow.after_flow is not None:
+        after = _after_index(i)
+        if after is not None:
             successor = sessions[i]
-            sessions[flow.after_flow].sender.on_complete(
-                lambda _t, s=successor: s.begin()
-            )
+            arrival = flow.start_time_s
+            if plan is not None and arrival > 0.0:
+                # Open-workload chaining: never start a flow before its
+                # own arrival (the fabric runner's exact semantics).
+                sessions[after].sender.on_complete(
+                    lambda done_t, s=successor, t0=arrival: sim.schedule_at(
+                        max(done_t, t0), s.begin
+                    )
+                )
+            else:
+                sessions[after].sender.on_complete(
+                    lambda _t, s=successor: s.begin()
+                )
         if flow.uncap_after is not None:
             capped = sessions[i]
             sessions[flow.uncap_after].sender.on_complete(
@@ -295,17 +361,26 @@ def run_once(
             probe.stop()
 
         bottleneck_q = prepared.testbed.bottleneck.queue
+        flow_results = [s.result() for s in sessions]
+        fcts = [r.duration_s for r in flow_results]
         measurement = RunMeasurement(
             scenario=scenario.name,
             seed=seed,
             energy_j=energy,
             duration_s=meter.duration_s,
-            flow_results=[s.result() for s in sessions],
+            flow_results=flow_results,
             bottleneck_drops=int(bottleneck_q.counters.get("drops")),
             ecn_marks=int(bottleneck_q.counters.get("ecn_marks")),
             power_series=meter.power_series(),
             throughput_series={
                 fid: p.series for fid, p in prepared.probes.items()
+            },
+            # The Pareto frontier's x-axis: FCT percentiles, same keys
+            # the fabric runner exports (fleet and single-link points
+            # plot on one chart).
+            extras={
+                "fct_p50_s": percentile(fcts, 50.0),
+                "fct_p99_s": percentile(fcts, 99.0),
             },
         )
     if probe_sink is None:

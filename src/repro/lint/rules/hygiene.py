@@ -122,4 +122,83 @@ class MissingFutureAnnotations(Rule):
         )
 
 
-HYGIENE_RULES = [MutableDefault(), BareExcept(), MissingFutureAnnotations()]
+#: scheduling-policy names whose string comparison means mode-branching
+_SCHED_LITERALS = frozenset({"fair", "serialized", "srpt"})
+
+#: the policy subsystem itself (registry, aliases, policy classes) may
+#: of course name its own policies
+_SCHED_PACKAGE_DIR = "sched"
+
+
+def _banned_literal(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in _SCHED_LITERALS
+    ):
+        return node.value
+    return None
+
+
+def _literal_container_hit(node: ast.AST) -> str | None:
+    """A policy literal inside a literal tuple/list of strings, if any."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    for element in node.elts:
+        hit = _banned_literal(element)
+        if hit is not None:
+            return hit
+    return None
+
+
+class SchedModeLiteral(Rule):
+    """String comparison against a scheduling-policy name."""
+
+    name = "sched-no-mode-literals"
+    family = "api-hygiene"
+    description = (
+        "comparison against a scheduling-mode literal ('fair'/"
+        "'serialized'/'srpt') outside repro/sched; dispatch through the "
+        "policy registry (resolve_policy_name/get_policy) instead"
+    )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if module.in_directory(_SCHED_PACKAGE_DIR):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                left, right = operands[i], operands[i + 1]
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    hit = _banned_literal(left) or _banned_literal(right)
+                    if hit is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"equality test against policy literal "
+                            f"{hit!r}; mode-branching belongs in "
+                            f"repro/sched — dispatch through the "
+                            f"registry or a named constant",
+                        )
+                elif isinstance(op, (ast.In, ast.NotIn)):
+                    # `"fair" in names` (validating a dynamic list) is
+                    # fine; `policy in ("fair", ...)` is a mode branch.
+                    hit = _literal_container_hit(right)
+                    if hit is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"membership test over a literal policy-name "
+                            f"container (contains {hit!r}); dispatch "
+                            f"through the repro/sched registry instead",
+                        )
+
+
+HYGIENE_RULES = [
+    MutableDefault(),
+    BareExcept(),
+    MissingFutureAnnotations(),
+    SchedModeLiteral(),
+]

@@ -1,0 +1,108 @@
+"""Analytic fluid (processor-sharing) evaluation of schedule plans.
+
+:func:`fluid_completions` predicts when each flow of a batch completes
+under an idealized bottleneck: every runnable flow receives an equal
+``capacity / n_active`` share, instantaneously re-divided as flows
+arrive and finish. A flow becomes runnable at its arrival (admitted) or
+at ``max(completion(predecessor), arrival)`` (deferred) — exactly the
+semantics the harness realizes with completion chaining.
+
+The fluid model deliberately ignores packets, RTTs, and congestion
+control: it is the *planning-time* oracle the ``deadline`` policy uses
+to check that a proposed deferral keeps every fair-share-feasible
+deadline feasible, and the yardstick the feasibility property tests
+measure against. Evaluations are pure functions of their arguments —
+no RNG, no simulator — so policies built on them stay pure too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.sched.policy import FlowRequest, SchedulePlan
+from repro.units import BITS_PER_BYTE
+
+#: residual-work threshold (bits) below which a flow counts as finished;
+#: far under one bit, far over accumulated float drift
+_RESIDUAL_BITS_EPS = 1e-3
+
+
+def fluid_completions(
+    requests: Sequence[FlowRequest],
+    plan: SchedulePlan,
+    capacity_bps: float,
+) -> List[float]:
+    """Per-flow completion times (seconds) under processor sharing.
+
+    ``requests`` must be in batch order (``requests[i].index == i``,
+    the same contract plans are validated against). Raises
+    :class:`~repro.errors.ExperimentError` when the plan's deferrals
+    form a cycle (no flow can ever become runnable).
+    """
+    if len(plan.flows) != len(requests):
+        raise ExperimentError(
+            f"plan covers {len(plan.flows)} flows but batch has "
+            f"{len(requests)}"
+        )
+    if capacity_bps <= 0:
+        raise ExperimentError(f"capacity must be > 0, got {capacity_bps}")
+    n = len(requests)
+    if n == 0:
+        return []
+
+    remaining = [float(r.size_bytes * BITS_PER_BYTE) for r in requests]
+    ready: List[Optional[float]] = [None] * n
+    successors: Dict[int, List[int]] = {}
+    for i, decision in enumerate(plan.flows):
+        if decision.after_index is None:
+            ready[i] = requests[i].arrival_s
+        else:
+            successors.setdefault(decision.after_index, []).append(i)
+
+    completion: List[Optional[float]] = [None] * n
+    started = [False] * n
+    active: List[int] = []
+    now = 0.0
+    done = 0
+    while done < n:
+        # Admit every flow whose ready time has come.
+        for i in range(n):
+            if not started[i] and ready[i] is not None and ready[i] <= now:
+                started[i] = True
+                active.append(i)
+        pending = [
+            ready[i]
+            for i in range(n)
+            if not started[i] and ready[i] is not None
+        ]
+        next_ready = min(pending) if pending else None
+
+        if active:
+            share = capacity_bps / len(active)
+            finish_at = now + min(remaining[i] for i in active) / share
+            step_to = (
+                finish_at if next_ready is None else min(finish_at, next_ready)
+            )
+            if step_to > now:
+                dt = step_to - now
+                for i in active:
+                    remaining[i] -= share * dt
+        elif next_ready is None:
+            stuck = [i for i in range(n) if completion[i] is None]
+            raise ExperimentError(
+                f"fluid evaluation deadlocked: flows {stuck} can never "
+                f"become runnable (deferral cycle in plan "
+                f"{plan.policy!r})"
+            )
+        else:
+            step_to = next_ready
+        now = step_to
+
+        for i in [i for i in active if remaining[i] <= _RESIDUAL_BITS_EPS]:
+            active.remove(i)
+            completion[i] = now
+            done += 1
+            for successor in successors.get(i, ()):
+                ready[successor] = max(now, requests[successor].arrival_s)
+    return [c for c in completion if c is not None]

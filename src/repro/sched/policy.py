@@ -1,0 +1,176 @@
+"""The :class:`SchedulingPolicy` protocol and its plan datatypes.
+
+A policy answers one question per flow: *given everything the batch
+knows at planning time, when may this flow start?* The answer is either
+"at its arrival" (admit) or "when that other flow completes" (defer —
+realized by the harness as a completion-chained start at
+``max(predecessor_completion, own_arrival)`` on virtual time). A plan
+may additionally carry network-level hints — the bottleneck queue
+discipline and a sender-side CCA override — which is how pFabric-style
+SRPT ("the network schedules, senders blast") fits the same protocol
+as host-side serialization.
+
+Policies are pure: a plan is a deterministic function of the request
+list and the :class:`SchedulingContext`, never of simulator state or
+wall time. That purity is what lets the cache key a scenario by its
+policy *name* and lets jobs=N sweeps stay bit-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """One flow as the scheduler sees it: size, arrival, endpoints.
+
+    ``index`` is the flow's stable position in the batch (the harness
+    maps it back to sessions); ``deadline_s`` is an absolute virtual
+    time by which the flow should complete, or None for no deadline.
+    """
+
+    index: int
+    size_bytes: int
+    arrival_s: float = 0.0
+    src: str = "sender"
+    dst: str = "receiver"
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ExperimentError(
+                f"flow {self.index}: size must be > 0, got {self.size_bytes}"
+            )
+        if self.arrival_s < 0:
+            raise ExperimentError(
+                f"flow {self.index}: arrival must be >= 0, got {self.arrival_s}"
+            )
+
+    def line_rate_duration_s(self, capacity_bps: float) -> float:
+        """Seconds to move the payload alone at ``capacity_bps``."""
+        if capacity_bps <= 0:
+            raise ExperimentError(
+                f"capacity must be > 0, got {capacity_bps}"
+            )
+        return self.size_bytes * BITS_PER_BYTE / capacity_bps
+
+
+@dataclass(frozen=True)
+class FlowSchedule:
+    """One flow's scheduling decision inside a plan.
+
+    ``after_index`` of None means the flow is admitted at its arrival;
+    otherwise it is deferred behind that flow and starts at
+    ``max(completion(after_index), arrival)``.
+    """
+
+    index: int
+    after_index: Optional[int] = None
+
+    @property
+    def deferred(self) -> bool:
+        return self.after_index is not None
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A policy's full answer for one batch.
+
+    ``bottleneck_discipline`` and the ``sender_cca`` override are
+    network-level hints for testbeds that support them (the dumbbell's
+    priority qdisc); fabric runners that cannot honor a hint simply
+    see policies that never emit it (the context's
+    ``supports_priority`` flag tells the policy what is available).
+    """
+
+    policy: str
+    flows: Tuple[FlowSchedule, ...]
+    bottleneck_discipline: str = "fifo"
+    #: replace every sender's CCA (pFabric pairs line-rate constant-cwnd
+    #: senders with in-network priority scheduling); None keeps each
+    #: flow's declared CCA
+    sender_cca: Optional[str] = None
+    sender_cca_kwargs: Optional[Dict[str, int]] = None
+
+    def __post_init__(self) -> None:
+        for i, decision in enumerate(self.flows):
+            if decision.index != i:
+                raise ExperimentError(
+                    f"plan is not in batch order: position {i} holds "
+                    f"flow {decision.index}"
+                )
+            after = decision.after_index
+            if after is not None and not 0 <= after < len(self.flows):
+                raise ExperimentError(
+                    f"flow {i} deferred behind nonexistent flow {after}"
+                )
+            if after == i:
+                raise ExperimentError(f"flow {i} cannot defer behind itself")
+
+    def schedule_for(self, index: int) -> FlowSchedule:
+        return self.flows[index]
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """What a policy may condition on besides the requests themselves."""
+
+    #: the narrowest per-source link rate flows contend for
+    capacity_bps: float
+    #: the workload's offered load as a fraction of capacity; None for
+    #: closed batches (everything arrives at t=0), where utilization
+    #: over the window is 1 by construction
+    offered_load: Optional[float] = None
+    #: whether the testbed can realize a priority (pFabric) bottleneck
+    supports_priority: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ExperimentError(
+                f"capacity must be > 0, got {self.capacity_bps}"
+            )
+
+
+class SchedulingPolicy(abc.ABC):
+    """Decides per-flow admit/defer/ordering for a batch of flows.
+
+    Subclasses set ``name`` (the registry spelling) and ``description``
+    and implement :meth:`plan`. Policies must be pure functions of
+    ``(requests, ctx)`` — no RNG, no wall clock, no simulator state —
+    and must preserve batch order in the returned plan (one
+    :class:`FlowSchedule` per request, same positions).
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def plan(
+        self, requests: Sequence[FlowRequest], ctx: SchedulingContext
+    ) -> SchedulePlan:
+        """The policy's decisions for every flow in the batch."""
+
+    def _plan(
+        self,
+        requests: Sequence[FlowRequest],
+        after: Sequence[Optional[int]],
+        **overrides: object,
+    ) -> SchedulePlan:
+        """Assemble a plan from per-flow defer targets (helper)."""
+        return SchedulePlan(
+            policy=self.name,
+            flows=tuple(
+                FlowSchedule(index=r.index, after_index=a)
+                for r, a in zip(requests, after)
+            ),
+            **overrides,  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,105 @@
+"""The named-policy registry the ``policy=`` seam resolves through.
+
+Scenarios, figures, and the CLI all refer to policies by name; the
+registry is the single mapping from spellings to
+:class:`~repro.sched.policy.SchedulingPolicy` instances. Pre-registry
+spellings (``pfabric``, ``fsti``) resolve through
+:data:`POLICY_ALIASES` with a :class:`DeprecationWarning`, so old
+call sites keep working while new code uses canonical names.
+
+Adding a policy is two steps: subclass ``SchedulingPolicy`` (set
+``name``/``description``, implement ``plan``) and call
+:func:`register_policy` — see docs/scheduling.md for a worked example.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Tuple
+
+from repro.errors import ExperimentError
+from repro.sched.policies import (
+    DeadlinePolicy,
+    FairPolicy,
+    LoadAdaptivePolicy,
+    SerializedPolicy,
+    SrptPolicy,
+)
+from repro.sched.policy import SchedulingPolicy
+
+#: deprecated spellings from the pre-registry era: the srpt figure's
+#: pFabric arm and fig3's FSTI ("fast, serve in turns"-style) panel
+POLICY_ALIASES: Dict[str, str] = {
+    "pfabric": "srpt",
+    "fsti": "serialized",
+}
+
+_REGISTRY: Dict[str, SchedulingPolicy] = {}
+
+
+def register_policy(
+    policy: SchedulingPolicy, *, replace: bool = False
+) -> SchedulingPolicy:
+    """Add a policy instance under its class's ``name``.
+
+    Returns the policy so the call composes as a one-liner after class
+    definition. Re-registering an existing name raises unless
+    ``replace=True`` (tests swapping in instrumented doubles).
+    """
+    name = policy.name
+    if not name:
+        raise ExperimentError(
+            f"{type(policy).__name__} declares no policy name"
+        )
+    if name in POLICY_ALIASES:
+        raise ExperimentError(
+            f"{name!r} is reserved as a deprecated alias for "
+            f"{POLICY_ALIASES[name]!r}"
+        )
+    if name in _REGISTRY and not replace:
+        raise ExperimentError(
+            f"policy {name!r} already registered (pass replace=True to "
+            f"override)"
+        )
+    _REGISTRY[name] = policy
+    return policy
+
+
+def resolve_policy_name(name: str) -> str:
+    """Canonicalize a policy spelling: aliases warn, unknowns raise."""
+    spelling = name.strip().lower()
+    if spelling in POLICY_ALIASES:
+        canonical = POLICY_ALIASES[spelling]
+        warnings.warn(
+            f"policy spelling {name!r} is deprecated; use {canonical!r}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spelling = canonical
+    if spelling not in _REGISTRY:
+        known = ", ".join(policy_names())
+        raise ExperimentError(
+            f"unknown scheduling policy {name!r} (known: {known})"
+        )
+    return spelling
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """The registered policy instance for any accepted spelling."""
+    return _REGISTRY[resolve_policy_name(name)]
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Registered canonical names, sorted for stable display and sweeps."""
+    return tuple(sorted(_REGISTRY))
+
+
+for _policy in (
+    FairPolicy(),
+    SerializedPolicy(),
+    SrptPolicy(),
+    DeadlinePolicy(),
+    LoadAdaptivePolicy(),
+):
+    register_policy(_policy)
+del _policy

@@ -21,17 +21,22 @@ def srpt():
 class TestSrpt:
     def test_fair_is_most_expensive(self, srpt):
         fair = srpt.points["fair"].energy_j
-        assert srpt.points["pfabric"].energy_j < fair
+        assert srpt.points["srpt"].energy_j < fair
         assert srpt.points["serialized"].energy_j < fair
 
-    def test_pfabric_improves_mean_fct(self, srpt):
-        assert srpt.fct_speedup_vs_fair("pfabric") > 1.1
+    def test_srpt_improves_mean_fct(self, srpt):
+        assert srpt.fct_speedup_vs_fair("srpt") > 1.1
 
     def test_serialized_has_best_mean_fct(self, srpt):
         assert (
             srpt.points["serialized"].mean_fct_s
-            < srpt.points["pfabric"].mean_fct_s
+            < srpt.points["srpt"].mean_fct_s
         )
+
+    def test_deprecated_pfabric_spelling_resolves(self, srpt):
+        with pytest.deprecated_call():
+            point = srpt.point("pfabric")
+        assert point is srpt.points["srpt"]
 
     def test_makespans_comparable(self, srpt):
         """All three schedules keep the bottleneck busy; makespan is
@@ -41,7 +46,7 @@ class TestSrpt:
 
     def test_table_renders(self, srpt):
         table = srpt.format_table()
-        assert "pfabric" in table and "serialized" in table
+        assert "srpt" in table and "serialized" in table
 
 
 class TestIncast:

@@ -15,7 +15,12 @@ def fig3():
 class TestFig3:
     def test_two_flows_per_panel(self, fig3):
         assert len(fig3.panel("fair")) == 2
-        assert len(fig3.panel("fsti")) == 2
+        assert len(fig3.panel("serialized")) == 2
+
+    def test_deprecated_fsti_spelling_resolves(self, fig3):
+        with pytest.deprecated_call():
+            panel = fig3.panel("fsti")
+        assert panel == fig3.panel("serialized")
 
     def test_fair_flows_hold_half_rate(self, fig3):
         for _flow, series in fig3.panel("fair"):
@@ -24,14 +29,14 @@ class TestFig3:
             mean_busy = sum(busy) / len(busy)
             assert mean_busy == pytest.approx(5e9, rel=0.15)
 
-    def test_fsti_flows_burst_at_line_rate(self, fig3):
-        for _flow, series in fig3.panel("fsti"):
+    def test_serialized_flows_burst_at_line_rate(self, fig3):
+        for _flow, series in fig3.panel("serialized"):
             assert max(series.values) > 8e9
 
-    def test_fsti_flows_do_not_overlap(self, fig3):
+    def test_serialized_flows_do_not_overlap(self, fig3):
         """At most one serialized flow is active at a time (the handoff
         sample may see both because a bin straddles the boundary)."""
-        series = [s for _f, s in fig3.panel("fsti")]
+        series = [s for _f, s in fig3.panel("serialized")]
         times = series[0].times
         overlapping = 0
         for i, _t in enumerate(times):
@@ -47,11 +52,11 @@ class TestFig3:
     def test_both_schedules_same_window_average(self, fig3):
         """Every flow averages ~C/2 over its panel's full duration."""
         fair = fig3.mean_throughputs_gbps("fair")
-        fsti = fig3.mean_throughputs_gbps("fsti")
-        for value in fair + fsti:
+        serialized = fig3.mean_throughputs_gbps("serialized")
+        for value in fair + serialized:
             assert value == pytest.approx(5.0, rel=0.2)
 
     def test_durations_comparable(self, fig3):
-        assert fig3.fsti_duration_s == pytest.approx(
-            fig3.fair_duration_s, rel=0.25
+        assert fig3.duration_s("serialized") == pytest.approx(
+            fig3.duration_s("fair"), rel=0.25
         )

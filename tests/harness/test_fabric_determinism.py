@@ -4,7 +4,7 @@ The executor contract — results are a pure function of (scenario,
 seed), bit-identical between ``jobs=1`` and ``jobs=4`` — was pinned for
 dumbbell scenarios in ``test_trace_determinism.py``. This suite pins it
 at the scale the fabric work targets: a 1000-flow leaf-spine sweep over
-both scheduling modes, including byte-identical telemetry traces and
+both classic scheduling policies, including byte-identical telemetry traces and
 cache round trips.
 
 The rpc mix keeps each 1k-flow run sub-second (tiny flows, few events)
@@ -17,11 +17,11 @@ from repro.harness.experiment import FabricScenario
 from repro.obs.telemetry import read_telemetry
 
 
-def fabric_scenario(mode, **overrides):
+def fabric_scenario(policy, **overrides):
     defaults = dict(
-        name=f"det-{mode}",
+        name=f"det-{policy}",
         cca="dctcp",
-        mode=mode,
+        policy=policy,
         n_flows=1000,
         mix="rpc",
         leaves=8,
@@ -35,8 +35,8 @@ def fabric_scenario(mode, **overrides):
 def sweep_items():
     """Both arms of a 1k-flow sweep, two seeds each."""
     return [
-        WorkItem(scenario=fabric_scenario(mode), seed=seed)
-        for mode in ("fair", "serialized")
+        WorkItem(scenario=fabric_scenario(policy), seed=seed)
+        for policy in ("fair", "serialized")
         for seed in (0, 1)
     ]
 

@@ -1,0 +1,184 @@
+"""The policy seam's executor contract and API-migration shims.
+
+Three pins: (1) every registered policy is bit-identical between
+``jobs=1`` and ``jobs=4`` — measurements *and* telemetry bytes — on
+both the single-link and fabric runners; (2) the content-addressed
+cache treats the policy as part of the spec (a policy-only change is a
+miss, never a stale hit); (3) the deprecated ``mode=`` /
+``serialize_extreme=`` spellings warn and reproduce their ``policy=``
+replacements bit for bit.
+"""
+
+import pytest
+
+from repro.harness.cache import compute_key
+from repro.harness.executor import WorkItem, run_work_items
+from repro.harness.experiment import (
+    FabricScenario,
+    FlowSpec,
+    Scenario,
+    scenario_from_plan,
+)
+from repro.harness.runner import run_once
+from repro.core.allocation import full_speed_then_idle
+from repro.sched import policy_names
+from repro.units import gbps
+
+SIZES = (2_000_000, 1_000_000, 500_000)
+
+
+def link_scenario(policy, name=None):
+    flows = [
+        FlowSpec(size, cca="cubic", deadline_s=0.05 * (i + 1))
+        for i, size in enumerate(SIZES)
+    ]
+    return Scenario(
+        name=name or f"pol-link-{policy}",
+        flows=flows,
+        packages=len(flows),
+        policy=policy,
+    )
+
+
+def fabric_scenario(policy):
+    return FabricScenario(
+        name=f"pol-fabric-{policy}",
+        cca="dctcp",
+        policy=policy,
+        n_flows=60,
+        mix="rpc",
+        leaves=2,
+        spines=1,
+        hosts_per_leaf=4,
+    )
+
+
+def all_policy_items():
+    return [
+        WorkItem(scenario=build(policy), seed=0)
+        for build in (link_scenario, fabric_scenario)
+        for policy in policy_names()
+    ]
+
+
+class TestPerPolicyDeterminism:
+    def test_every_policy_bit_identical_jobs1_vs_jobs4(self):
+        items = all_policy_items()
+        serial = run_work_items(items, jobs=1)
+        pooled = run_work_items(items, jobs=4)
+        assert pooled == serial
+
+    def test_every_policy_telemetry_byte_identical(self, tmp_path):
+        # Closing the observer (the CLI's `with` idiom) canonicalizes
+        # record order, so the comparison is jobs-independent.
+        from repro.obs.observer import resolve_observer
+
+        items = all_policy_items()
+        with resolve_observer(tmp_path / "serial") as obs:
+            run_work_items(items, jobs=1, observer=obs)
+        with resolve_observer(tmp_path / "pool") as obs:
+            run_work_items(items, jobs=4, observer=obs)
+        assert (
+            (tmp_path / "serial" / "telemetry.jsonl").read_bytes()
+            == (tmp_path / "pool" / "telemetry.jsonl").read_bytes()
+        )
+
+    def test_policies_actually_differ(self):
+        fair = run_once(link_scenario("fair"), seed=0)
+        serialized = run_once(link_scenario("serialized"), seed=0)
+        assert serialized.energy_j < fair.energy_j
+
+
+class TestPolicyInCacheKey:
+    def test_policy_only_change_moves_the_key(self):
+        base = compute_key(link_scenario("fair", name="k"), 0)
+        for policy in ("serialized", "srpt", "deadline", "load-adaptive"):
+            assert compute_key(link_scenario(policy, name="k"), 0) != base
+
+    def test_fabric_policy_only_change_moves_the_key(self):
+        keys = {
+            compute_key(fabric_scenario(policy), 0)
+            for policy in policy_names()
+        }
+        assert len(keys) == len(policy_names())
+
+    def test_alias_spelling_hashes_like_its_canonical_policy(self):
+        with pytest.deprecated_call():
+            aliased = link_scenario("pfabric", name="k")
+        assert compute_key(aliased, 0) == compute_key(
+            link_scenario("srpt", name="k"), 0
+        )
+
+
+class TestDeprecatedSpellingShims:
+    def test_fabric_mode_kwarg_warns_and_matches_policy(self):
+        with pytest.deprecated_call():
+            legacy = FabricScenario(
+                name="shim", cca="dctcp", mode="serialized",
+                n_flows=40, mix="rpc", leaves=2, spines=1, hosts_per_leaf=4,
+            )
+        modern = FabricScenario(
+            name="shim", cca="dctcp", policy="serialized",
+            n_flows=40, mix="rpc", leaves=2, spines=1, hosts_per_leaf=4,
+        )
+        assert legacy == modern
+        assert run_once(legacy, seed=0) == run_once(modern, seed=0)
+
+    def test_fabric_mode_and_policy_together_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError), pytest.warns(DeprecationWarning):
+            FabricScenario(
+                name="shim", cca="dctcp", mode="fair", policy="serialized",
+                n_flows=40, leaves=2, spines=1, hosts_per_leaf=4,
+            )
+
+    def test_legacy_after_flow_chain_matches_serialized_policy(self):
+        # The retired single-link path: explicit completion chaining in
+        # the flow declarations, no policy.
+        chained = Scenario(
+            name="shim-link",
+            flows=[
+                FlowSpec(size, cca="cubic", after_flow=i - 1 if i else None)
+                for i, size in enumerate(SIZES)
+            ],
+            packages=len(SIZES),
+        )
+        modern = Scenario(
+            name="shim-link",
+            flows=[FlowSpec(size, cca="cubic") for size in SIZES],
+            packages=len(SIZES),
+            policy="serialized",
+        )
+        assert run_once(chained, seed=3) == run_once(modern, seed=3)
+
+    def test_serialize_extreme_kwarg_warns_and_matches_policy(self):
+        plan = full_speed_then_idle(1_000_000, gbps(10.0))
+        with pytest.deprecated_call():
+            legacy = scenario_from_plan(
+                "shim-plan", plan, serialize_extreme=True
+            )
+        modern = scenario_from_plan("shim-plan", plan, policy="serialized")
+        assert run_once(legacy, seed=0) == run_once(modern, seed=0)
+
+    def test_policy_and_serialize_extreme_together_rejected(self):
+        from repro.errors import ExperimentError
+
+        plan = full_speed_then_idle(1_000_000, gbps(10.0))
+        with pytest.raises(ExperimentError), pytest.warns(DeprecationWarning):
+            scenario_from_plan(
+                "shim-plan", plan, serialize_extreme=True, policy="serialized"
+            )
+
+    def test_policy_rejects_explicit_after_flow_declarations(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            Scenario(
+                name="conflict",
+                flows=[
+                    FlowSpec(SIZES[0], cca="cubic"),
+                    FlowSpec(SIZES[1], cca="cubic", after_flow=0),
+                ],
+                policy="serialized",
+            )

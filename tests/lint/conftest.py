@@ -29,6 +29,8 @@ CLEAN_FIXTURES = (
     "contract/cc/registry.py",
     "contract_noreg/cc/orphan.py",
     "hygiene/clean_hygiene.py",
+    "hygiene/sched_literals_ok.py",
+    "hygiene/sched/in_package.py",
     "perf_cold/sim/coldpath.py",
     "detflow/sim/clean_flow.py",
     "unitsflow/flow_clean.py",

@@ -1,0 +1,15 @@
+"""Fixture: mode-literal comparisons that belong in repro/sched."""
+
+from __future__ import annotations
+
+
+def branch(policy: str) -> int:
+    if policy == "fair":
+        return 1
+    if "serialized" != policy:
+        return 2
+    if policy in ("srpt", "deadline"):
+        return 3
+    if policy not in ["fair", "serialized"]:
+        return 4
+    return 0

@@ -1,0 +1,7 @@
+"""Fixture: inside a sched/ directory the rule stays silent."""
+
+from __future__ import annotations
+
+
+def dispatch(policy: str) -> bool:
+    return policy == "fair" or policy in ("serialized", "srpt")

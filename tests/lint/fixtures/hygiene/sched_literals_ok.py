@@ -1,0 +1,15 @@
+"""Fixture: allowed spellings around scheduling-policy names."""
+
+from __future__ import annotations
+
+FAIR = "fair"
+
+
+def ok(policy: str, names: list, points: dict) -> bool:
+    if policy == FAIR:  # named constant, not a literal
+        return True
+    if "fair" in names:  # validating a dynamic container
+        return True
+    if policy in names:  # dynamic container
+        return True
+    return bool(points.get("srpt"))  # lookup, not a comparison

@@ -19,6 +19,26 @@ class TestBadFixture:
         assert any("`tally`" in f.message for f in result.findings)
 
 
+class TestSchedModeLiterals:
+    RULE = ["sched-no-mode-literals"]
+
+    def test_bad_fixture_counts(self, lint):
+        result = lint("hygiene/bad_sched_literals.py", select=self.RULE)
+        assert len(result.findings) == 4
+        assert all(f.rule == "sched-no-mode-literals" for f in result.findings)
+
+    def test_messages_name_the_literal(self, lint):
+        result = lint("hygiene/bad_sched_literals.py", select=self.RULE)
+        assert any("'fair'" in f.message for f in result.findings)
+        assert any("'srpt'" in f.message for f in result.findings)
+
+    def test_allowed_spellings_clean(self, lint):
+        assert lint("hygiene/sched_literals_ok.py", select=self.RULE).clean
+
+    def test_sched_package_exempt(self, lint):
+        assert lint("hygiene/sched/in_package.py", select=self.RULE).clean
+
+
 class TestCleanFixture:
     def test_clean(self, lint):
         assert lint("hygiene/clean_hygiene.py", select=HYGIENE).clean

@@ -1,0 +1,77 @@
+"""Property: ``deadline`` never misses a deadline fair sharing meets.
+
+The policy's docstring makes this a construction guarantee for batches
+up to DEADLINE_EXACT_MAX_FLOWS (each candidate deferral is re-checked
+against a full fluid evaluation). Hypothesis drives random batches —
+sizes, staggered arrivals, multiple sources, mixed deadline slacks —
+through both plans and compares fluid completions flow by flow.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import FlowRequest, SchedulingContext, fluid_completions, get_policy
+from repro.sched.policies import _meets
+
+CAPACITY_BPS = 1e6
+
+
+@st.composite
+def batches(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    requests = []
+    for i in range(n):
+        size = draw(st.integers(min_value=1, max_value=50)) * 1_000
+        arrival = draw(st.integers(min_value=0, max_value=100)) / 100.0
+        src = draw(st.sampled_from(["h0", "h1", "h2"]))
+        duration = size * 8 / CAPACITY_BPS
+        deadline = None
+        if draw(st.booleans()):
+            slack = draw(
+                st.floats(
+                    min_value=1.0,
+                    max_value=8.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            deadline = arrival + slack * duration
+        requests.append(
+            FlowRequest(
+                index=i,
+                size_bytes=size,
+                arrival_s=arrival,
+                src=src,
+                deadline_s=deadline,
+            )
+        )
+    return requests
+
+
+@given(batches())
+@settings(max_examples=80, deadline=None)
+def test_fair_feasible_deadlines_stay_met(requests):
+    ctx = SchedulingContext(capacity_bps=CAPACITY_BPS)
+    fair_done = fluid_completions(
+        requests, get_policy("fair").plan(requests, ctx), CAPACITY_BPS
+    )
+    policy_done = fluid_completions(
+        requests, get_policy("deadline").plan(requests, ctx), CAPACITY_BPS
+    )
+    for request, fair_t, policy_t in zip(requests, fair_done, policy_done):
+        if request.deadline_s is None:
+            continue
+        if _meets(fair_t, request.deadline_s):
+            assert _meets(policy_t, request.deadline_s), (
+                f"flow {request.index}: fair met {request.deadline_s:.4f}s "
+                f"(done {fair_t:.4f}s) but deadline policy finished at "
+                f"{policy_t:.4f}s"
+            )
+
+
+@given(batches())
+@settings(max_examples=20, deadline=None)
+def test_planning_is_deterministic(requests):
+    ctx = SchedulingContext(capacity_bps=CAPACITY_BPS)
+    policy = get_policy("deadline")
+    assert policy.plan(requests, ctx) == policy.plan(requests, ctx)

@@ -1,0 +1,90 @@
+"""The fluid processor-sharing evaluator: shares, chains, deadlocks."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sched import (
+    FlowRequest,
+    FlowSchedule,
+    SchedulePlan,
+    SchedulingContext,
+    fluid_completions,
+    get_policy,
+)
+
+#: 8 bps: one byte of payload takes one second at line rate
+CAPACITY = 8.0
+CTX_CAPACITY = CAPACITY
+
+
+def reqs(sizes, arrivals=None):
+    arrivals = arrivals or [0.0] * len(sizes)
+    return [
+        FlowRequest(index=i, size_bytes=s, arrival_s=a)
+        for i, (s, a) in enumerate(zip(sizes, arrivals))
+    ]
+
+
+def plan_with(after):
+    return SchedulePlan(
+        policy="test",
+        flows=tuple(
+            FlowSchedule(index=i, after_index=a) for i, a in enumerate(after)
+        ),
+    )
+
+
+class TestFluidCompletions:
+    def test_single_flow_finishes_at_line_rate(self):
+        done = fluid_completions(reqs([5]), plan_with([None]), CAPACITY)
+        assert done == [pytest.approx(5.0)]
+
+    def test_two_equal_flows_share_and_finish_together(self):
+        done = fluid_completions(reqs([2, 2]), plan_with([None, None]), CAPACITY)
+        assert done == [pytest.approx(4.0), pytest.approx(4.0)]
+
+    def test_unequal_flows_release_capacity_as_they_finish(self):
+        # A=2 B, B=1 B sharing: B done at t=2 (half rate), A's last byte
+        # then runs alone and completes at t=3.
+        done = fluid_completions(reqs([2, 1]), plan_with([None, None]), CAPACITY)
+        assert done == [pytest.approx(3.0), pytest.approx(2.0)]
+
+    def test_serialized_chain_runs_back_to_back(self):
+        done = fluid_completions(reqs([2, 3]), plan_with([None, 0]), CAPACITY)
+        assert done == [pytest.approx(2.0), pytest.approx(5.0)]
+
+    def test_deferred_flow_waits_for_its_own_arrival(self):
+        # predecessor completes at t=2 but the successor only arrives
+        # at t=5: the chained start is max(completion, arrival).
+        done = fluid_completions(
+            reqs([2, 1], arrivals=[0.0, 5.0]), plan_with([None, 0]), CAPACITY
+        )
+        assert done == [pytest.approx(2.0), pytest.approx(6.0)]
+
+    def test_late_arrival_splits_the_link_midway(self):
+        # A=4 B alone for 2 s (2 B left), then shares with B=1 B: B
+        # finishes at t=4, A's last byte completes at t=5.
+        done = fluid_completions(
+            reqs([4, 1], arrivals=[0.0, 2.0]), plan_with([None, None]), CAPACITY
+        )
+        assert done == [pytest.approx(5.0), pytest.approx(4.0)]
+
+    def test_empty_batch(self):
+        assert fluid_completions([], plan_with([]), CAPACITY) == []
+
+    def test_plan_size_mismatch_rejected(self):
+        with pytest.raises(ExperimentError, match="plan covers"):
+            fluid_completions(reqs([1, 1]), plan_with([None]), CAPACITY)
+
+    def test_deferral_cycle_deadlocks_loudly(self):
+        with pytest.raises(ExperimentError, match="deadlock"):
+            fluid_completions(reqs([1, 1]), plan_with([1, 0]), CAPACITY)
+
+    def test_matches_policy_plans(self):
+        # The evaluator and the serialized policy agree on chain shape.
+        requests = reqs([2, 1, 1])
+        plan = get_policy("serialized").plan(
+            requests, SchedulingContext(capacity_bps=CAPACITY)
+        )
+        done = fluid_completions(requests, plan, CAPACITY)
+        assert done == [pytest.approx(2.0), pytest.approx(3.0), pytest.approx(4.0)]

@@ -52,7 +52,21 @@ class TestCommands:
     def test_fig3_command_tiny(self, capsys):
         assert main(["fig3", "--bytes", "2000000"]) == 0
         out = capsys.readouterr().out
-        assert "fair" in out and "fsti" in out
+        assert "fair" in out and "serialized" in out
+
+    def test_fig3_policy_flag_selects_panels(self, capsys):
+        code = main(["fig3", "--bytes", "2000000", "--policy", "serialized"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== serialized ==" in out
+        assert "== fair ==" not in out
+
+    def test_policies_command_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fair", "serialized", "srpt", "deadline", "load-adaptive"):
+            assert name in out
+        assert "retired spellings" in out
 
 
 class TestLintCommand:
