@@ -1,12 +1,14 @@
 """Generate ``benchmarks/BENCH_fabric.json`` — the fabric perf snapshot.
 
-Runs the same 1k-flow leaf-spine sweep the fabric obs-diff gate replays
-(``fabric --flows 1000 --ccas dctcp,dcqcn --mix rpc``) under a
-recording observer and snapshots the ``sim_events_per_second`` gauge
-each run reports, plus sim-loop wall time. This is the scale point the
-ROADMAP's "1k+ concurrent flows" goal is measured at: regenerate with
-``make bench-fabric`` after an intentional engine or fabric change and
-commit the delta with it.
+Thin wrapper over :mod:`repro.obs.perfdiff`: runs the same 1k-flow
+leaf-spine sweep the fabric obs-diff gate replays (``fabric --flows
+1000 --ccas dctcp,dcqcn --mix rpc``) and writes the snapshot
+``greenenvy obs perf-diff --kind fabric`` later gates against. This is
+the scale point the ROADMAP's "1k+ concurrent flows" goal is measured
+at: regenerate with ``make bench-fabric`` (or ``make bench-all``) after
+an intentional engine or fabric change and commit the delta with it;
+``--best-of N`` keeps the fastest of N attempts to suppress machine
+noise.
 
 Numbers are machine-dependent by nature; the snapshot records the
 interpreter and platform alongside them so comparisons stay honest.
@@ -15,113 +17,38 @@ interpreter and platform alongside them so comparisons stay honest.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import statistics
 import sys
 from pathlib import Path
-from typing import Any, Dict, List
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.figures.fabric import run_fabric_figure  # noqa: E402
-from repro.obs.journal import perf_clock  # noqa: E402
-from repro.obs.observer import Observer, Span  # noqa: E402
-
-#: keep in lockstep with FABRIC_SWEEP in the Makefile
-SWEEP = {"n_flows": 1000, "ccas": ("dctcp", "dcqcn"), "mix": "rpc"}
-
-SNAPSHOT_VERSION = 1
-
-
-class _TimedSpan(Span):
-    def __init__(self, recorder: "_Recorder", phase: str):
-        self._recorder = recorder
-        self._phase = phase
-        self.wall_s = 0.0
-        self._t0 = 0.0
-
-    def add(self, **fields: Any) -> None:
-        pass
-
-    def __enter__(self) -> "_TimedSpan":
-        self._t0 = perf_clock()
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.wall_s = perf_clock() - self._t0
-        if self._phase == "sim_loop":
-            self._recorder.loop_wall_s.append(self.wall_s)
-
-
-class _Recorder(Observer):
-    """In-memory observer: per-run events/sec gauges and loop spans."""
-
-    enabled = True
-
-    def __init__(self) -> None:
-        self.events_per_second: List[float] = []
-        self.loop_wall_s: List[float] = []
-
-    def span(self, phase: str, **fields: Any) -> Span:
-        return _TimedSpan(self, phase)
-
-    def set_gauge(self, name, value, labels=None) -> None:
-        if name == "sim_events_per_second":
-            self.events_per_second.append(value)
-
-
-def _stats(values: List[float]) -> Dict[str, float]:
-    return {
-        "min": round(min(values), 1),
-        "median": round(statistics.median(values), 1),
-        "max": round(max(values), 1),
-    }
-
-
-def snapshot() -> Dict[str, Any]:
-    recorder = _Recorder()
-    wall0 = perf_clock()
-    run_fabric_figure(
-        ccas=SWEEP["ccas"],
-        n_flows=SWEEP["n_flows"],
-        mix=SWEEP["mix"],
-        observer=recorder,
-    )
-    wall_total = perf_clock() - wall0
-    return {
-        "version": SNAPSHOT_VERSION,
-        "sweep": f"fabric --flows {SWEEP['n_flows']} "
-        f"--ccas {','.join(SWEEP['ccas'])} --mix {SWEEP['mix']}",
-        "runs": len(recorder.events_per_second),
-        "events_per_second": _stats(recorder.events_per_second),
-        "sim_loop_wall_s": {
-            "total": round(sum(recorder.loop_wall_s), 3),
-            "median": round(statistics.median(recorder.loop_wall_s), 4),
-        },
-        "sweep_wall_s": round(wall_total, 3),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-    }
+from repro.obs.perfdiff import (  # noqa: E402
+    BENCH_FABRIC_FILENAME,
+    fabric_snapshot,
+    save_snapshot,
+)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "-o", "--output",
-        default=str(Path(__file__).resolve().parent / "BENCH_fabric.json"),
+        default=str(Path(__file__).resolve().parent / BENCH_FABRIC_FILENAME),
         help="where to write the snapshot JSON",
     )
-    args = parser.parse_args(argv)
-    payload = snapshot()
-    Path(args.output).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    parser.add_argument(
+        "-n", "--best-of", type=int, default=1,
+        help="run the sweep N times and keep the fastest attempt",
     )
+    args = parser.parse_args(argv)
+    payload = fabric_snapshot(best_of=args.best_of)
+    save_snapshot(payload, args.output)
     eps = payload["events_per_second"]
     print(
         f"wrote {args.output}: {payload['runs']} runs, "
         f"{eps['median']:.0f} events/s median "
-        f"({payload['sweep_wall_s']:.1f}s sweep wall time)"
+        f"({payload['sweep_wall_s']:.1f}s sweep wall time, "
+        f"best of {payload['attempts']})"
     )
     return 0
 

@@ -1,12 +1,12 @@
 """Generate ``benchmarks/BENCH_sim.json`` — the committed perf snapshot.
 
-Runs the same canonical sweep the obs-diff gate replays (``fig1 --bytes
-400000 --reps 2``) under a recording observer and snapshots the
-``sim_events_per_second`` gauge each run reports, plus sim-loop wall
-time. The committed JSON is the reference point the ROADMAP's "fast as
-the hardware allows" goal is measured against: regenerate with ``make
-bench-sim`` after an intentional engine change and commit the delta
-with it.
+Thin wrapper over :mod:`repro.obs.perfdiff`: runs the same canonical
+sweep the obs-diff gate replays (``fig1 --bytes 400000 --reps 2``) and
+writes the snapshot ``greenenvy obs perf-diff`` later gates against.
+Regenerate with ``make bench-sim`` (or ``make bench-all`` for both
+snapshots) after an intentional engine change and commit the delta with
+it; ``--best-of N`` keeps the fastest of N attempts to suppress
+machine noise.
 
 Numbers are machine-dependent by nature; the snapshot records the
 interpreter and platform alongside them so comparisons stay honest.
@@ -15,112 +15,38 @@ interpreter and platform alongside them so comparisons stay honest.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import statistics
 import sys
 from pathlib import Path
-from typing import Any, Dict, List
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.figures.fig1 import run_fig1  # noqa: E402
-from repro.obs.observer import Observer, Span  # noqa: E402
-from repro.obs.journal import perf_clock  # noqa: E402
-
-#: keep in lockstep with BASELINE_SWEEP in the Makefile
-SWEEP = {"transfer_bytes": 400_000, "repetitions": 2}
-
-SNAPSHOT_VERSION = 1
-
-
-class _TimedSpan(Span):
-    def __init__(self, recorder: "_Recorder", phase: str):
-        self._recorder = recorder
-        self._phase = phase
-        self.wall_s = 0.0
-        self._t0 = 0.0
-
-    def add(self, **fields: Any) -> None:
-        pass
-
-    def __enter__(self) -> "_TimedSpan":
-        self._t0 = perf_clock()
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.wall_s = perf_clock() - self._t0
-        if self._phase == "sim_loop":
-            self._recorder.loop_wall_s.append(self.wall_s)
-
-
-class _Recorder(Observer):
-    """In-memory observer: per-run events/sec gauges and loop spans."""
-
-    enabled = True
-
-    def __init__(self) -> None:
-        self.events_per_second: List[float] = []
-        self.loop_wall_s: List[float] = []
-
-    def span(self, phase: str, **fields: Any) -> Span:
-        return _TimedSpan(self, phase)
-
-    def set_gauge(self, name, value, labels=None) -> None:
-        if name == "sim_events_per_second":
-            self.events_per_second.append(value)
-
-
-def _stats(values: List[float]) -> Dict[str, float]:
-    return {
-        "min": round(min(values), 1),
-        "median": round(statistics.median(values), 1),
-        "max": round(max(values), 1),
-    }
-
-
-def snapshot() -> Dict[str, Any]:
-    recorder = _Recorder()
-    wall0 = perf_clock()
-    run_fig1(
-        transfer_bytes=SWEEP["transfer_bytes"],
-        repetitions=SWEEP["repetitions"],
-        observer=recorder,
-    )
-    wall_total = perf_clock() - wall0
-    return {
-        "version": SNAPSHOT_VERSION,
-        "sweep": f"fig1 --bytes {SWEEP['transfer_bytes']} "
-        f"--reps {SWEEP['repetitions']}",
-        "runs": len(recorder.events_per_second),
-        "events_per_second": _stats(recorder.events_per_second),
-        "sim_loop_wall_s": {
-            "total": round(sum(recorder.loop_wall_s), 3),
-            "median": round(statistics.median(recorder.loop_wall_s), 4),
-        },
-        "sweep_wall_s": round(wall_total, 3),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-    }
+from repro.obs.perfdiff import (  # noqa: E402
+    BENCH_SIM_FILENAME,
+    save_snapshot,
+    sim_snapshot,
+)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "-o", "--output",
-        default=str(Path(__file__).resolve().parent / "BENCH_sim.json"),
+        default=str(Path(__file__).resolve().parent / BENCH_SIM_FILENAME),
         help="where to write the snapshot JSON",
     )
-    args = parser.parse_args(argv)
-    payload = snapshot()
-    Path(args.output).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    parser.add_argument(
+        "-n", "--best-of", type=int, default=1,
+        help="run the sweep N times and keep the fastest attempt",
     )
+    args = parser.parse_args(argv)
+    payload = sim_snapshot(best_of=args.best_of)
+    save_snapshot(payload, args.output)
     eps = payload["events_per_second"]
     print(
         f"wrote {args.output}: {payload['runs']} runs, "
         f"{eps['median']:.0f} events/s median "
-        f"({payload['sweep_wall_s']:.1f}s sweep wall time)"
+        f"({payload['sweep_wall_s']:.1f}s sweep wall time, "
+        f"best of {payload['attempts']})"
     )
     return 0
 

@@ -19,8 +19,9 @@ import time
 
 from repro.harness.experiment import FlowSpec, Scenario
 from repro.harness.runner import run_once
-from repro.obs.observer import NULL_OBSERVER, TracingObserver
+from repro.obs.observer import NULL_OBSERVER, Observer, TracingObserver
 from repro.sim.probe import NULL_PROBE_SINK
+from repro.sim.profile import HotPathProfiler
 
 SIZE = 2_000_000
 ROUNDS = 5
@@ -97,6 +98,79 @@ def test_noop_probe_sink_overhead_under_2_percent():
     assert overhead < 0.02, (
         f"no-op probe sink costs {100 * overhead:.2f}% "
         f"(baseline {base_s:.4f}s, null sink {null_s:.4f}s)"
+    )
+
+
+class _DisabledProfilerObserver(Observer):
+    """Hands the runner a fresh disabled profiler every run.
+
+    Same dispatch branch as the shared NULL_PROFILER default — the
+    comparison gates that the profiler hooks cost exactly one
+    attribute read and a branch per site when profiling is off.
+    """
+
+    def profiler(self, scenario, seed):
+        return HotPathProfiler()
+
+
+def test_noop_profiler_overhead_under_2_percent():
+    # The engine dispatch loop, queue enqueue/dequeue, and the TCP ACK
+    # path each check ``profiler.enabled`` when profiling is off. That
+    # check must be all they cost: within 2 % of the identical run
+    # using the shared no-op profiler.
+    scenario = _scenario()
+    disabled = _DisabledProfilerObserver()
+
+    def baseline():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed)
+
+    def with_disabled_profiler():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed, observer=disabled)
+
+    baseline()
+    with_disabled_profiler()
+
+    # Interleave the timed rounds so slow drift in machine load hits
+    # both sides equally instead of biasing whichever ran last.
+    base_s = prof_s = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        baseline()
+        base_s = min(base_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        with_disabled_profiler()
+        prof_s = min(prof_s, time.perf_counter() - start)
+    overhead = (prof_s - base_s) / base_s
+    assert overhead < 0.02, (
+        f"no-op profiler costs {100 * overhead:.2f}% "
+        f"(baseline {base_s:.4f}s, disabled profiler {prof_s:.4f}s)"
+    )
+
+
+def test_profiled_run_stays_proportionate(tmp_path):
+    scenario = _scenario()
+
+    def unprofiled():
+        for seed in range(REPS_PER_ROUND):
+            run_once(scenario, seed=seed)
+
+    unprofiled()
+    base_s = _min_wall_s(unprofiled)
+
+    def profiled():
+        with TracingObserver(tmp_path / "ptrace", profile=True) as obs:
+            for seed in range(REPS_PER_ROUND):
+                run_once(scenario, seed=seed, observer=obs)
+
+    profiled()
+    profiled_s = _min_wall_s(profiled)
+    # Collecting stack self-times reads the perf clock twice per
+    # dispatch, so profiling is not free — but it must stay a small
+    # multiple of the simulation it measures.
+    assert profiled_s < 2.0 * base_s, (
+        f"enabled profiling too expensive: {profiled_s:.4f}s vs {base_s:.4f}s"
     )
 
 

@@ -234,9 +234,41 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(json.dumps(summary_to_dict(summary), indent=2, sort_keys=True))
     else:
         print(format_report(summary))
+        for extra in _report_extras(args.journal):
+            print()
+            print(extra)
     # A journal with worker errors fails the command, so CI can gate on
     # sweep health: greenenvy obs report trace/ && deploy ...
     return 0 if summary.healthy else 1
+
+
+def _report_extras(target: str) -> List[str]:
+    """Attribution and profile sections for trace-directory reports.
+
+    ``obs report`` also accepts a bare journal file; only a trace
+    directory can carry the sibling ``telemetry.jsonl``/``profile.jsonl``
+    these sections read, so they quietly disappear otherwise.
+    """
+    from pathlib import Path
+
+    from repro.obs.attrib import summarize_flow_energy
+    from repro.obs.profile import profile_path, read_profile, summarize_profile
+    from repro.obs.telemetry import read_telemetry, telemetry_path
+
+    sections: List[str] = []
+    root = Path(target)
+    if not root.is_dir():
+        return sections
+    if telemetry_path(root).exists():
+        flows = summarize_flow_energy(read_telemetry(root))
+        if flows:
+            sections.append("== top energy flows ==\n" + flows)
+    if profile_path(root).exists():
+        sections.append(
+            "== hot-path profile ==\n"
+            + summarize_profile(read_profile(root))
+        )
+    return sections
 
 
 def _cmd_obs_timeline(args: argparse.Namespace) -> int:
@@ -331,6 +363,79 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     print(format_drift_table(rows))
     # Non-zero on drift so CI can gate: greenenvy obs diff base.json trace/
     return 1 if has_regression(rows) else 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.figures.fig1 import run_fig1
+    from repro.obs.observer import TracingObserver
+    from repro.obs.profile import (
+        export_profile,
+        read_profile,
+        summarize_profile,
+    )
+
+    with TracingObserver(args.trace, profile=True) as obs:
+        run_fig1(
+            transfer_bytes=args.bytes, repetitions=args.reps,
+            base_seed=args.seed, jobs=args.jobs, observer=obs,
+        )
+    try:
+        records = read_profile(args.trace)
+        paths = export_profile(args.trace, records=records)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_profile(records, top=args.top))
+    print()
+    print(f"flamegraph input:  {paths['folded']} "
+          f"(flamegraph.pl {paths['folded'].name} > flame.svg)")
+    print(f"callgrind profile: {paths['callgrind']} (kcachegrind)")
+    print(f"chrome trace:      {paths['chrome']} (chrome://tracing, Perfetto)")
+    return 0
+
+
+def _cmd_obs_perf_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.perfdiff import (
+        BENCH_FABRIC_FILENAME,
+        BENCH_SIM_FILENAME,
+        compare_perf,
+        format_perf_table,
+        has_perf_regression,
+        load_snapshot,
+        perf_snapshot,
+    )
+
+    tolerances = {}
+    for spec in args.tolerance or []:
+        name, sep, value = spec.partition("=")
+        try:
+            if not name or not sep:
+                raise ValueError(spec)
+            tolerances[name] = float(value)
+        except ValueError:
+            print(
+                f"error: bad --tolerance {spec!r} (want metric=relative, "
+                f"e.g. events_per_second.median=0.3)",
+                file=sys.stderr,
+            )
+            return 2
+    default_name = (
+        BENCH_FABRIC_FILENAME if args.kind == "fabric" else BENCH_SIM_FILENAME
+    )
+    baseline_path = args.baseline or f"benchmarks/{default_name}"
+    try:
+        baseline = load_snapshot(baseline_path)
+        fresh = perf_snapshot(args.kind, best_of=args.best_of)
+        rows = compare_perf(baseline, fresh, tolerances=tolerances or None)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline: {baseline_path} ({baseline.get('platform', '?')})")
+    print(format_perf_table(rows))
+    # Non-zero on an events/sec regression so CI can gate on engine speed.
+    return 1 if has_perf_regression(rows) else 0
 
 
 def _cmd_theorem(args: argparse.Namespace) -> int:
@@ -926,6 +1031,61 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. --tolerance energy_j=1e-3",
     )
     p.set_defaults(func=_cmd_obs_diff)
+
+    p = obs_sub.add_parser(
+        "profile",
+        help="run the canonical fig1 sweep with the hot-path profiler on "
+        "and export flamegraph/callgrind/chrome-trace views",
+    )
+    p.add_argument(
+        "trace",
+        help="trace directory to write profile.jsonl and the exports into",
+    )
+    p.add_argument(
+        "--bytes", type=int, default=400_000,
+        help="per-flow transfer size in bytes",
+    )
+    p.add_argument(
+        "--reps", type=int, default=2, help="repetitions per sweep point"
+    )
+    p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (profiles merge deterministically; "
+        "measurements are bit-identical either way)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="how many hottest components to print",
+    )
+    p.set_defaults(func=_cmd_obs_profile)
+
+    p = obs_sub.add_parser(
+        "perf-diff",
+        help="re-run a committed perf sweep and compare events/sec against "
+        "benchmarks/BENCH_*.json (exit 1 on regression beyond tolerance "
+        "— the CI perf gate)",
+    )
+    p.add_argument(
+        "--kind", choices=("sim", "fabric"), default="sim",
+        help="which committed snapshot to gate against (default: sim)",
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="snapshot JSON to compare against (default: "
+        "benchmarks/BENCH_<kind>.json relative to the working directory)",
+    )
+    p.add_argument(
+        "--best-of", type=int, default=1, metavar="N",
+        help="run the sweep N times and compare the fastest attempt "
+        "(suppresses machine noise)",
+    )
+    p.add_argument(
+        "--tolerance", action="append", metavar="METRIC=REL",
+        help="override a metric's relative tolerance (repeatable), "
+        "e.g. --tolerance events_per_second.median=0.3",
+    )
+    p.set_defaults(func=_cmd_obs_perf_diff)
 
     return parser
 

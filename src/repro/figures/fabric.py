@@ -28,6 +28,7 @@ from repro.harness.executor import Executor
 from repro.harness.experiment import FabricScenario
 from repro.harness.runner import RepeatedResult, RunMeasurement
 from repro.harness.sweep import Sweep
+from repro.obs.attrib import top_flow_share_percent
 from repro.obs.observer import Observer
 from repro.sched import resolve_policy_name
 from repro.units import MILLION, to_msec
@@ -102,6 +103,18 @@ class FabricCcaPoint:
     def switch_energy_j(self, policy: str) -> float:
         return _extras_mean(self.arm(policy).runs, "switch_energy_j")
 
+    def top_flow_share_percent(self, policy: str) -> float:
+        """Mean share of fleet joules billed to the hungriest flow.
+
+        From the per-flow attribution ledger: at 1k+ flows a fair
+        fabric spreads this to a fraction of a percent, so a policy
+        that concentrates it is visibly skewing who pays for the
+        fleet's energy.
+        """
+        return mean(
+            [top_flow_share_percent(r) for r in self.arm(policy).runs]
+        )
+
 
 @dataclass
 class FabricResult:
@@ -143,6 +156,7 @@ class FabricResult:
                         point.savings_percent_vs_fair(policy),
                         to_msec(point.fct_p50_s(policy)),
                         to_msec(point.fct_p99_s(policy)),
+                        point.top_flow_share_percent(policy),
                     )
                 )
         body = format_table(
@@ -153,6 +167,7 @@ class FabricResult:
                 "savings %",
                 "p50 (ms)",
                 "p99 (ms)",
+                "top flow %",
             ],
             rows,
             float_fmt="{:.3f}",

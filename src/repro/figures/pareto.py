@@ -40,6 +40,7 @@ from repro.harness.experiment import (
 from repro.harness.runner import RepeatedResult
 from repro.harness.sweep import Sweep
 from repro.net.topology import TestbedConfig
+from repro.obs.attrib import top_flow_share_percent
 from repro.obs.observer import Observer
 from repro.sched import policy_names, resolve_policy_name
 from repro.units import BITS_PER_BYTE, to_msec
@@ -82,6 +83,19 @@ class ParetoPoint:
     @property
     def fct_p99_s(self) -> float:
         return self._extras_mean("fct_p99_s")
+
+    @property
+    def top_flow_share_percent(self) -> float:
+        """Mean share of each run's joules billed to its hungriest flow.
+
+        The attribution ledger's one-number view of how concentrated a
+        policy leaves the energy bill: serialized schedules push it
+        toward 100/n-th of the batch's largest flow, fair sharing
+        flattens it toward an even split.
+        """
+        return mean(
+            [top_flow_share_percent(r) for r in self.result.runs]
+        )
 
 
 @dataclass
@@ -152,6 +166,7 @@ class ParetoResult:
                     self.savings_vs_fair_percent(workload, p.policy),
                     to_msec(p.fct_p50_s),
                     to_msec(p.fct_p99_s),
+                    p.top_flow_share_percent,
                 )
                 for p in sorted(points, key=lambda p: p.fct_p50_s)
             ]
@@ -162,6 +177,7 @@ class ParetoResult:
                     "savings %",
                     "p50 (ms)",
                     "p99 (ms)",
+                    "top flow %",
                 ],
                 rows,
                 float_fmt="{:.3f}",

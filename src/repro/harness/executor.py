@@ -125,6 +125,9 @@ class _TracedItem:
     item: WorkItem
     index: int
     trace_dir: str
+    #: whether the coordinator's observer collects hot-path profiles;
+    #: workers mirror it so a jobs=N profile covers every run
+    profile: bool = False
 
 
 #: per-process journal observers, keyed by trace directory — a pool
@@ -132,14 +135,18 @@ class _TracedItem:
 _WORKER_OBSERVERS: Dict[str, JournalObserver] = {}
 
 
-def _worker_observer(trace_dir: str) -> JournalObserver:
+def _worker_observer(trace_dir: str, profile: bool = False) -> JournalObserver:
     observer = _WORKER_OBSERVERS.get(trace_dir)
     if observer is None:
         wid = worker_id()
+        root = Path(trace_dir)
         observer = JournalObserver(
-            Path(trace_dir) / f"worker-{wid}.jsonl",
+            root / f"worker-{wid}.jsonl",
             worker=wid,
-            telemetry_path=Path(trace_dir) / f"telemetry-worker-{wid}.jsonl",
+            telemetry_path=root / f"telemetry-worker-{wid}.jsonl",
+            profile_path=(
+                root / f"profile-worker-{wid}.jsonl" if profile else None
+            ),
         )
         _WORKER_OBSERVERS[trace_dir] = observer
     return observer
@@ -147,7 +154,7 @@ def _worker_observer(trace_dir: str) -> JournalObserver:
 
 def execute_item_traced(traced: _TracedItem) -> RunMeasurement:
     """Pool entry point when tracing: journal to this worker's file."""
-    observer = _worker_observer(traced.trace_dir)
+    observer = _worker_observer(traced.trace_dir, profile=traced.profile)
     return run_item_observed(traced.item, traced.index, observer)
 
 
@@ -230,7 +237,12 @@ class ProcessExecutor(Executor):
         workers = min(self.jobs, len(items))
         if obs.enabled and obs.trace_dir is not None:
             payload = [
-                _TracedItem(item=item, index=index, trace_dir=str(obs.trace_dir))
+                _TracedItem(
+                    item=item,
+                    index=index,
+                    trace_dir=str(obs.trace_dir),
+                    profile=obs.profile_enabled,
+                )
                 for index, item in zip(index_list, items)
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -44,6 +44,7 @@ from repro.net.topology import (
     build_fat_tree,
     build_leaf_spine,
 )
+from repro.obs.attrib import record_flow_energy
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.report import percentile
 from repro.sched import (
@@ -194,6 +195,8 @@ def run_fabric_once(
         scenario.name, seed
     )
     sim.probe_sink = sink
+    profiler = obs.profiler(scenario.name, seed)
+    sim.profiler = profiler
     with obs.span("fabric_build", scenario=scenario.name, seed=seed):
         fabric = _build_fabric(scenario, sim)
         workload = _workload_for(scenario, fabric, seed)
@@ -227,11 +230,19 @@ def run_fabric_once(
                 raise ExperimentError(
                     f"{scenario.name}: event queue drained before completion"
                 )
-        loop_span.add(events_executed=sim.events_executed)
+        loop_span.add(
+            events_executed=sim.events_executed,
+            pending_events=sim.pending_events,
+            dead_in_queue=sim.dead_in_queue,
+        )
     if loop_span.wall_s > 0:
         obs.set_gauge(
             "sim_events_per_second", sim.events_executed / loop_span.wall_s
         )
+    if obs.enabled:
+        obs.set_gauge("sim_pending_events", float(sim.pending_events))
+        obs.set_gauge("sim_dead_in_queue", float(sim.dead_in_queue))
+        obs.set_gauge("sim_queued_events", float(sim.queued_events))
 
     with obs.span("measurement", scenario=scenario.name, seed=seed):
         host_energy_j = meter.stop()
@@ -268,6 +279,9 @@ def run_fabric_once(
                 "offered_load": workload.offered_load,
             },
         )
+    # Attribution samples must land in the sink before it is persisted.
+    record_flow_energy(sink, measurement)
     if probe_sink is None:
         obs.record_telemetry(sink, scenario=scenario.name, seed=seed)
+    obs.record_profile(profiler, scenario=scenario.name, seed=seed)
     return measurement

@@ -18,6 +18,7 @@ from repro.energy.meter import EnergyMeter
 from repro.errors import ExperimentError
 from repro.harness.experiment import AnyScenario, FabricScenario, Scenario
 from repro.net.topology import Testbed, TestbedConfig, build_testbed
+from repro.obs.attrib import record_flow_energy
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.report import percentile
 from repro.sched import (
@@ -327,6 +328,8 @@ def run_once(
         scenario.name, seed
     )
     sim.probe_sink = sink
+    profiler = obs.profiler(scenario.name, seed)
+    sim.profiler = profiler
     rngs = RngRegistry(seed)
     with obs.span("testbed_build", scenario=scenario.name, seed=seed):
         prepared = _prepare_run(scenario, sim, rngs)
@@ -347,13 +350,23 @@ def run_once(
                 raise ExperimentError(
                     f"{scenario.name}: event queue drained before completion"
                 )
-        loop_span.add(events_executed=sim.events_executed)
+        loop_span.add(
+            events_executed=sim.events_executed,
+            pending_events=sim.pending_events,
+            dead_in_queue=sim.dead_in_queue,
+        )
     if loop_span.wall_s > 0:
         # The events/sec gauge the ROADMAP's "fast as the hardware
         # allows" goal is tracked by: virtual events over loop wall time.
         obs.set_gauge(
             "sim_events_per_second", sim.events_executed / loop_span.wall_s
         )
+    if obs.enabled:
+        # Post-loop heap state: live events still queued and the exact
+        # lazy-deletion tally, so heap bloat shows up in obs report.
+        obs.set_gauge("sim_pending_events", float(sim.pending_events))
+        obs.set_gauge("sim_dead_in_queue", float(sim.dead_in_queue))
+        obs.set_gauge("sim_queued_events", float(sim.queued_events))
 
     with obs.span("measurement", scenario=scenario.name, seed=seed):
         energy = meter.stop()
@@ -383,8 +396,11 @@ def run_once(
                 "fct_p99_s": percentile(fcts, 99.0),
             },
         )
+    # Attribution samples must land in the sink before it is persisted.
+    record_flow_energy(sink, measurement)
     if probe_sink is None:
         obs.record_telemetry(sink, scenario=scenario.name, seed=seed)
+    obs.record_profile(profiler, scenario=scenario.name, seed=seed)
     return measurement
 
 

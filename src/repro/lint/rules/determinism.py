@@ -358,6 +358,75 @@ class ObsFeedback(Rule):
                 )
 
 
+#: the obs-side halves of the profiling channel; their sim-facing
+#: protocol lives in repro.sim.profile instead
+PROFILING_OBS_MODULES = ("repro.obs.profile", "repro.obs.attrib")
+
+
+class ObsProfileSimImport(Rule):
+    """Imports of the profiling/attribution collectors inside the sim.
+
+    The hot-path profiler is the one obs feature that reaches *into*
+    the event loop, which makes this the easiest place to re-create the
+    feedback loop ``obs-no-feedback`` exists to prevent: an
+    instrumented component importing the collector (or the attribution
+    ledger) directly instead of talking to the neutral
+    :mod:`repro.sim.profile` protocol. This rule names that exact
+    mistake and its fix — the generic rule also fires, but points at
+    the wrong remedy (dropping obs altogether) for profiling code.
+    """
+
+    name = "obs-profile-no-sim-import"
+    family = "determinism"
+    description = (
+        "simulator package importing repro.obs.profile/attrib; hot "
+        "paths talk to the write-only repro.sim.profile protocol, "
+        "never to the obs-side collector or ledger"
+    )
+
+    @staticmethod
+    def _is_profiling(name: str) -> bool:
+        return any(
+            name == mod or name.startswith(mod + ".")
+            for mod in PROFILING_OBS_MODULES
+        )
+
+    def check(self, module: ModuleInfo, ctx: LintContext) -> Iterator[Finding]:
+        if not any(module.in_directory(d) for d in SIM_DIRECTORIES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                hits = [
+                    alias.name
+                    for alias in node.names
+                    if self._is_profiling(alias.name)
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if self._is_profiling(mod):
+                    hits = [mod]
+                elif mod == "repro.obs":
+                    # from repro.obs import profile / attrib
+                    hits = [
+                        f"repro.obs.{alias.name}"
+                        for alias in node.names
+                        if self._is_profiling(f"repro.obs.{alias.name}")
+                    ]
+                else:
+                    hits = []
+            else:
+                continue
+            for name in hits:
+                yield self.finding(
+                    module,
+                    node,
+                    f"simulator code importing `{name}`; instrument "
+                    f"against the repro.sim.profile protocol "
+                    f"(HotPathProfiler) and let the harness install the "
+                    f"obs-side collector",
+                )
+
+
 #: the journal's blessed wall-clock helpers — legal for diagnostics,
 #: never for telemetry sample timestamps
 PROBE_CLOCK_HELPERS = frozenset({"wall_clock", "perf_clock"})
@@ -455,5 +524,6 @@ DETERMINISM_RULES = [
     ProcessIdentity(),
     SetIteration(),
     ObsFeedback(),
+    ObsProfileSimImport(),
     ProbeWallClock(),
 ]

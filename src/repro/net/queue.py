@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Deque, Optional
 from repro.errors import NetworkConfigError
 from repro.net.packet import Packet
 from repro.sim.probe import QUEUE_DEPTH_CHANNEL, QUEUE_DROPS_CHANNEL
+from repro.sim.profile import QUEUE_DEQUEUE, QUEUE_ENQUEUE
 from repro.sim.trace import CounterSet
 
 if TYPE_CHECKING:
@@ -76,7 +77,34 @@ class DropTailQueue:
     # -- operations -------------------------------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
-        """Add ``packet``; returns False (and counts a drop) if it doesn't fit."""
+        """Add ``packet``; returns False (and counts a drop) if it doesn't fit.
+
+        The public entry point wraps the subclass-overridable
+        :meth:`_enqueue` in a hot-path profiler span when the attached
+        simulator collects one; an unattached queue (or the no-op
+        profiler) pays one branch.
+        """
+        sim = self._probe_sim
+        if sim is not None and sim.profiler.enabled:
+            sim.profiler.enter(QUEUE_ENQUEUE)
+            try:
+                return self._enqueue(packet)
+            finally:
+                sim.profiler.exit(QUEUE_ENQUEUE)
+        return self._enqueue(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        sim = self._probe_sim
+        if sim is not None and sim.profiler.enabled:
+            sim.profiler.enter(QUEUE_DEQUEUE)
+            try:
+                return self._dequeue()
+            finally:
+                sim.profiler.exit(QUEUE_DEQUEUE)
+        return self._dequeue()
+
+    def _enqueue(self, packet: Packet) -> bool:
         if self._occupancy + packet.size_bytes > self.capacity_bytes:
             self.counters.add("drops")
             self.counters.add("dropped_bytes", packet.size_bytes)
@@ -89,8 +117,7 @@ class DropTailQueue:
         self._probe_depth()
         return True
 
-    def dequeue(self) -> Optional[Packet]:
-        """Remove and return the head packet, or None when empty."""
+    def _dequeue(self) -> Optional[Packet]:
         if not self._items:
             return None
         packet = self._items.popleft()
@@ -156,7 +183,7 @@ class PriorityQueue(DropTailQueue):
                 worst = flow_id
         return worst
 
-    def enqueue(self, packet: Packet) -> bool:
+    def _enqueue(self, packet: Packet) -> bool:
         arriving_prio = self._priority_of(packet)
         count = self.counters.add
         while self._occupancy + packet.size_bytes > self.capacity_bytes:
@@ -183,7 +210,7 @@ class PriorityQueue(DropTailQueue):
         self._probe_depth()
         return True
 
-    def dequeue(self) -> Optional[Packet]:
+    def _dequeue(self) -> Optional[Packet]:
         flow_id = self._most_urgent_flow()
         if flow_id is None:
             return None

@@ -32,6 +32,14 @@ from repro.obs.journal import (
     perf_clock,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    PROFILE_FILENAME,
+    ProfileCollector,
+    ProfileWriter,
+    canonicalize_profile,
+    merge_worker_profiles,
+    profile_record,
+)
 from repro.obs.telemetry import (
     DEFAULT_TELEMETRY_INTERVAL_S,
     TELEMETRY_FILENAME,
@@ -40,6 +48,7 @@ from repro.obs.telemetry import (
     merge_worker_telemetry,
 )
 from repro.sim.probe import NULL_PROBE_SINK, ProbeSink, TimeSeriesProbeSink
+from repro.sim.profile import NULL_PROFILER, HotPathProfiler
 
 #: filenames of the metric exports a TracingObserver writes on close
 METRICS_PROM_FILENAME = "metrics.prom"
@@ -86,6 +95,10 @@ class Observer:
     #: tracing off or not directory-backed)
     trace_dir: Optional[Path] = None
 
+    #: whether this observer collects hot-path profiles; the executor
+    #: reads it to tell pool workers to profile their runs too
+    profile_enabled: bool = False
+
     def emit(self, event: str, **fields: Any) -> None:
         """Record one journal event."""
 
@@ -113,6 +126,21 @@ class Observer:
         self, sink: ProbeSink, scenario: str, seed: int
     ) -> None:
         """Persist a completed run's probe-sink series (no-op here)."""
+
+    def profiler(self, scenario: str, seed: int) -> HotPathProfiler:
+        """A hot-path profiler for one run (the shared no-op by default).
+
+        The harness installs the returned profiler as ``sim.profiler``
+        before a run and hands it back via :meth:`record_profile`
+        after — the exact ``probe_sink`` contract: write-only, and only
+        profile-enabled observers pay for collection.
+        """
+        return NULL_PROFILER
+
+    def record_profile(
+        self, profiler: HotPathProfiler, scenario: str, seed: int
+    ) -> None:
+        """Persist a completed run's profile aggregates (no-op here)."""
 
     def collect_workers(self) -> None:
         """Merge per-worker partial journals (coordinator only)."""
@@ -171,6 +199,7 @@ class JournalObserver(Observer):
         registry: Optional[MetricsRegistry] = None,
         telemetry_path: Optional[Union[str, Path]] = None,
         telemetry_interval_s: Optional[float] = DEFAULT_TELEMETRY_INTERVAL_S,
+        profile_path: Optional[Union[str, Path]] = None,
     ):
         self.journal = JournalWriter(path, worker=worker)
         self.registry = registry
@@ -178,6 +207,10 @@ class JournalObserver(Observer):
         self.telemetry: Optional[TelemetryWriter] = (
             TelemetryWriter(telemetry_path) if telemetry_path is not None else None
         )
+        self.profile: Optional[ProfileWriter] = (
+            ProfileWriter(profile_path) if profile_path is not None else None
+        )
+        self.profile_enabled = profile_path is not None
 
     def emit(self, event: str, **fields: Any) -> None:
         self.journal.write(event, **fields)
@@ -245,6 +278,23 @@ class JournalObserver(Observer):
             return
         self.telemetry.write_sink(sink, scenario=scenario, seed=seed)
 
+    # -- profiling -----------------------------------------------------
+
+    def profiler(self, scenario: str, seed: int) -> HotPathProfiler:
+        """A fresh collector per run when profiling is on."""
+        if self.profile is None:
+            return NULL_PROFILER
+        return ProfileCollector()
+
+    def record_profile(
+        self, profiler: HotPathProfiler, scenario: str, seed: int
+    ) -> None:
+        if self.profile is None or not isinstance(profiler, ProfileCollector):
+            return
+        self.profile.write_record(
+            profile_record(profiler, scenario=scenario, seed=seed)
+        )
+
     def record(self, events: Iterable[Mapping[str, Any]]) -> None:
         """Fold already-written events (e.g. merged worker partials)
         into the metrics, without re-journaling them."""
@@ -262,6 +312,8 @@ class JournalObserver(Observer):
     def close(self) -> None:
         if self.telemetry is not None:
             self.telemetry.close()
+        if self.profile is not None:
+            self.profile.close()
         self.journal.close()
 
 
@@ -276,13 +328,14 @@ class TracingObserver(JournalObserver):
     ``metrics.json``.
     """
 
-    def __init__(self, trace_dir: Union[str, Path]):
+    def __init__(self, trace_dir: Union[str, Path], profile: bool = False):
         root = Path(trace_dir)
         root.mkdir(parents=True, exist_ok=True)
         super().__init__(
             root / JOURNAL_FILENAME,
             registry=MetricsRegistry(),
             telemetry_path=root / TELEMETRY_FILENAME,
+            profile_path=(root / PROFILE_FILENAME) if profile else None,
         )
         self.trace_dir = root
 
@@ -291,6 +344,8 @@ class TracingObserver(JournalObserver):
         self.record(merged)
         assert self.telemetry is not None
         merge_worker_telemetry(self.trace_dir, into=self.telemetry)
+        if self.profile is not None:
+            merge_worker_profiles(self.trace_dir, into=self.profile)
 
     def write_metrics(self) -> None:
         """Export the registry as Prometheus text + JSON into the dir."""
@@ -306,10 +361,12 @@ class TracingObserver(JournalObserver):
     def close(self) -> None:
         self.write_metrics()
         super().close()
-        # Canonical record order makes the closed file independent of
+        # Canonical record order makes the closed files independent of
         # jobs= and of run-completion order: serial and pooled traces
-        # of the same sweep are byte-identical.
+        # of the same sweep are byte-identical (profile wall times are
+        # the one machine-dependent exception, and say so).
         canonicalize_telemetry(self.trace_dir)
+        canonicalize_profile(self.trace_dir)
 
 
 def resolve_observer(

@@ -1,0 +1,373 @@
+"""Perf snapshots and the events/sec regression gate.
+
+``benchmarks/BENCH_sim.json`` and ``benchmarks/BENCH_fabric.json`` are
+the committed perf reference points the ROADMAP's engine-speed goal is
+measured against. This module owns both halves of their lifecycle:
+
+* **snapshot** — run the canonical sweep (the exact scenario set the
+  obs-diff gates replay) under a recording observer and capture the
+  ``sim_events_per_second`` gauges plus wall times. ``best_of`` runs
+  the sweep N times and keeps the fastest attempt (min wall time, max
+  events/sec), the standard noise-suppression for wall benchmarks.
+* **diff** — compare a fresh snapshot against the committed file with
+  per-metric relative tolerances. Only throughput metrics *gate*
+  (``greenenvy obs perf-diff`` exits nonzero on an events/sec
+  regression beyond tolerance, exactly how ``obs diff`` gates metric
+  drift); wall times are reported as context, since they are
+  machine-dependent by nature.
+
+``benchmarks/bench_sim.py`` / ``bench_fabric.py`` are thin wrappers
+over the snapshot half, so the CLI gate and ``make bench-all`` can
+never drift apart from what the committed files contain.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.journal import perf_clock
+from repro.obs.observer import Observer, Span
+
+SNAPSHOT_VERSION = 1
+
+#: committed snapshot filenames under benchmarks/
+BENCH_SIM_FILENAME = "BENCH_sim.json"
+BENCH_FABRIC_FILENAME = "BENCH_fabric.json"
+
+#: the canonical sweeps; keep in lockstep with BASELINE_SWEEP /
+#: FABRIC_SWEEP in the Makefile (the obs-diff gates replay the same)
+SIM_SWEEP: Dict[str, Any] = {"transfer_bytes": 400_000, "repetitions": 2}
+FABRIC_SWEEP: Dict[str, Any] = {
+    "n_flows": 1000,
+    "ccas": ("dctcp", "dcqcn"),
+    "mix": "rpc",
+}
+
+#: default relative tolerance before an events/sec drop gates; wide on
+#: purpose — shared CI runners jitter far more than a dev box
+DEFAULT_PERF_REL_TOL = 0.5
+
+#: snapshot metrics the gate compares (higher is better); anything
+#: else in the snapshot is context, not a gate
+GATED_METRICS = ("events_per_second.median", "events_per_second.min")
+
+#: wall-time metrics reported alongside, never gating
+CONTEXT_METRICS = ("sim_loop_wall_s.total", "sweep_wall_s")
+
+
+class _TimedSpan(Span):
+    def __init__(self, recorder: "PerfRecorder", phase: str):
+        self._recorder = recorder
+        self._phase = phase
+        self.wall_s = 0.0
+        self._t0 = 0.0
+
+    def add(self, **fields: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_TimedSpan":
+        self._t0 = perf_clock()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.wall_s = perf_clock() - self._t0
+        if self._phase == "sim_loop":
+            self._recorder.loop_wall_s.append(self.wall_s)
+
+
+class PerfRecorder(Observer):
+    """In-memory observer: per-run events/sec gauges and loop spans."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events_per_second: List[float] = []
+        self.loop_wall_s: List[float] = []
+
+    def span(self, phase: str, **fields: Any) -> Span:
+        return _TimedSpan(self, phase)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if name == "sim_events_per_second":
+            self.events_per_second.append(value)
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    return {
+        "min": round(min(values), 1),
+        "median": round(statistics.median(values), 1),
+        "max": round(max(values), 1),
+    }
+
+
+def _snapshot_payload(
+    sweep: str, recorder: PerfRecorder, wall_s: float, attempts: int
+) -> Dict[str, Any]:
+    return {
+        "version": SNAPSHOT_VERSION,
+        "sweep": sweep,
+        "attempts": attempts,
+        "runs": len(recorder.events_per_second),
+        "events_per_second": _stats(recorder.events_per_second),
+        "sim_loop_wall_s": {
+            "total": round(sum(recorder.loop_wall_s), 3),
+            "median": round(statistics.median(recorder.loop_wall_s), 4),
+        },
+        "sweep_wall_s": round(wall_s, 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def _best_attempt(attempts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Min-of-N selection: the attempt with the best median events/sec.
+
+    Wall benchmarks only ever get *slower* from interference, so the
+    fastest attempt is the closest estimate of the machine's capability
+    — the min-of-N idiom wall-time suites use, applied to its
+    reciprocal.
+    """
+    best = max(
+        attempts, key=lambda payload: payload["events_per_second"]["median"]
+    )
+    best["attempts"] = len(attempts)
+    return best
+
+
+def sim_snapshot(best_of: int = 1) -> Dict[str, Any]:
+    """Snapshot the canonical fig1 sweep (``BENCH_sim.json``)."""
+    from repro.figures.fig1 import run_fig1  # lazy: figures build on obs
+
+    if best_of < 1:
+        raise ObservabilityError(f"best_of must be >= 1, got {best_of}")
+    sweep = (
+        f"fig1 --bytes {SIM_SWEEP['transfer_bytes']} "
+        f"--reps {SIM_SWEEP['repetitions']}"
+    )
+    attempts = []
+    for _attempt in range(best_of):
+        recorder = PerfRecorder()
+        wall0 = perf_clock()
+        run_fig1(
+            transfer_bytes=SIM_SWEEP["transfer_bytes"],
+            repetitions=SIM_SWEEP["repetitions"],
+            observer=recorder,
+        )
+        attempts.append(
+            _snapshot_payload(sweep, recorder, perf_clock() - wall0, best_of)
+        )
+    return _best_attempt(attempts)
+
+
+def fabric_snapshot(best_of: int = 1) -> Dict[str, Any]:
+    """Snapshot the 1k-flow leaf-spine sweep (``BENCH_fabric.json``)."""
+    from repro.figures.fabric import run_fabric_figure  # lazy, as above
+
+    if best_of < 1:
+        raise ObservabilityError(f"best_of must be >= 1, got {best_of}")
+    sweep = (
+        f"fabric --flows {FABRIC_SWEEP['n_flows']} "
+        f"--ccas {','.join(FABRIC_SWEEP['ccas'])} "
+        f"--mix {FABRIC_SWEEP['mix']}"
+    )
+    attempts = []
+    for _attempt in range(best_of):
+        recorder = PerfRecorder()
+        wall0 = perf_clock()
+        run_fabric_figure(
+            ccas=FABRIC_SWEEP["ccas"],
+            n_flows=FABRIC_SWEEP["n_flows"],
+            mix=FABRIC_SWEEP["mix"],
+            observer=recorder,
+        )
+        attempts.append(
+            _snapshot_payload(sweep, recorder, perf_clock() - wall0, best_of)
+        )
+    return _best_attempt(attempts)
+
+
+_SNAPSHOT_KINDS = {"sim": sim_snapshot, "fabric": fabric_snapshot}
+
+
+def perf_snapshot(kind: str, best_of: int = 1) -> Dict[str, Any]:
+    """Snapshot one canonical sweep by kind (``sim`` or ``fabric``)."""
+    try:
+        taker = _SNAPSHOT_KINDS[kind]
+    except KeyError:
+        raise ObservabilityError(
+            f"unknown perf snapshot kind {kind!r}; "
+            f"use {', '.join(sorted(_SNAPSHOT_KINDS))}"
+        ) from None
+    return taker(best_of=best_of)
+
+
+def save_snapshot(payload: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a snapshot as deterministic, committed-diff-friendly JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a committed snapshot file."""
+    target = Path(path)
+    if not target.exists():
+        raise ObservabilityError(f"no perf snapshot at {target}")
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ObservabilityError(f"{target}: bad snapshot JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "events_per_second" not in payload:
+        raise ObservabilityError(
+            f"{target}: not a perf snapshot (missing events_per_second)"
+        )
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ObservabilityError(
+            f"{target}: snapshot version {version!r}, expected "
+            f"{SNAPSHOT_VERSION}"
+        )
+    return payload
+
+
+# -- comparison --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PerfDriftRow:
+    """One metric's base-vs-fresh comparison."""
+
+    metric: str
+    base: float
+    fresh: float
+    change_percent: float
+    rel_tol: float
+    #: ``ok`` / ``improved`` / ``regressed`` for gated metrics;
+    #: ``context`` for wall times that never gate
+    status: str
+
+    @property
+    def gates(self) -> bool:
+        return self.status == "regressed"
+
+
+def _lookup(payload: Mapping[str, Any], dotted: str) -> Optional[float]:
+    node: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_perf(
+    base: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerances: Optional[Mapping[str, float]] = None,
+    default_rel_tol: float = DEFAULT_PERF_REL_TOL,
+) -> List[PerfDriftRow]:
+    """Diff a fresh snapshot against the committed reference.
+
+    Gated metrics are one-sided: a drop beyond tolerance is
+    ``regressed``, a rise beyond it is ``improved`` (never gates — a
+    faster engine should update the snapshot, not fail CI). The sweeps
+    must match: comparing different scenario sets is a category error,
+    not a drift.
+    """
+    if base.get("sweep") != fresh.get("sweep"):
+        raise ObservabilityError(
+            f"sweep mismatch: baseline ran {base.get('sweep')!r}, fresh ran "
+            f"{fresh.get('sweep')!r}; regenerate the snapshot"
+        )
+    tols = dict(tolerances or {})
+    rows: List[PerfDriftRow] = []
+    for metric in GATED_METRICS:
+        base_value = _lookup(base, metric)
+        fresh_value = _lookup(fresh, metric)
+        if base_value is None or fresh_value is None or base_value <= 0:
+            continue
+        rel_tol = tols.get(metric, default_rel_tol)
+        change = (fresh_value - base_value) / base_value
+        if change < -rel_tol:
+            status = "regressed"
+        elif change > rel_tol:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            PerfDriftRow(
+                metric=metric,
+                base=base_value,
+                fresh=fresh_value,
+                change_percent=100.0 * change,
+                rel_tol=rel_tol,
+                status=status,
+            )
+        )
+    for metric in CONTEXT_METRICS:
+        base_value = _lookup(base, metric)
+        fresh_value = _lookup(fresh, metric)
+        if base_value is None or fresh_value is None or base_value <= 0:
+            continue
+        rows.append(
+            PerfDriftRow(
+                metric=metric,
+                base=base_value,
+                fresh=fresh_value,
+                change_percent=100.0 * (fresh_value - base_value) / base_value,
+                rel_tol=0.0,
+                status="context",
+            )
+        )
+    if not any(row.status != "context" for row in rows):
+        raise ObservabilityError(
+            "no gated metrics in common between baseline and fresh snapshot"
+        )
+    return rows
+
+
+def has_perf_regression(rows: List[PerfDriftRow]) -> bool:
+    """Whether any gated metric regressed beyond tolerance."""
+    return any(row.gates for row in rows)
+
+
+def format_perf_table(rows: List[PerfDriftRow]) -> str:
+    """The comparison as the same text-table shape ``obs diff`` prints."""
+    from repro.analysis.tables import format_table
+
+    body = format_table(
+        ["metric", "baseline", "fresh", "change %", "tol %", "status"],
+        [
+            (
+                row.metric,
+                row.base,
+                row.fresh,
+                row.change_percent,
+                100.0 * row.rel_tol if row.status != "context" else "-",
+                row.status,
+            )
+            for row in rows
+        ],
+        float_fmt="{:.1f}",
+    )
+    verdict = (
+        "PERF REGRESSION" if has_perf_regression(rows) else "perf within tolerance"
+    )
+    return body + "\n" + verdict

@@ -53,6 +53,21 @@ class PhaseStats:
 
 
 @dataclass
+class EngineHeapStats:
+    """Event-heap health across all ``sim_loop`` spans in the journal.
+
+    The engine reports its final ``pending_events`` / ``dead_in_queue``
+    gauges per run; tombstone buildup here is the first symptom of a
+    cancellation-heavy scenario stressing the lazy-deletion heap.
+    """
+
+    runs: int = 0
+    max_pending_events: int = 0
+    total_dead_in_queue: int = 0
+    max_dead_in_queue: int = 0
+
+
+@dataclass
 class JournalSummary:
     """Everything the report renders, extracted from one journal."""
 
@@ -64,6 +79,7 @@ class JournalSummary:
     slowest: List[Dict[str, Any]] = field(default_factory=list)
     phases: List[PhaseStats] = field(default_factory=list)
     errors: List[Dict[str, Any]] = field(default_factory=list)
+    heap: EngineHeapStats = field(default_factory=EngineHeapStats)
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -107,6 +123,7 @@ def summarize_journal(
         )
 
     spans: Dict[str, PhaseStats] = {}
+    heap = EngineHeapStats()
     for record in events:
         if record.get("event") != "span":
             continue
@@ -114,6 +131,13 @@ def summarize_journal(
         stats = spans.setdefault(phase, PhaseStats(phase=phase, count=0, total_wall_s=0.0))
         stats.count += 1
         stats.total_wall_s += float(record.get("wall_s", 0.0))
+        if phase == "sim_loop" and "pending_events" in record:
+            pending = int(record.get("pending_events", 0))
+            dead = int(record.get("dead_in_queue", 0))
+            heap.runs += 1
+            heap.max_pending_events = max(heap.max_pending_events, pending)
+            heap.total_dead_in_queue += dead
+            heap.max_dead_in_queue = max(heap.max_dead_in_queue, dead)
 
     ranked = sorted(
         finished, key=lambda e: float(e.get("wall_s", 0.0)), reverse=True
@@ -129,6 +153,7 @@ def summarize_journal(
             spans.values(), key=lambda s: s.total_wall_s, reverse=True
         ),
         errors=[dict(e) for e in errors],
+        heap=heap,
     )
 
 
@@ -159,6 +184,12 @@ def summary_to_dict(summary: JournalSummary) -> Dict[str, Any]:
         ],
         "slowest": summary.slowest,
         "errors": summary.errors,
+        "engine_heap": {
+            "runs": summary.heap.runs,
+            "max_pending_events": summary.heap.max_pending_events,
+            "total_dead_in_queue": summary.heap.total_dead_in_queue,
+            "max_dead_in_queue": summary.heap.max_dead_in_queue,
+        },
     }
 
 
@@ -208,6 +239,16 @@ def format_report(summary: JournalSummary) -> str:
                 [(p.phase, p.count, p.total_wall_s) for p in summary.phases],
                 float_fmt="{:.4f}",
             )
+        )
+
+    if summary.heap.runs:
+        lines.append("")
+        lines.append("== engine heap ==")
+        lines.append(
+            f"{summary.heap.runs} sim loops: max pending events "
+            f"{summary.heap.max_pending_events}, dead-entry tombstones "
+            f"{summary.heap.total_dead_in_queue} total "
+            f"(worst run {summary.heap.max_dead_in_queue})"
         )
 
     if summary.slowest:

@@ -27,6 +27,12 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.probe import NULL_PROBE_SINK, ProbeSink
+from repro.sim.profile import (
+    EVENTS_DISPATCHED,
+    NULL_PROFILER,
+    HotPathProfiler,
+    dispatch_key,
+)
 
 Callback = Callable[..., None]
 
@@ -112,6 +118,11 @@ class Simulator:
         #: Write-only from the simulation's perspective — nothing here
         #: ever reads it back.
         self.probe_sink: ProbeSink = NULL_PROBE_SINK
+        #: hot-path profiler, same one-way contract as the probe sink:
+        #: the shared no-op by default, swapped by the harness when a
+        #: profile is collected. Dispatch reports only aggregate
+        #: per-event-type counts and component enter/exit marks.
+        self.profiler: HotPathProfiler = NULL_PROFILER
 
     # -- clock --------------------------------------------------------
 
@@ -140,6 +151,13 @@ class Simulator:
     def queued_events(self) -> int:
         """Raw heap size, cancelled entries included (memory diagnostics)."""
         return len(self._queue)
+
+    @property
+    def dead_in_queue(self) -> int:
+        """Cancelled-but-not-yet-popped heap entries (the lazy-deletion
+        tally). ``queued_events - pending_events`` by construction; a
+        large value means the heap is bloated with dead timers."""
+        return self._dead_in_queue
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel` while the event is heap-resident."""
@@ -183,7 +201,17 @@ class Simulator:
             event.sim = None
             event.cancelled = True
             self._events_executed += 1
-            event.callback(*event.args)
+            profiler = self.profiler
+            if profiler.enabled:
+                key = dispatch_key(event.callback)
+                profiler.count(EVENTS_DISPATCHED)
+                profiler.enter(key)
+                try:
+                    event.callback(*event.args)
+                finally:
+                    profiler.exit(key)
+            else:
+                event.callback(*event.args)
             return True
         return False
 

@@ -34,6 +34,7 @@ from repro.sim.probe import (
     SRTT_CHANNEL,
     SSTHRESH_CHANNEL,
 )
+from repro.sim.profile import TCP_HANDLE_PACKET
 from repro.sim.timer import Timer
 from repro.sim.trace import CounterSet
 from repro.cc.base import AckEvent, CongestionControl
@@ -264,7 +265,23 @@ class TcpSender:
     # ------------------------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> None:
-        """Process an incoming ACK."""
+        """Process an incoming ACK.
+
+        The public entry point wraps :meth:`_handle_packet` in a
+        hot-path profiler span when one is attached — this is the
+        per-ACK path a profile-driven engine overhaul needs to see.
+        """
+        profiler = self.sim.profiler
+        if profiler.enabled:
+            profiler.enter(TCP_HANDLE_PACKET)
+            try:
+                self._handle_packet(packet)
+            finally:
+                profiler.exit(TCP_HANDLE_PACKET)
+        else:
+            self._handle_packet(packet)
+
+    def _handle_packet(self, packet: Packet) -> None:
         if not packet.is_ack:
             self.counters.add("unexpected_data")
             return

@@ -1,0 +1,16 @@
+"""Simulator module importing the obs-side profiler (lint fixture)."""
+
+from __future__ import annotations
+
+import repro.obs.profile
+from repro.obs import attrib
+from repro.obs.profile import ProfileCollector
+
+
+def self_profile() -> object:
+    # The forbidden shortcut: a hot path constructing its own collector
+    # instead of talking to the repro.sim.profile protocol.
+    collector = ProfileCollector()
+    collector.enter("sim.dispatch.self")
+    collector.exit("sim.dispatch.self")
+    return (collector, attrib, repro.obs.profile)

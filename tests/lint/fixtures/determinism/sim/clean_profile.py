@@ -1,0 +1,16 @@
+"""Simulator module using the neutral profiler protocol (lint fixture)."""
+
+from __future__ import annotations
+
+from repro.sim.profile import NULL_PROFILER, HotPathProfiler
+
+
+class Component:
+    """Instruments against the protocol; never sees the collector."""
+
+    def __init__(self) -> None:
+        self.profiler: HotPathProfiler = NULL_PROFILER
+
+    def work(self) -> None:
+        if self.profiler.enabled:
+            self.profiler.count("component_work")

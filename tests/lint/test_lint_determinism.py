@@ -10,6 +10,7 @@ DET = [
     "det-process-identity",
     "det-set-iteration",
     "obs-no-feedback",
+    "obs-profile-no-sim-import",
     "obs-probe-wall-clock",
 ]
 
@@ -107,6 +108,51 @@ class TestObsFeedback:
             str(repo_src / d) for d in ("sim", "net", "cc", "tcp")
         ]
         result = run_lint(paths, select=["obs-no-feedback"])
+        assert result.clean
+
+
+class TestObsProfileSimImport:
+    """Profiling's sharper edge of the write-only contract: sim code
+    talks to repro.sim.profile, never to the obs-side collector."""
+
+    def test_fires_on_every_import_form_inside_sim(self, lint):
+        result = lint(
+            "determinism/sim/bad_profile_import.py",
+            select=["obs-profile-no-sim-import"],
+        )
+        # import repro.obs.profile + from repro.obs import attrib +
+        # from repro.obs.profile import ProfileCollector
+        assert _by_rule(result)["obs-profile-no-sim-import"] == 3
+
+    def test_generic_feedback_rule_also_fires(self, lint):
+        """Defense in depth: the broad rule still covers these imports."""
+        result = lint(
+            "determinism/sim/bad_profile_import.py",
+            select=["obs-no-feedback"],
+        )
+        assert _by_rule(result)["obs-no-feedback"] == 3
+
+    def test_protocol_import_is_the_blessed_direction(self, lint):
+        assert lint(
+            "determinism/sim/clean_profile.py",
+            select=["obs-profile-no-sim-import"],
+        ).clean
+
+    def test_silent_outside_simulator_packages(self, lint):
+        # the obs layer itself imports these modules freely
+        assert lint(
+            "determinism/obs_outside_scope.py",
+            select=["obs-profile-no-sim-import"],
+        ).clean
+
+    def test_simulator_sources_honor_the_rule(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        paths = [str(repo_src / d) for d in ("sim", "net", "cc", "tcp")]
+        result = run_lint(paths, select=["obs-profile-no-sim-import"])
         assert result.clean
 
 

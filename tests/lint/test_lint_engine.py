@@ -16,9 +16,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestRuleRegistry:
-    def test_twentyeight_rules_in_seven_families(self):
+    def test_twentynine_rules_in_seven_families(self):
         rules = iter_rules()
-        assert len(rules) == 28
+        assert len(rules) == 29
         assert {r.family for r in rules} == {
             "units", "units-flow", "determinism", "determinism-flow",
             "cca-contract", "api-hygiene", "perf",

@@ -1,0 +1,181 @@
+"""The perf gate: snapshots, comparison semantics, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.perfdiff import (
+    DEFAULT_PERF_REL_TOL,
+    SNAPSHOT_VERSION,
+    compare_perf,
+    format_perf_table,
+    has_perf_regression,
+    load_snapshot,
+    perf_snapshot,
+    save_snapshot,
+    sim_snapshot,
+)
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _snapshot(median, minimum=None, sweep="fig1 --bytes 400000 --reps 2"):
+    return {
+        "version": SNAPSHOT_VERSION,
+        "sweep": sweep,
+        "attempts": 1,
+        "runs": 20,
+        "events_per_second": {
+            "min": minimum if minimum is not None else median * 0.8,
+            "median": median,
+            "max": median * 1.2,
+        },
+        "sim_loop_wall_s": {"total": 1.0, "median": 0.05},
+        "sweep_wall_s": 1.5,
+        "python": "3.x",
+        "platform": "test",
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        rows = compare_perf(_snapshot(100_000), _snapshot(95_000))
+        assert not has_perf_regression(rows)
+        statuses = {r.metric: r.status for r in rows}
+        assert statuses["events_per_second.median"] == "ok"
+
+    def test_drop_beyond_tolerance_regresses(self):
+        rows = compare_perf(
+            _snapshot(100_000),
+            _snapshot(60_000),
+            tolerances={
+                "events_per_second.median": 0.2,
+                "events_per_second.min": 0.2,
+            },
+        )
+        assert has_perf_regression(rows)
+
+    def test_improvement_never_gates(self):
+        rows = compare_perf(_snapshot(100_000), _snapshot(200_000))
+        assert not has_perf_regression(rows)
+        statuses = {r.metric: r.status for r in rows}
+        assert statuses["events_per_second.median"] == "improved"
+
+    def test_wall_times_are_context_only(self):
+        base = _snapshot(100_000)
+        fresh = _snapshot(100_000)
+        fresh["sweep_wall_s"] = 100.0  # 60x slower wall, same events/sec
+        rows = compare_perf(base, fresh)
+        assert not has_perf_regression(rows)
+        context = {r.metric for r in rows if r.status == "context"}
+        assert "sweep_wall_s" in context
+
+    def test_sweep_mismatch_raises(self):
+        with pytest.raises(ObservabilityError):
+            compare_perf(
+                _snapshot(100_000),
+                _snapshot(100_000, sweep="fabric --flows 1000"),
+            )
+
+    def test_tolerance_override_beats_default(self):
+        # an 8% drop: fine at the default tolerance, fatal at 5%
+        base, fresh = _snapshot(100_000), _snapshot(92_000, minimum=92_000)
+        assert DEFAULT_PERF_REL_TOL > 0.08
+        assert not has_perf_regression(compare_perf(base, fresh))
+        rows = compare_perf(
+            base, fresh, tolerances={"events_per_second.median": 0.05}
+        )
+        assert has_perf_regression(rows)
+
+    def test_table_renders_verdict(self):
+        rows = compare_perf(_snapshot(100_000), _snapshot(95_000))
+        table = format_perf_table(rows)
+        assert "events_per_second.median" in table
+        assert "perf within tolerance" in table
+
+
+class TestSnapshots:
+    def test_committed_bench_files_load(self):
+        for name in ("BENCH_sim.json", "BENCH_fabric.json"):
+            payload = load_snapshot(BENCH_DIR / name)
+            assert payload["events_per_second"]["median"] > 0
+            assert payload["runs"] > 0
+
+    def test_sim_snapshot_matches_committed_sweep(self):
+        fresh = sim_snapshot()
+        committed = load_snapshot(BENCH_DIR / "BENCH_sim.json")
+        assert fresh["sweep"] == committed["sweep"]
+        assert fresh["version"] == committed["version"]
+        assert fresh["runs"] == committed["runs"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        payload = _snapshot(123_456.0)
+        target = save_snapshot(payload, tmp_path / "snap.json")
+        assert load_snapshot(target) == payload
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            load_snapshot(tmp_path / "absent.json")
+
+    def test_wrong_version_raises(self, tmp_path):
+        payload = _snapshot(100.0)
+        payload["version"] = 999
+        target = tmp_path / "snap.json"
+        target.write_text(json.dumps(payload))
+        with pytest.raises(ObservabilityError):
+            load_snapshot(target)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ObservabilityError):
+            perf_snapshot("gpu")
+
+    def test_best_of_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            sim_snapshot(best_of=0)
+
+
+class TestCliGate:
+    def test_perf_diff_passes_against_own_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "base.json"
+        save_snapshot(sim_snapshot(), baseline)
+        code = main([
+            "obs", "perf-diff", "--baseline", str(baseline), "--best-of", "2",
+        ])
+        assert code == 0
+        assert "perf within tolerance" in capsys.readouterr().out
+
+    def test_perf_diff_fails_on_injected_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Claim the machine used to be 60% faster: even generous noise
+        # headroom cannot absolve a fresh run of that much regression.
+        inflated = sim_snapshot()
+        for key in ("min", "median", "max"):
+            inflated["events_per_second"][key] *= 1.6
+        baseline = tmp_path / "base.json"
+        save_snapshot(inflated, baseline)
+        code = main([
+            "obs", "perf-diff", "--baseline", str(baseline),
+            "--tolerance", "events_per_second.median=0.2",
+            "--tolerance", "events_per_second.min=0.2",
+        ])
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_bad_tolerance_spec_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["obs", "perf-diff", "--tolerance", "nonsense"])
+        assert code == 2
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "obs", "perf-diff", "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert code == 2

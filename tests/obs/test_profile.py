@@ -1,0 +1,258 @@
+"""Hot-path profiler: collector, persistence, exporters, determinism.
+
+The profiling channel's contract mirrors telemetry's: turning it on
+must never change simulation results (profiling on/off and jobs=1 vs
+jobs=N all produce bit-identical measurements and telemetry), while the
+profile aggregates themselves are deterministic in everything except
+wall time.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.figures.fig1 import run_fig1
+from repro.obs.observer import TracingObserver
+from repro.obs.profile import (
+    PROFILE_FILENAME,
+    ProfileCollector,
+    aggregate_profiles,
+    export_profile,
+    profile_record,
+    read_profile,
+    summarize_profile,
+)
+from repro.obs.telemetry import telemetry_path
+from repro.sim.profile import (
+    DISPATCH_PREFIX,
+    NULL_PROFILER,
+    HotPathProfiler,
+    dispatch_key,
+)
+
+BYTES = 100_000
+REPS = 1
+
+
+class TestProtocol:
+    def test_null_profiler_is_disabled_and_swallows_everything(self):
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.count("events_dispatched")
+        NULL_PROFILER.enter("x")
+        NULL_PROFILER.exit("x")
+
+    def test_dispatch_key_uses_qualname(self):
+        class Host:
+            def receive(self):
+                pass
+
+        key = dispatch_key(Host().receive)
+        assert key.startswith(DISPATCH_PREFIX + ".")
+        assert key.endswith("Host.receive")
+
+    def test_dispatch_key_is_memoized(self):
+        class Host:
+            def receive(self):
+                pass
+
+        assert dispatch_key(Host().receive) is dispatch_key(Host().receive)
+
+
+class TestCollector:
+    def test_nested_enter_exit_builds_stack_paths(self):
+        collector = ProfileCollector()
+        collector.enter("a")
+        collector.enter("b")
+        collector.exit("b")
+        collector.exit("a")
+        assert set(collector.stack_calls) == {"a", "a;b"}
+        assert collector.stack_calls["a;b"] == 1
+        assert all(w >= 0.0 for w in collector.stack_wall_s.values())
+
+    def test_counts_accumulate(self):
+        collector = ProfileCollector()
+        collector.count("events_dispatched")
+        collector.count("events_dispatched", 2)
+        assert collector.counts == {"events_dispatched": 3}
+
+    def test_mismatched_exit_raises(self):
+        collector = ProfileCollector()
+        collector.enter("a")
+        with pytest.raises(ObservabilityError):
+            collector.exit("b")
+
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(ObservabilityError):
+            ProfileCollector().exit("a")
+
+    def test_profile_record_is_sorted_and_rounded(self):
+        collector = ProfileCollector()
+        collector.enter("b")
+        collector.exit("b")
+        collector.enter("a")
+        collector.exit("a")
+        record = profile_record(collector, "scn", 3)
+        assert record["scenario"] == "scn"
+        assert record["seed"] == 3
+        assert list(record["stack_calls"]) == ["a", "b"]
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    """Run the small fig1 sweep once per (jobs, profile) combination."""
+    runs = {}
+    for jobs in (1, 4):
+        for profile in (False, True):
+            root = tmp_path_factory.mktemp(f"trace-j{jobs}-p{int(profile)}")
+            with TracingObserver(root, profile=profile) as obs:
+                result = run_fig1(
+                    transfer_bytes=BYTES,
+                    repetitions=REPS,
+                    jobs=jobs,
+                    observer=obs,
+                )
+            runs[(jobs, profile)] = (root, result)
+    return runs
+
+
+class TestProfilingChangesNothing:
+    @pytest.mark.parametrize("jobs", (1, 4))
+    def test_measurements_identical_with_profiling_on(self, sweep, jobs):
+        _, off = sweep[(jobs, False)]
+        _, on = sweep[(jobs, True)]
+        assert off.format_table() == on.format_table()
+
+    @pytest.mark.parametrize("jobs", (1, 4))
+    def test_telemetry_bytes_identical_with_profiling_on(self, sweep, jobs):
+        off_root, _ = sweep[(jobs, False)]
+        on_root, _ = sweep[(jobs, True)]
+        assert (
+            telemetry_path(off_root).read_bytes()
+            == telemetry_path(on_root).read_bytes()
+        )
+
+    def test_profile_only_written_when_asked(self, sweep):
+        off_root, _ = sweep[(1, False)]
+        on_root, _ = sweep[(1, True)]
+        assert not (off_root / PROFILE_FILENAME).exists()
+        assert (on_root / PROFILE_FILENAME).exists()
+
+
+class TestDeterminism:
+    def test_aggregates_identical_across_job_counts(self, sweep):
+        serial = aggregate_profiles(read_profile(sweep[(1, True)][0]))
+        parallel = aggregate_profiles(read_profile(sweep[(4, True)][0]))
+        assert serial.counts == parallel.counts
+        assert serial.stack_calls == parallel.stack_calls
+        assert serial.runs == parallel.runs
+
+    def test_records_identical_across_job_counts_modulo_wall(self, sweep):
+        def shape(root):
+            return [
+                (r["scenario"], r["seed"], r["counts"], r["stack_calls"])
+                for r in read_profile(root)
+            ]
+
+        assert shape(sweep[(1, True)][0]) == shape(sweep[(4, True)][0])
+
+    def test_no_worker_partials_left_behind(self, sweep):
+        root, _ = sweep[(4, True)]
+        assert not list(root.glob("profile-worker-*.jsonl"))
+
+    def test_events_dispatched_counted(self, sweep):
+        aggregate = aggregate_profiles(read_profile(sweep[(1, True)][0]))
+        assert aggregate.counts.get("events_dispatched", 0) > 0
+
+
+class TestExports:
+    @pytest.fixture(scope="class")
+    def exported(self, sweep):
+        root, _ = sweep[(1, True)]
+        records = read_profile(root)
+        return root, records, export_profile(root, records=records)
+
+    def test_folded_lines_are_path_space_micros(self, exported):
+        _, _, paths = exported
+        lines = paths["folded"].read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            path, _, micros = line.rpartition(" ")
+            assert path and ";" not in micros
+            assert int(micros) >= 0
+
+    def test_callgrind_header_and_functions(self, exported):
+        _, _, paths = exported
+        text = paths["callgrind"].read_text()
+        assert text.startswith("# callgrind format")
+        assert "events: WallUs Calls" in text
+        assert "fn=tcp.sender.handle_packet" in text
+        # caller-callee edges carry cfn/calls pairs
+        assert "cfn=" in text and "calls=" in text
+
+    def test_chrome_trace_schema(self, exported):
+        _, records, paths = exported
+        trace = json.loads(paths["chrome"].read_text())
+        events = trace["traceEvents"]
+        aggregate = aggregate_profiles(records)
+        assert len(events) == len(aggregate.stack_wall_s)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["cat"] == "sim"
+            assert event["args"]["calls"] > 0
+
+    def test_summary_names_the_hot_components(self, exported):
+        _, records, _ = exported
+        summary = summarize_profile(records)
+        assert "tcp.sender.handle_packet" in summary
+        assert "runs" in summary
+
+    def test_export_without_records_reads_the_trace(self, sweep, tmp_path):
+        root, _ = sweep[(1, True)]
+        paths = export_profile(root)
+        assert all(p.exists() for p in paths.values())
+
+
+class TestReadValidation:
+    def test_missing_profile_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            read_profile(tmp_path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        target = tmp_path / PROFILE_FILENAME
+        target.write_text('{"scenario": "x"}\n')
+        with pytest.raises(ObservabilityError):
+            read_profile(tmp_path)
+
+
+class TestCli:
+    def test_obs_profile_runs_and_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace"
+        code = main([
+            "obs", "profile", str(trace),
+            "--bytes", str(BYTES), "--reps", "1", "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert (trace / "profile.folded").exists()
+        assert (trace / "callgrind.out.greenenvy").exists()
+        assert (trace / "profile.trace.json").exists()
+
+    def test_obs_report_includes_profile_section(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace"
+        assert main([
+            "obs", "profile", str(trace), "--bytes", str(BYTES), "--reps", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== hot-path profile ==" in out
+        assert "== engine heap ==" in out
+        assert "== top energy flows ==" in out
