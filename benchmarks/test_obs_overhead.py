@@ -174,6 +174,103 @@ def test_profiled_run_stays_proportionate(tmp_path):
     )
 
 
+_WATCHER_SCRIPT = """
+import sys, time, urllib.request
+sys.path.insert(0, sys.argv[1])
+from repro.obs.live import LiveSweepView, ProgressServer
+view = LiveSweepView(sys.argv[2])
+server = ProgressServer(view, port=0).start()
+print(server.port, flush=True)
+wake = 0
+while True:  # killed by the test; a real watcher exits on complete
+    view.poll()
+    view.snapshot()
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/metrics", timeout=5
+        ) as response:
+            response.read()
+    except OSError:
+        pass
+    # Near the obs-watch default interval, jittered so the wakeups
+    # cannot phase-lock onto the benchmark's timing rounds.
+    wake += 1
+    time.sleep(0.6 + 0.13 * (wake % 5))
+"""
+
+
+def test_watcher_attached_overhead_under_2_percent(tmp_path):
+    # The ``obs watch`` promise: watching is read-only and rides on
+    # files the sweep writes anyway, so a live watcher -- tail polling
+    # plus HTTP scrapes of the progress server, running as its own
+    # process exactly like the CLI does -- must not slow the traced
+    # sweep it observes. The watcher polls at a realistic cadence: on a
+    # single-core box its wakeups are the one unavoidable cost, and a
+    # watch screen refreshing 50x per second is not the deployment.
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.harness.executor import WorkItem, run_work_items
+
+    scenario = _scenario()
+    # Bigger rounds than the other gates: sub-100ms timings are pure
+    # scheduler jitter next to a 2% bar.
+    items = [
+        WorkItem(scenario=scenario, seed=seed)
+        for seed in range(4 * REPS_PER_ROUND)
+    ]
+    quiet = tmp_path / "quiet"
+    watched = tmp_path / "watched"
+    watched.mkdir()
+    src = Path(__file__).resolve().parent.parent / "src"
+
+    def traced_only():
+        run_work_items(items, observer=quiet)
+
+    def traced_watched():
+        run_work_items(items, observer=watched)
+
+    watcher = subprocess.Popen(
+        [sys.executable, "-c", _WATCHER_SCRIPT, str(src), str(watched)],
+        stdout=subprocess.PIPE,
+    )
+    try:
+        assert watcher.stdout is not None
+        watcher.stdout.readline()  # the server is up and scraping
+        traced_only()
+        traced_watched()
+        # Sum interleaved rounds instead of taking per-round mins: on a
+        # one-core box every watcher wakeup steals its slice from
+        # whichever side happens to be running, so per-round minima
+        # compare "clean" rounds that may not exist. Over a whole
+        # interleaved window the jittered wakeups land on both sides
+        # evenly, and the sum isolates what the gate is really about:
+        # the producer's own code path is identical watched or not.
+        # Taking the best of a few windows then filters transient
+        # background load, the same job min-of-N does in the other
+        # gates.
+        overhead = float("inf")
+        for _ in range(3):
+            base_s = watched_s = 0.0
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                traced_only()
+                base_s += time.perf_counter() - start
+                start = time.perf_counter()
+                traced_watched()
+                watched_s += time.perf_counter() - start
+            overhead = min(overhead, (watched_s - base_s) / base_s)
+    finally:
+        watcher.kill()
+        watcher.wait()
+    assert overhead < 0.02, (
+        f"attached watcher costs {100 * overhead:.2f}% in the best "
+        f"window (last: traced-only {base_s:.4f}s, watched "
+        f"{watched_s:.4f}s)"
+    )
+
+
 def test_enabled_tracing_stays_proportionate(tmp_path):
     scenario = _scenario()
 

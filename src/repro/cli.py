@@ -11,6 +11,7 @@ One subcommand per paper artifact::
     greenenvy advise 1e9 5e8 2e9   # green-schedule a batch of transfers
     greenenvy policies             # list registered scheduling policies
     greenenvy pareto --policy all  # FCT-vs-energy frontier across them
+    greenenvy obs watch DIR        # live progress/ETA of a traced sweep
 
 The figure commands that admit multiple scheduling arms (``fig3``,
 ``srpt``, ``workload``, ``fabric``, ``pareto``) all spell them the
@@ -26,7 +27,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
+
+#: exit code for a sweep cancelled mid-run (drift gate or abort file),
+#: distinct from failures (1) and usage/IO errors (2)
+EXIT_ABORTED = 3
 
 
 def _add_common(parser: argparse.ArgumentParser, default_bytes: int) -> None:
@@ -105,15 +110,79 @@ def _trace_note(args: argparse.Namespace) -> None:
               f"(greenenvy obs report {args.trace})")
 
 
+def _add_abort_on_drift(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--abort-on-drift", metavar="BASELINE", dest="abort_on_drift",
+        help="cancel the sweep early (exit 3) as soon as a scenario "
+        "that finished all its repetitions drifts from this baseline "
+        "JSON ('greenenvy obs snapshot')",
+    )
+
+
+def _drift_setup(args: argparse.Namespace) -> Tuple[Any, Any]:
+    """``--abort-on-drift`` wiring: ``(control, gate)`` or ``(None, None)``.
+
+    The gate's cancel cord is a :class:`FileCancelToken` when the run is
+    traced — so an external ``obs watch --abort-on-drift`` (or a bare
+    ``touch DIR/abort.requested``) can stop the same sweep — and a plain
+    in-process token otherwise.
+    """
+    baseline = getattr(args, "abort_on_drift", None)
+    if not baseline:
+        return None, None
+    from pathlib import Path
+
+    from repro.harness.executor import (
+        CancelToken,
+        FileCancelToken,
+        SweepControl,
+    )
+    from repro.obs.journal import ABORT_FILENAME
+    from repro.obs.live import DriftGate
+
+    trace = getattr(args, "trace", None)
+    token = (
+        FileCancelToken(Path(trace) / ABORT_FILENAME)
+        if trace
+        else CancelToken()
+    )
+    gate = DriftGate(baseline, repetitions=args.reps, cancel=token)
+    return SweepControl(on_result=gate.on_result, cancel=token), gate
+
+
+def _aborted_exit(exc: BaseException, gate: Any) -> int:
+    """Render a :class:`SweepAbortedError`: partial figure, drift, exit 3."""
+    partial = getattr(exc, "partial_figure", None)
+    if partial is not None:
+        print(partial.format_table())
+        print()
+    if gate is not None and gate.drifted:
+        from repro.obs.baseline import format_drift_table
+
+        print(format_drift_table(gate.gating_rows))
+        print()
+    print(f"error: {exc}", file=sys.stderr)
+    return EXIT_ABORTED
+
+
 def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError, SweepAbortedError
     from repro.figures.fig1 import run_fig1
 
-    with _observer(args) as obs:
-        result = run_fig1(
-            transfer_bytes=args.bytes, repetitions=args.reps,
-            base_seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir,
-            observer=obs,
-        )
+    try:
+        control, gate = _drift_setup(args)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _observer(args) as obs:
+            result = run_fig1(
+                transfer_bytes=args.bytes, repetitions=args.reps,
+                base_seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir,
+                observer=obs, control=control,
+            )
+    except SweepAbortedError as exc:
+        return _aborted_exit(exc, gate)
     print(result.format_table())
     print(f"\nmax savings vs fair: {result.max_savings_percent:.1f}% "
           f"(paper: ~16%)")
@@ -365,6 +434,94 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 1 if has_regression(rows) else 0
 
 
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import ObservabilityError
+    from repro.obs.baseline import format_drift_table
+    from repro.obs.live import (
+        DriftGate,
+        LiveSweepView,
+        ProgressServer,
+        request_abort,
+    )
+    from repro.obs.progress import format_progress, progress_to_dict
+
+    if args.abort_on_drift and not args.baseline:
+        print("error: --abort-on-drift needs --baseline", file=sys.stderr)
+        return 2
+
+    gate: Optional[DriftGate] = None
+    if args.baseline:
+
+        class _AbortFlag:
+            """The gate's cancel cord for a sweep this process doesn't
+            own: creating the abort flag file is the cooperative stop
+            channel the running coordinator polls."""
+
+            def cancel(self, reason: str) -> None:
+                request_abort(args.trace, reason)
+
+        try:
+            gate = DriftGate(
+                args.baseline,
+                cancel=_AbortFlag() if args.abort_on_drift else None,
+            )
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        view = LiveSweepView(
+            args.trace,
+            on_event=gate.observe_event if gate is not None else None,
+        )
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    server = None
+    if args.serve is not None:
+        server = ProgressServer(view, port=args.serve).start()
+        print(
+            f"serving http://127.0.0.1:{server.port}/progress "
+            f"(JSON) and /metrics (Prometheus)",
+            file=sys.stderr,
+        )
+    # Full-screen refresh only when someone is actually watching a
+    # terminal; piped output gets one appended block per refresh.
+    refresh = sys.stdout.isatty() and not args.once and not args.json
+    try:
+        while True:
+            view.poll()
+            progress = view.snapshot()
+            if args.json:
+                print(json.dumps(progress_to_dict(progress), sort_keys=True))
+                sys.stdout.flush()
+            else:
+                if refresh:
+                    print("\x1b[2J\x1b[H", end="")
+                print(format_progress(progress))
+            if args.once or progress.complete or progress.aborted:
+                break
+            if not refresh and not args.json:
+                print()
+            time.sleep(args.interval)
+    finally:
+        if server is not None:
+            server.stop()
+
+    drifted = gate is not None and gate.drifted
+    if drifted and not args.json:
+        print()
+        print(format_drift_table(gate.gating_rows))
+    # Exit 1 when the watched sweep is demonstrably unhealthy — it
+    # drifted, aborted, or recorded worker errors. A --once snapshot of
+    # a sweep that is simply still running exits 0.
+    return 1 if (drifted or progress.aborted or progress.errors) else 0
+
+
 def _cmd_obs_profile(args: argparse.Namespace) -> int:
     from repro.errors import ObservabilityError
     from repro.figures.fig1 import run_fig1
@@ -527,28 +684,38 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError, SweepAbortedError
     from repro.figures.fabric import DEFAULT_POLICIES, run_fabric_figure
     from repro.units import MILLION
 
     ccas = [c.strip() for c in args.ccas.split(",") if c.strip()]
-    with _observer(args) as obs:
-        result = run_fabric_figure(
-            ccas=ccas,
-            n_flows=args.flows,
-            mix=args.mix,
-            target_load=args.load,
-            topology=args.topology,
-            leaves=args.leaves,
-            spines=args.spines,
-            hosts_per_leaf=args.hosts_per_leaf,
-            switch_power=args.switch_power,
-            repetitions=args.reps,
-            base_seed=args.seed,
-            policies=_policies(args) or DEFAULT_POLICIES,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            observer=obs,
-        )
+    try:
+        control, gate = _drift_setup(args)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _observer(args) as obs:
+            result = run_fabric_figure(
+                ccas=ccas,
+                n_flows=args.flows,
+                mix=args.mix,
+                target_load=args.load,
+                topology=args.topology,
+                leaves=args.leaves,
+                spines=args.spines,
+                hosts_per_leaf=args.hosts_per_leaf,
+                switch_power=args.switch_power,
+                repetitions=args.reps,
+                base_seed=args.seed,
+                policies=_policies(args) or DEFAULT_POLICIES,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                observer=obs,
+                control=control,
+            )
+    except SweepAbortedError as exc:
+        return _aborted_exit(exc, gate)
     print(result.format_table())
     # The fair arms score exactly 0% against themselves, so the best
     # (cca, policy) cell is fair only when every other arm costs energy.
@@ -570,6 +737,7 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError, SweepAbortedError
     from repro.figures.pareto import WORKLOADS, run_pareto
 
     kwargs = {}
@@ -577,25 +745,34 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         kwargs["link_batch"] = tuple(
             int(float(s)) for s in args.link_batch.split(",") if s.strip()
         )
-    with _observer(args) as obs:
-        result = run_pareto(
-            policies=_policies(args),
-            link_cca=args.link_cca,
-            deadline_slack=args.deadline_slack,
-            fabric_cca=args.fabric_cca,
-            n_flows=args.flows,
-            mix=args.mix,
-            target_load=args.load,
-            leaves=args.leaves,
-            spines=args.spines,
-            hosts_per_leaf=args.hosts_per_leaf,
-            repetitions=args.reps,
-            base_seed=args.seed,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            observer=obs,
-            **kwargs,
-        )
+    try:
+        control, gate = _drift_setup(args)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _observer(args) as obs:
+            result = run_pareto(
+                policies=_policies(args),
+                link_cca=args.link_cca,
+                deadline_slack=args.deadline_slack,
+                fabric_cca=args.fabric_cca,
+                n_flows=args.flows,
+                mix=args.mix,
+                target_load=args.load,
+                leaves=args.leaves,
+                spines=args.spines,
+                hosts_per_leaf=args.hosts_per_leaf,
+                repetitions=args.reps,
+                base_seed=args.seed,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                observer=obs,
+                control=control,
+                **kwargs,
+            )
+    except SweepAbortedError as exc:
+        return _aborted_exit(exc, gate)
     print(result.format_table())
     for workload in WORKLOADS:
         front = " -> ".join(p.policy for p in result.frontier(workload))
@@ -742,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig1", help="unfairness vs energy savings sweep")
     _add_common(p, default_bytes=12_500_000)
     _add_parallel(p)
+    _add_abort_on_drift(p)
     p.set_defaults(func=_cmd_fig1)
 
     p = sub.add_parser("fig2", help="power vs throughput curves")
@@ -883,6 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="base RNG seed")
     _add_policy(p, default="fair, serialized")
     _add_parallel(p)
+    _add_abort_on_drift(p)
     p.set_defaults(func=_cmd_fabric)
 
     p = sub.add_parser(
@@ -925,6 +1104,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reps", type=int, default=1, help="repetitions per arm")
     p.add_argument("--seed", type=int, default=0, help="base RNG seed")
     _add_parallel(p)
+    _add_abort_on_drift(p)
     p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser(
@@ -953,8 +1133,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "obs",
-        help="inspect traces written by --trace: journals, in-sim "
-        "telemetry, and cross-run baselines",
+        help="inspect traces written by --trace: journals, live "
+        "progress, in-sim telemetry, and cross-run baselines",
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     p = obs_sub.add_parser(
@@ -1031,6 +1211,46 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. --tolerance energy_j=1e-3",
     )
     p.set_defaults(func=_cmd_obs_diff)
+
+    p = obs_sub.add_parser(
+        "watch",
+        help="live progress/ETA of a running traced sweep — tails the "
+        "journal and worker partials; optional HTTP endpoint and "
+        "incremental drift abort (exit 1 when the sweep drifted, "
+        "aborted, or erred)",
+    )
+    p.add_argument(
+        "trace", help="trace directory a --trace sweep is writing into"
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (status-check mode)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="one JSON progress object per refresh instead of the "
+        "text view",
+    )
+    p.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline JSON from 'obs snapshot'; scenarios are diffed "
+        "incrementally as they finish all repetitions",
+    )
+    p.add_argument(
+        "--abort-on-drift", action="store_true",
+        help="on drift, write the trace's abort flag file so the "
+        "running sweep cancels cooperatively (needs --baseline)",
+    )
+    p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="also serve /progress (JSON) and /metrics (Prometheus) "
+        "on 127.0.0.1:PORT (0 picks a free port)",
+    )
+    p.set_defaults(func=_cmd_obs_watch)
 
     p = obs_sub.add_parser(
         "profile",

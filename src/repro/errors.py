@@ -7,6 +7,8 @@ masking genuine bugs (``TypeError`` etc. still propagate).
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -30,6 +32,35 @@ class EnergyModelError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment description is invalid or a run failed to complete."""
+
+
+class SweepAbortedError(ExperimentError):
+    """A sweep was cancelled cooperatively before every item ran.
+
+    Raised by the executor layer when a :class:`~repro.harness.executor.
+    CancelToken` fires mid-batch (``--abort-on-drift``, an external
+    ``obs watch`` abort request, ...). Unlike a worker crash, the
+    completed portion of the batch is intact and travels with the
+    exception so callers can render partial figures or store results.
+
+    ``partial`` maps the original submission index of every finished
+    item to its measurement; ``total`` is the batch size; ``reason``
+    says who pulled the cord. Layers above the executor may attach
+    richer views (``partial_sweep``, ``partial_figure``) on the way up.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        partial: Optional[Mapping[int, Any]] = None,
+        total: int = 0,
+    ):
+        self.reason = reason
+        self.partial = dict(partial or {})
+        self.total = total
+        super().__init__(
+            f"sweep aborted after {len(self.partial)}/{total} items: {reason}"
+        )
 
 
 class AnalysisError(ReproError):

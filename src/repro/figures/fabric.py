@@ -22,12 +22,12 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
 from repro.core.advisor import EnergyAdvisor
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepAbortedError
 from repro.harness.cache import ResultCache
-from repro.harness.executor import Executor
+from repro.harness.executor import Executor, SweepControl
 from repro.harness.experiment import FabricScenario
 from repro.harness.runner import RepeatedResult, RunMeasurement
-from repro.harness.sweep import Sweep
+from repro.harness.sweep import Sweep, SweepResults
 from repro.obs.attrib import top_flow_share_percent
 from repro.obs.observer import Observer
 from repro.sched import resolve_policy_name
@@ -147,6 +147,8 @@ class FabricResult:
         rows = []
         for point in self.points:
             for policy in self.policies:
+                if policy not in point.arms:
+                    continue  # partial figure from an aborted sweep
                 arm = point.arm(policy)
                 rows.append(
                     (
@@ -208,6 +210,7 @@ def run_fabric_figure(
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
     observer: Union[None, str, Path, Observer] = None,
+    control: Optional[SweepControl] = None,
 ) -> FabricResult:
     """Run the per-policy fleet comparison for every CCA.
 
@@ -241,25 +244,50 @@ def run_fabric_figure(
             switch_power=switch_power,
         )
 
-    results = Sweep({"cca": list(ccas), "policy": names}).run(
-        factory,
-        repetitions=repetitions,
-        base_seed=base_seed,
-        executor=executor,
-        jobs=jobs,
-        cache=cache_dir,
-        observer=observer,
-    )
-    points = [
-        FabricCcaPoint(
-            cca=cca,
-            arms={
-                policy: results.one(cca=cca, policy=policy).result
+    def to_points(
+        results: SweepResults, require_all_arms: bool
+    ) -> List[FabricCcaPoint]:
+        points = []
+        for cca in ccas:
+            arms = {
+                policy: row.result
                 for policy in names
-            },
+                for row in results.where(cca=cca, policy=policy).rows
+            }
+            if require_all_arms and len(arms) != len(names):
+                raise ExperimentError(
+                    f"{cca}: expected {len(names)} arms, got {len(arms)}"
+                )
+            # A CCA is only comparable once its fair arm exists — every
+            # savings number is relative to it.
+            if "fair" in arms:
+                points.append(FabricCcaPoint(cca=cca, arms=arms))
+        return points
+
+    try:
+        results = Sweep({"cca": list(ccas), "policy": names}).run(
+            factory,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            executor=executor,
+            jobs=jobs,
+            cache=cache_dir,
+            observer=observer,
+            control=control,
         )
-        for cca in ccas
-    ]
+    except SweepAbortedError as exc:
+        partial = getattr(exc, "partial_sweep", None)
+        if partial is not None:
+            exc.partial_figure = FabricResult(  # type: ignore[attr-defined]
+                points=to_points(partial, require_all_arms=False),
+                n_flows=n_flows,
+                topology=topology,
+                policies=names,
+            )
+        raise
     return FabricResult(
-        points=points, n_flows=n_flows, topology=topology, policies=names
+        points=to_points(results, require_all_arms=True),
+        n_flows=n_flows,
+        topology=topology,
+        policies=names,
     )

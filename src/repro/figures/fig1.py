@@ -25,11 +25,12 @@ from repro.core.allocation import (
     fig1_allocations,
 )
 from repro.core.savings import savings_percent
+from repro.errors import SweepAbortedError
 from repro.harness.cache import ResultCache
-from repro.harness.executor import Executor
+from repro.harness.executor import Executor, SweepControl
 from repro.harness.experiment import Scenario, scenario_from_plan
 from repro.harness.runner import RepeatedResult
-from repro.harness.sweep import Sweep
+from repro.harness.sweep import Sweep, SweepRow
 from repro.obs.observer import Observer
 from repro.units import gbps
 
@@ -80,6 +81,13 @@ class Fig1Result:
         return max(self.savings_vs_fair_percent(p) for p in self.points)
 
     def format_table(self) -> str:
+        try:
+            self.fair_point
+            have_fair = True
+        except LookupError:
+            # A partial figure from an aborted sweep may lack the fair
+            # arm; the energies are still worth printing.
+            have_fair = False
         rows = []
         for point in self.points:
             frac = (
@@ -93,7 +101,7 @@ class Fig1Result:
                     frac,
                     point.mean_energy_j,
                     point.result.std_energy_j,
-                    self.savings_vs_fair_percent(point),
+                    self.savings_vs_fair_percent(point) if have_fair else "-",
                 )
             )
         return format_table(
@@ -114,6 +122,7 @@ def run_fig1(
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
     observer: Union[None, str, Path, Observer] = None,
+    control: Optional[SweepControl] = None,
 ) -> Fig1Result:
     """Reproduce the Fig. 1 sweep.
 
@@ -121,29 +130,43 @@ def run_fig1(
     ``jobs``/``cache_dir`` parallelize and cache the underlying
     simulations without changing any result, and ``observer`` (or a
     trace directory) journals the sweep — see :mod:`repro.obs`.
+    ``control`` threads cancellation/result hooks through; on abort the
+    raised :class:`~repro.errors.SweepAbortedError` carries a
+    ``partial_figure`` built from the grid points that completed.
     """
     plans = list(fig1_allocations(transfer_bytes, capacity_bps, fractions))
 
     def plan_scenario(plan: AllocationPlan) -> Scenario:
         return scenario_from_plan(f"fig1-{plan.name}", plan, cca=cca)
 
-    results = Sweep({"plan": plans}).run(
-        plan_scenario,
-        repetitions=repetitions,
-        base_seed=base_seed,
-        executor=executor,
-        jobs=jobs,
-        cache=cache_dir,
-        observer=observer,
-    )
-    points = [
-        Fig1Point(
-            label=row["plan"].name,
-            flow0_fraction=row["plan"].flow0_fraction
-            if row["plan"].name != FSTI_PLAN_NAME
-            else None,
-            result=row.result,
+    def to_points(rows: List[SweepRow]) -> List[Fig1Point]:
+        return [
+            Fig1Point(
+                label=row["plan"].name,
+                flow0_fraction=row["plan"].flow0_fraction
+                if row["plan"].name != FSTI_PLAN_NAME
+                else None,
+                result=row.result,
+            )
+            for row in rows
+        ]
+
+    try:
+        results = Sweep({"plan": plans}).run(
+            plan_scenario,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            executor=executor,
+            jobs=jobs,
+            cache=cache_dir,
+            observer=observer,
+            control=control,
         )
-        for row in results.rows
-    ]
-    return Fig1Result(points=points)
+    except SweepAbortedError as exc:
+        partial = getattr(exc, "partial_sweep", None)
+        if partial is not None:
+            exc.partial_figure = Fig1Result(  # type: ignore[attr-defined]
+                points=to_points(partial.rows)
+            )
+        raise
+    return Fig1Result(points=to_points(results.rows))

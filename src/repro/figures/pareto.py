@@ -28,9 +28,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepAbortedError
 from repro.harness.cache import ResultCache
-from repro.harness.executor import Executor
+from repro.harness.executor import Executor, SweepControl
 from repro.harness.experiment import (
     AnyScenario,
     FabricScenario,
@@ -38,7 +38,7 @@ from repro.harness.experiment import (
     Scenario,
 )
 from repro.harness.runner import RepeatedResult
-from repro.harness.sweep import Sweep
+from repro.harness.sweep import Sweep, SweepResults
 from repro.net.topology import TestbedConfig
 from repro.obs.attrib import top_flow_share_percent
 from repro.obs.observer import Observer
@@ -229,6 +229,7 @@ def run_pareto(
     jobs: Optional[int] = None,
     cache_dir: Union[None, str, Path, ResultCache] = None,
     observer: Union[None, str, Path, Observer] = None,
+    control: Optional[SweepControl] = None,
 ) -> ParetoResult:
     """Sweep every policy across both workloads and build the frontier.
 
@@ -262,15 +263,42 @@ def run_pareto(
             deadline_slack=deadline_slack,
         )
 
-    results = Sweep({"workload": list(WORKLOADS), "policy": names}).run(
-        factory,
-        repetitions=repetitions,
-        base_seed=base_seed,
-        executor=executor,
-        jobs=jobs,
-        cache=cache_dir,
-        observer=observer,
-    )
+    def partial_points(results: SweepResults) -> List[ParetoPoint]:
+        # Keep a workload's points only when its fair arm completed:
+        # savings and dominance are both measured against fair.
+        points = []
+        for workload in WORKLOADS:
+            arms = {
+                policy: row.result
+                for policy in names
+                for row in results.where(workload=workload, policy=policy).rows
+            }
+            if "fair" not in arms:
+                continue
+            points.extend(
+                ParetoPoint(workload=workload, policy=policy, result=result)
+                for policy, result in arms.items()
+            )
+        return points
+
+    try:
+        results = Sweep({"workload": list(WORKLOADS), "policy": names}).run(
+            factory,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            executor=executor,
+            jobs=jobs,
+            cache=cache_dir,
+            observer=observer,
+            control=control,
+        )
+    except SweepAbortedError as exc:
+        partial = getattr(exc, "partial_sweep", None)
+        if partial is not None:
+            exc.partial_figure = ParetoResult(  # type: ignore[attr-defined]
+                points=partial_points(partial), policies=names
+            )
+        raise
     points = [
         ParetoPoint(
             workload=workload,

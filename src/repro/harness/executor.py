@@ -37,13 +37,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepAbortedError
 from repro.harness.cache import ResultCache, compute_key, ensure_cache
 from repro.harness.experiment import AnyScenario
 from repro.harness.runner import RunMeasurement, run_once
-from repro.obs.journal import perf_clock, worker_id
+from repro.obs.journal import ABORT_FILENAME, perf_clock, worker_id
 from repro.obs.observer import (
     NULL_OBSERVER,
     JournalObserver,
@@ -58,6 +58,104 @@ class WorkItem:
 
     scenario: AnyScenario
     seed: int
+
+
+class CancelToken:
+    """A latching cooperative stop flag shared across the sweep layers.
+
+    The coordinator polls :attr:`cancelled` between item completions;
+    anything holding a reference (a drift gate's ``on_result`` hook, a
+    signal handler, ...) can call :meth:`cancel`. The first reason wins
+    and the token never un-cancels, so every layer observes the same
+    decision.
+    """
+
+    def __init__(self) -> None:
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if self._reason is None:
+            self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._reason is not None
+
+    @property
+    def reason(self) -> str:
+        return self._reason if self._reason is not None else "cancelled"
+
+
+class FileCancelToken(CancelToken):
+    """A cancel token that is also raised/observed via a flag file.
+
+    This is the cross-process abort channel: the coordinator polls
+    ``path`` between completions, so an external watcher can stop a
+    sweep it did not start by creating the file. The file's first line,
+    when present, becomes the abort reason; :meth:`cancel` writes the
+    file so in-process aborts are visible to other watchers too.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        super().__init__()
+        self.path = Path(path)
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        super().cancel(reason)
+        try:
+            self.path.write_text(self.reason + "\n", encoding="utf-8")
+        except OSError:
+            pass  # the in-memory latch still stops this process
+
+    @property
+    def cancelled(self) -> bool:
+        if self._reason is not None:
+            return True
+        if self.path.exists():
+            try:
+                text = self.path.read_text(encoding="utf-8").strip()
+            except OSError:
+                text = ""
+            lines = text.splitlines()
+            self._reason = lines[0] if lines else "abort file present"
+            return True
+        return False
+
+
+@dataclass
+class SweepControl:
+    """Observational hooks threaded through a batch run.
+
+    ``on_result`` fires on the coordinator for every completed item —
+    cache hits included — in submission order, receiving the item's
+    original submission index, the item, and its measurement.
+    ``cancel`` is polled between completions; once it fires, the
+    remaining items are skipped (queued pool futures are cancelled) and
+    a :class:`~repro.errors.SweepAbortedError` carrying the finished
+    portion propagates. Both hooks are strictly observational: they
+    must not mutate scenarios or results (the determinism contract),
+    only watch them and, at most, pull the cord.
+    """
+
+    on_result: Optional[
+        Callable[[int, WorkItem, "RunMeasurement"], None]
+    ] = None
+    cancel: Optional[CancelToken] = None
+
+    def notify(
+        self, index: int, item: WorkItem, measurement: RunMeasurement
+    ) -> None:
+        if self.on_result is not None:
+            self.on_result(index, item, measurement)
+
+    def check(
+        self, completed: Dict[int, RunMeasurement], total: int
+    ) -> None:
+        """Raise :class:`SweepAbortedError` if a stop was requested."""
+        if self.cancel is not None and self.cancel.cancelled:
+            raise SweepAbortedError(
+                self.cancel.reason, partial=completed, total=total
+            )
 
 
 def _worker_error(item: WorkItem, exc: Exception) -> ExperimentError:
@@ -168,6 +266,7 @@ class Executor:
         items: Sequence[WorkItem],
         observer: Optional[Observer] = None,
         indices: Optional[Sequence[int]] = None,
+        control: Optional[SweepControl] = None,
     ) -> List[RunMeasurement]:
         raise NotImplementedError
 
@@ -194,12 +293,24 @@ class SerialExecutor(Executor):
         items: Sequence[WorkItem],
         observer: Optional[Observer] = None,
         indices: Optional[Sequence[int]] = None,
+        control: Optional[SweepControl] = None,
     ) -> List[RunMeasurement]:
         obs = NULL_OBSERVER if observer is None else observer
-        return [
-            run_item_observed(item, index, obs)
-            for index, item in zip(_resolve_indices(items, indices), items)
-        ]
+        index_list = _resolve_indices(items, indices)
+        if control is None:
+            return [
+                run_item_observed(item, index, obs)
+                for index, item in zip(index_list, items)
+            ]
+        completed: Dict[int, RunMeasurement] = {}
+        results: List[RunMeasurement] = []
+        for index, item in zip(index_list, items):
+            control.check(completed, len(items))
+            measurement = run_item_observed(item, index, obs)
+            completed[index] = measurement
+            results.append(measurement)
+            control.notify(index, item, measurement)
+        return results
 
 
 class ProcessExecutor(Executor):
@@ -226,15 +337,18 @@ class ProcessExecutor(Executor):
         items: Sequence[WorkItem],
         observer: Optional[Observer] = None,
         indices: Optional[Sequence[int]] = None,
+        control: Optional[SweepControl] = None,
     ) -> List[RunMeasurement]:
         items = list(items)
         obs = NULL_OBSERVER if observer is None else observer
         index_list = _resolve_indices(items, indices)
         if self.jobs == 1 or len(items) <= 1:
             return SerialExecutor().run_items(
-                items, observer=obs, indices=index_list
+                items, observer=obs, indices=index_list, control=control
             )
         workers = min(self.jobs, len(items))
+        entry: Callable[[Any], RunMeasurement]
+        payload: Sequence[Any]
         if obs.enabled and obs.trace_dir is not None:
             payload = [
                 _TracedItem(
@@ -245,10 +359,32 @@ class ProcessExecutor(Executor):
                 )
                 for index, item in zip(index_list, items)
             ]
+            entry = execute_item_traced
+        else:
+            payload = items
+            entry = execute_item
+        if control is None:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_item_traced, payload))
+                return list(pool.map(entry, payload))
+        # Cancellable path: consume results in submission order as they
+        # land, polling the stop flag between completions. ``pool.map``
+        # submits everything up front, so a cancel only skips futures
+        # that have not started yet — finished work is kept.
+        completed: Dict[int, RunMeasurement] = {}
+        results: List[RunMeasurement] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_item, items))
+            stream = pool.map(entry, payload)
+            for index, item in zip(index_list, items):
+                try:
+                    control.check(completed, len(items))
+                except SweepAbortedError:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+                measurement = next(stream)
+                completed[index] = measurement
+                results.append(measurement)
+                control.notify(index, item, measurement)
+        return results
 
 
 def resolve_executor(
@@ -285,6 +421,7 @@ def run_work_items(
     jobs: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
     observer: Union[None, str, Path, Observer] = None,
+    control: Optional[SweepControl] = None,
 ) -> List[RunMeasurement]:
     """Execute a batch of work items, cache-aware and order-preserving.
 
@@ -299,14 +436,33 @@ def run_work_items(
     observational — results are bit-identical with it on or off — and
     worker journals are merged even when the batch fails, so crashed
     sweeps keep their evidence.
+
+    ``control`` adds per-completion hooks and cooperative cancellation
+    (see :class:`SweepControl`). On a traced run with no explicit
+    cancel token, a :class:`FileCancelToken` on
+    ``<trace_dir>/abort.requested`` is installed automatically, so an
+    external ``greenenvy obs watch --abort-on-drift`` (or a plain
+    ``touch``) can stop the sweep. A cancelled batch stores whatever
+    finished to the cache, journals ``batch_aborted``, and raises
+    :class:`~repro.errors.SweepAbortedError` carrying the partial
+    results keyed by submission index.
     """
     items = list(items)
     backend = resolve_executor(executor, jobs)
     store = ensure_cache(cache)
     obs = resolve_observer(observer)
-    if not obs.enabled and store is None:
+    if not obs.enabled and store is None and control is None:
         # The zero-overhead path: no cache bookkeeping, no events.
         return backend.run_items(items)
+
+    if obs.enabled and obs.trace_dir is not None and (
+        control is None or control.cancel is None
+    ):
+        # Every traced run is externally abortable via its flag file.
+        control = SweepControl(
+            on_result=control.on_result if control is not None else None,
+            cancel=FileCancelToken(Path(obs.trace_dir) / ABORT_FILENAME),
+        )
 
     if obs.enabled:
         obs.emit(
@@ -335,10 +491,45 @@ def run_work_items(
                         seed=item.seed,
                         cache_key=store.key(item.scenario, item.seed),
                     )
+    if control is not None:
+        for i, (item, prior) in enumerate(zip(items, results)):
+            if prior is not None:
+                control.notify(i, item, prior)
     try:
+        if control is not None:
+            control.check({}, len(items))
+        kwargs: Dict[str, Any] = {}
+        if control is not None:
+            # Only pass the keyword when live so executors written
+            # against the pre-cancellation signature keep working.
+            kwargs["control"] = control
         fresh = backend.run_items(
-            [items[i] for i in missing], observer=obs, indices=missing
+            [items[i] for i in missing], observer=obs, indices=missing,
+            **kwargs,
         )
+    except SweepAbortedError as exc:
+        # Keep every finished measurement: store to cache, fold in the
+        # hits, and journal the abort before letting it propagate.
+        if store is not None and exc.partial:
+            with obs.span("cache_store", items=len(exc.partial)):
+                for i, measurement in exc.partial.items():
+                    store.put(items[i].scenario, items[i].seed, measurement)
+        for i, prior in enumerate(results):
+            if prior is not None:
+                exc.partial.setdefault(i, prior)
+        exc.total = len(items)
+        exc.args = (
+            f"sweep aborted after {len(exc.partial)}/{exc.total} items: "
+            f"{exc.reason}",
+        )
+        if obs.enabled:
+            obs.emit(
+                "batch_aborted",
+                items=len(items),
+                completed=len(exc.partial),
+                reason=exc.reason,
+            )
+        raise
     finally:
         # Merge per-worker journals even on failure: the events leading
         # up to a crash are exactly the ones worth keeping.

@@ -30,9 +30,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepAbortedError
 from repro.harness.cache import ResultCache
-from repro.harness.executor import Executor, WorkItem, run_work_items
+from repro.harness.executor import (
+    Executor,
+    SweepControl,
+    WorkItem,
+    run_work_items,
+)
 from repro.harness.experiment import AnyScenario
 from repro.harness.runner import RepeatedResult
 from repro.obs.observer import Observer, resolve_observer
@@ -135,6 +140,7 @@ class Sweep:
         jobs: Optional[int] = None,
         cache: Union[None, str, Path, ResultCache] = None,
         observer: Union[None, str, Path, Observer] = None,
+        control: Optional[SweepControl] = None,
     ) -> SweepResults:
         """Run every grid point's scenario ``repetitions`` times.
 
@@ -146,6 +152,14 @@ class Sweep:
         worker scheduling. ``observer`` (an
         :class:`~repro.obs.observer.Observer` or a trace directory)
         journals the sweep without affecting any result.
+
+        ``control`` threads per-completion hooks and cooperative
+        cancellation through (see
+        :class:`~repro.harness.executor.SweepControl`). When the batch
+        is aborted, the propagating
+        :class:`~repro.errors.SweepAbortedError` gains a
+        ``partial_sweep`` attribute: a :class:`SweepResults` holding
+        every grid point whose ``repetitions`` runs all finished.
         """
         if repetitions < 1:
             raise ExperimentError(
@@ -167,9 +181,39 @@ class Sweep:
                 repetitions=repetitions,
                 items=len(items),
             )
-        measurements = run_work_items(
-            items, executor=executor, jobs=jobs, cache=cache, observer=obs
-        )
+        try:
+            measurements = run_work_items(
+                items, executor=executor, jobs=jobs, cache=cache,
+                observer=obs, control=control,
+            )
+        except SweepAbortedError as exc:
+            # Salvage the grid points that finished every repetition so
+            # callers can still render a partial figure.
+            partial = SweepResults()
+            for i, (point, scenario) in enumerate(zip(points, scenarios)):
+                runs = [
+                    exc.partial[j]
+                    for j in range(i * repetitions, (i + 1) * repetitions)
+                    if j in exc.partial
+                ]
+                if len(runs) == repetitions:
+                    partial.rows.append(
+                        SweepRow(
+                            params=point,
+                            result=RepeatedResult(
+                                scenario=scenario.name, runs=runs
+                            ),
+                        )
+                    )
+            exc.partial_sweep = partial  # type: ignore[attr-defined]
+            if obs.enabled:
+                obs.emit(
+                    "sweep_aborted",
+                    items=len(exc.partial),
+                    grid_points=len(partial.rows),
+                    reason=exc.reason,
+                )
+            raise
         if obs.enabled:
             obs.emit("sweep_finished", items=len(measurements))
         results = SweepResults()

@@ -23,6 +23,12 @@ the same discipline to the reproduction's own pipeline. Three layers:
 * :mod:`repro.obs.baseline` — committed snapshots of a sweep's scalar
   outcomes plus the tolerance-aware diff behind ``greenenvy obs diff``,
   the regression gate CI runs.
+* :mod:`repro.obs.progress` / :mod:`repro.obs.live` — streaming
+  aggregation of a *running* sweep: the incremental progress/ETA model,
+  the ``greenenvy obs watch`` view, an opt-in HTTP progress endpoint,
+  and the mid-run drift gate. ``live`` is deliberately *not*
+  re-exported here — importing it from this package ``__init__`` would
+  close a cycle with the harness (which imports ``repro.obs.journal``).
 
 One invariant is non-negotiable and machine-enforced (the
 ``obs-no-feedback`` simlint rule): observability state never flows
@@ -64,6 +70,15 @@ from repro.obs.baseline import (
     save_baseline,
     snapshot_from_journal,
 )
+from repro.obs.progress import (
+    PhaseProgress,
+    ProgressTracker,
+    ScenarioProgress,
+    SweepProgress,
+    format_progress,
+    progress_to_dict,
+    progress_to_registry,
+)
 from repro.obs.report import (
     JournalSummary,
     format_report,
@@ -103,6 +118,13 @@ __all__ = [
     "Span",
     "NULL_OBSERVER",
     "resolve_observer",
+    "ProgressTracker",
+    "SweepProgress",
+    "ScenarioProgress",
+    "PhaseProgress",
+    "progress_to_dict",
+    "progress_to_registry",
+    "format_progress",
     "JournalSummary",
     "summarize_journal",
     "summary_to_dict",

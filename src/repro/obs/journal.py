@@ -37,6 +37,8 @@ EVENT_NAMES = (
     "sweep_finished",
     "batch_started",
     "batch_finished",
+    "batch_aborted",
+    "sweep_aborted",
     "cache_hit",
     "cache_miss",
     "run_started",
@@ -50,6 +52,12 @@ JOURNAL_FILENAME = "journal.jsonl"
 
 #: glob pattern of per-worker partial journals awaiting merge
 WORKER_GLOB = "worker-*.jsonl"
+
+#: flag file inside a trace dir requesting a cooperative sweep abort;
+#: the coordinator polls it between item completions (see
+#: :class:`repro.harness.executor.FileCancelToken`), and external
+#: watchers (``greenenvy obs watch --abort-on-drift``) create it
+ABORT_FILENAME = "abort.requested"
 
 #: event fields that are diagnostic (wall clock / process identity) and
 #: therefore excluded from determinism comparisons
@@ -137,27 +145,41 @@ def journal_path(target: Union[str, Path]) -> Path:
 
 
 def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a JSONL journal (or trace directory) into event dicts."""
+    """Parse a JSONL journal (or trace directory) into event dicts.
+
+    Safe to call while a sweep is still writing: the writer appends
+    each record plus its newline in a single buffered write, so a final
+    line with no terminating newline is a write in progress — it is
+    skipped, not an error. A *terminated* line that fails to parse
+    still raises :class:`ObservabilityError` with its location, because
+    that means corruption rather than tailing.
+    """
     resolved = journal_path(path)
     if not resolved.exists():
         raise ObservabilityError(f"no journal at {resolved}")
     events: List[Dict[str, Any]] = []
     with resolved.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                raise ObservabilityError(
-                    f"{resolved}:{lineno}: bad journal line: {exc}"
-                ) from exc
-            if not isinstance(record, dict) or "event" not in record:
-                raise ObservabilityError(
-                    f"{resolved}:{lineno}: journal record lacks an 'event'"
-                )
-            events.append(record)
+        raw_lines = handle.readlines()
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if lineno == len(raw_lines) and not raw.endswith("\n"):
+            # Torn tail: a concurrent writer has not committed this
+            # record yet (even if the fragment happens to parse, its
+            # trailing fields could still be mid-write). Skip it.
+            break
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"{resolved}:{lineno}: bad journal line: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "event" not in record:
+            raise ObservabilityError(
+                f"{resolved}:{lineno}: journal record lacks an 'event'"
+            )
+        events.append(record)
     return events
 
 

@@ -80,6 +80,12 @@ class JournalSummary:
     phases: List[PhaseStats] = field(default_factory=list)
     errors: List[Dict[str, Any]] = field(default_factory=list)
     heap: EngineHeapStats = field(default_factory=EngineHeapStats)
+    batches_started: int = 0
+    batches_finished: int = 0
+    batches_aborted: int = 0
+    #: runs started whose terminal event (finished/error) never arrived
+    runs_in_flight: int = 0
+    abort_reason: str = ""
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -90,9 +96,29 @@ class JournalSummary:
         return self.cache_hits / lookups
 
     @property
+    def aborted(self) -> bool:
+        """Whether the sweep was cancelled cooperatively mid-run."""
+        return self.batches_aborted > 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every started batch reached its terminal event.
+
+        A journal whose final ``batch_finished``/``batch_aborted`` is
+        missing belongs to a *killed* run (OOM, SIGKILL, a pulled
+        plug): the sweep never finished, however clean its per-run
+        events look. Journals with no batch events at all (unit-test
+        fixtures, hand-built streams) are vacuously complete.
+        """
+        return (
+            self.batches_finished + self.batches_aborted
+            >= self.batches_started
+        )
+
+    @property
     def healthy(self) -> bool:
-        """Whether the sweep completed without worker errors."""
-        return not self.errors
+        """Whether the sweep ran to completion without worker errors."""
+        return not self.errors and self.complete and not self.aborted
 
 
 def summarize_journal(
@@ -103,6 +129,15 @@ def summarize_journal(
     errors = [e for e in events if e.get("event") == "worker_error"]
     hits = sum(1 for e in events if e.get("event") == "cache_hit")
     misses = sum(1 for e in events if e.get("event") == "cache_miss")
+    started = sum(1 for e in events if e.get("event") == "run_started")
+    batches_started = sum(
+        1 for e in events if e.get("event") == "batch_started"
+    )
+    batches_finished = sum(
+        1 for e in events if e.get("event") == "batch_finished"
+    )
+    aborts = [e for e in events if e.get("event") == "batch_aborted"]
+    abort_reason = str(aborts[-1].get("reason", "")) if aborts else ""
 
     by_scenario: Dict[str, List[Mapping[str, Any]]] = {}
     for record in finished:
@@ -154,6 +189,11 @@ def summarize_journal(
         ),
         errors=[dict(e) for e in errors],
         heap=heap,
+        batches_started=batches_started,
+        batches_finished=batches_finished,
+        batches_aborted=len(aborts),
+        runs_in_flight=max(0, started - len(finished) - len(errors)),
+        abort_reason=abort_reason,
     )
 
 
@@ -167,6 +207,13 @@ def summary_to_dict(summary: JournalSummary) -> Dict[str, Any]:
         "cache_misses": summary.cache_misses,
         "cache_hit_ratio": summary.cache_hit_ratio,
         "healthy": summary.healthy,
+        "complete": summary.complete,
+        "aborted": summary.aborted,
+        "abort_reason": summary.abort_reason,
+        "batches_started": summary.batches_started,
+        "batches_finished": summary.batches_finished,
+        "batches_aborted": summary.batches_aborted,
+        "runs_in_flight": summary.runs_in_flight,
         "per_scenario": [
             {
                 "scenario": s.scenario,
@@ -290,4 +337,20 @@ def format_report(summary: JournalSummary) -> str:
         )
         lines.append("")
         lines.append("sweep UNHEALTHY: worker errors recorded")
+    if summary.aborted:
+        lines.append("")
+        reason = summary.abort_reason or "no reason recorded"
+        lines.append(
+            f"sweep ABORTED mid-run ({reason}): "
+            f"{summary.batches_aborted} of {summary.batches_started} "
+            f"batch(es) cancelled cooperatively"
+        )
+    elif not summary.complete:
+        lines.append("")
+        lines.append(
+            f"sweep INCOMPLETE: {summary.batches_started} batch(es) "
+            f"started, only {summary.batches_finished} finished "
+            f"({summary.runs_in_flight} run(s) still in flight) — the "
+            f"coordinator was likely killed before batch_finished"
+        )
     return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Cooperative cancellation: tokens, mid-batch aborts, partial salvage.
+
+The contract: a cancelled sweep is not a crashed sweep. Every finished
+measurement survives (on the exception, in the cache, in the journal),
+the abort is journaled with its reason, and a control that never fires
+changes nothing — bit-for-bit.
+"""
+
+import pytest
+
+from repro.errors import SweepAbortedError
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    CancelToken,
+    FileCancelToken,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepControl,
+    WorkItem,
+    run_work_items,
+)
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.harness.sweep import Sweep
+from repro.obs.journal import ABORT_FILENAME, read_journal
+
+SIZE = 400_000
+
+
+def tiny_scenario(name="cancel", **overrides):
+    defaults = dict(name=name, flows=[FlowSpec(SIZE)], packages=1)
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def items_for(n=4):
+    return [WorkItem(scenario=tiny_scenario(), seed=seed) for seed in range(n)]
+
+
+def cancel_after(token, count, reason="enough"):
+    """An on_result hook that pulls the cord after ``count`` results."""
+    seen = []
+
+    def hook(index, item, measurement):
+        seen.append(index)
+        if len(seen) >= count:
+            token.cancel(reason)
+
+    return hook, seen
+
+
+class TestCancelToken:
+    def test_latches_the_first_reason(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+
+    def test_file_token_is_a_cross_process_channel(self, tmp_path):
+        flag = tmp_path / ABORT_FILENAME
+        token = FileCancelToken(flag)
+        assert not token.cancelled
+        token.cancel("stop now")
+        assert flag.read_text().startswith("stop now")
+        # A second token on the same path (another process) observes it.
+        other = FileCancelToken(flag)
+        assert other.cancelled
+        assert other.reason == "stop now"
+
+    def test_plain_touch_counts_as_abort(self, tmp_path):
+        flag = tmp_path / ABORT_FILENAME
+        flag.write_text("")
+        token = FileCancelToken(flag)
+        assert token.cancelled
+        assert token.reason == "abort file present"
+
+
+class TestMidBatchAbort:
+    def test_serial_abort_keeps_finished_items(self):
+        token = CancelToken()
+        hook, seen = cancel_after(token, 2, reason="two is plenty")
+        control = SweepControl(on_result=hook, cancel=token)
+        with pytest.raises(SweepAbortedError) as excinfo:
+            SerialExecutor().run_items(items_for(4), control=control)
+        exc = excinfo.value
+        assert sorted(exc.partial) == [0, 1]
+        assert seen == [0, 1]
+        assert exc.reason == "two is plenty"
+        assert "2/4" in str(exc)
+
+    def test_process_abort_keeps_finished_items(self):
+        token = CancelToken()
+        hook, seen = cancel_after(token, 1)
+        control = SweepControl(on_result=hook, cancel=token)
+        with pytest.raises(SweepAbortedError) as excinfo:
+            ProcessExecutor(2).run_items(items_for(4), control=control)
+        exc = excinfo.value
+        # In-flight items may still drain, but the batch stopped early
+        # and everything reported finished carries a real measurement.
+        assert 1 <= len(exc.partial) < 4
+        assert 0 in exc.partial
+        for index, measurement in exc.partial.items():
+            assert measurement.energy_j > 0.0
+
+    def test_pre_cancelled_token_dispatches_nothing(self):
+        token = CancelToken()
+        token.cancel("never started")
+        control = SweepControl(cancel=token)
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_work_items(items_for(3), control=control)
+        assert excinfo.value.partial == {}
+        assert "0/3" in str(excinfo.value)
+
+    def test_idle_control_changes_no_bits(self):
+        # A control with hooks that never cancel must not perturb the
+        # measurements: same results as the zero-overhead path.
+        seen = []
+        control = SweepControl(on_result=lambda i, item, m: seen.append(i))
+        plain = run_work_items(items_for(4))
+        watched = run_work_items(items_for(4), control=control)
+        assert watched == plain
+        assert seen == [0, 1, 2, 3]
+
+
+class TestAbortSalvage:
+    def test_partial_is_stored_to_cache_and_replayable(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        token = CancelToken()
+        hook, _ = cancel_after(token, 2)
+        control = SweepControl(on_result=hook, cancel=token)
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_work_items(items_for(4), cache=cache, control=control)
+        aborted = excinfo.value
+        assert sorted(aborted.partial) == [0, 1]
+        # The rerun replays the salvaged items as cache hits (notified
+        # first, in submission order) and computes only the rest.
+        seen = []
+        replay = SweepControl(on_result=lambda i, item, m: seen.append(i))
+        results = run_work_items(items_for(4), cache=cache, control=replay)
+        assert len(results) == 4
+        assert seen == [0, 1, 2, 3]
+        assert results[0] == aborted.partial[0]
+        assert results[1] == aborted.partial[1]
+
+    def test_abort_file_in_trace_dir_stops_traced_run(self, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        (trace / ABORT_FILENAME).write_text("external stop\n")
+        with pytest.raises(SweepAbortedError, match="external stop"):
+            run_work_items(items_for(2), observer=trace)
+        events = read_journal(trace)
+        aborts = [e for e in events if e["event"] == "batch_aborted"]
+        assert len(aborts) == 1
+        assert aborts[0]["reason"] == "external stop"
+        assert aborts[0]["completed"] == 0
+
+    def test_sweep_salvages_complete_grid_points(self):
+        sweep = Sweep({"mtu": [1500, 9000]})
+        token = CancelToken()
+        # Cancel mid-way through the second grid point: reps=2, so
+        # after 3 results grid point 0 is whole and point 1 is not.
+        hook, _ = cancel_after(token, 3, reason="mid grid point")
+        control = SweepControl(on_result=hook, cancel=token)
+        with pytest.raises(SweepAbortedError) as excinfo:
+            sweep.run(
+                lambda mtu: tiny_scenario(f"sweep-{mtu}", mtu_bytes=mtu),
+                repetitions=2,
+                control=control,
+            )
+        partial = excinfo.value.partial_sweep
+        assert [row.params["mtu"] for row in partial.rows] == [1500]
+        assert len(partial.rows[0].result.runs) == 2

@@ -1,0 +1,178 @@
+"""Watching a sweep must not change it: live-tail + HTTP, zero bits moved.
+
+The acceptance bar for ``greenenvy obs watch``: a sweep that is being
+tailed (journal partials polled mid-run) *and* scraped over HTTP
+produces measurements, journal events, and telemetry records
+bit-identical to the same sweep run unwatched — serial and with a
+process pool. The watcher only ever reads; the one sanctioned write is
+the ``abort.requested`` flag, which is its own test.
+"""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import SweepAbortedError
+from repro.harness.executor import (
+    SweepControl,
+    WorkItem,
+    run_work_items,
+)
+from repro.harness.experiment import FlowSpec, Scenario
+from repro.obs.journal import VOLATILE_FIELDS, read_journal
+from repro.obs.live import LiveSweepView, ProgressServer, request_abort
+from repro.obs.telemetry import read_telemetry
+
+SIZE = 400_000
+
+
+def tiny_scenario(name="live", **overrides):
+    defaults = dict(name=name, flows=[FlowSpec(SIZE)], packages=1)
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def items_for(n=4):
+    scenario = tiny_scenario()
+    return [WorkItem(scenario=scenario, seed=seed) for seed in range(n)]
+
+
+def stable_events(journal_source):
+    """Journal events with the volatile diagnostics stripped."""
+    return [
+        {k: v for k, v in event.items() if k not in VOLATILE_FIELDS}
+        for event in read_journal(journal_source)
+    ]
+
+
+def telemetry_key(record):
+    return (
+        record["scenario"], record["seed"], record["channel"],
+        record["entity"],
+    )
+
+
+class Watcher:
+    """A background thread that tails a trace dir and scrapes its server.
+
+    This is ``obs watch`` plus a Prometheus scraper, concentrated: poll
+    the journal partials as fast as they appear, keep snapshots, and
+    hit ``/progress`` and ``/metrics`` over real HTTP the whole time.
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.snapshots = []
+        self.scrapes = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        view = LiveSweepView(self.trace)
+        server = ProgressServer(view, port=0).start()
+        try:
+            while not self._stop.is_set():
+                view.poll()
+                self.snapshots.append(view.snapshot())
+                try:
+                    for path in ("/progress", "/metrics"):
+                        with urllib.request.urlopen(
+                            f"http://127.0.0.1:{server.port}{path}",
+                            timeout=5,
+                        ) as response:
+                            response.read()
+                    self.scrapes += 1
+                except urllib.error.URLError:
+                    pass
+                time.sleep(0.01)
+            # One last poll after the sweep finished: the terminal
+            # events are committed by then.
+            view.poll()
+            self.snapshots.append(view.snapshot())
+        finally:
+            server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive()
+
+
+class TestWatchedSweepIsBitIdentical:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_watched_equals_unwatched(self, tmp_path, jobs):
+        quiet = tmp_path / "quiet"
+        watched = tmp_path / "watched"
+        watched.mkdir()  # the watcher attaches before the sweep starts
+        plain = run_work_items(items_for(), jobs=jobs, observer=quiet)
+        with Watcher(watched) as watcher:
+            observed = run_work_items(
+                items_for(), jobs=jobs, observer=watched
+            )
+        assert observed == plain
+        # Order-normalised journal equality, as in
+        # test_trace_determinism: with a pool, item-less span events
+        # interleave by worker scheduling even between two unwatched
+        # runs; the event *set* is the deterministic contract.
+        key = lambda e: sorted(  # noqa: E731
+            (k, repr(v)) for k, v in e.items()
+        )
+        assert sorted(stable_events(watched), key=key) == sorted(
+            stable_events(quiet), key=key
+        )
+        assert sorted(
+            read_telemetry(watched), key=telemetry_key
+        ) == sorted(read_telemetry(quiet), key=telemetry_key)
+        assert watcher.scrapes >= 1
+
+    def test_watcher_converges_on_the_finished_sweep(self, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        with Watcher(trace) as watcher:
+            run_work_items(items_for(), observer=trace)
+        final = watcher.snapshots[-1]
+        assert final.complete
+        assert not final.aborted
+        assert final.items_total == 4
+        assert final.items_done == 4
+        assert final.runs_finished == 4
+
+
+class TestExternalAbort:
+    def test_abort_request_stops_the_sweep_and_the_watch_sees_it(
+        self, tmp_path
+    ):
+        # The flag is dropped deterministically from the completion hook
+        # (a real watcher writes the same file from outside); the
+        # auto-installed FileCancelToken on the traced run picks it up.
+        trace = tmp_path / "trace"
+        trace.mkdir()
+
+        def hook(index, item, measurement):
+            if index == 1:
+                request_abort(trace, "watcher says stop")
+
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_work_items(
+                items_for(), observer=trace,
+                control=SweepControl(on_result=hook),
+            )
+        exc = excinfo.value
+        assert exc.reason == "watcher says stop"
+        assert sorted(exc.partial) == [0, 1]
+        assert "batch_aborted" in [
+            e["event"] for e in read_journal(trace)
+        ]
+        view = LiveSweepView(trace)
+        view.poll()
+        progress = view.snapshot()
+        assert progress.aborted
+        assert progress.complete  # terminal event did arrive
+        assert progress.abort_reason == "watcher says stop"

@@ -42,6 +42,12 @@ def _events(errors=0):
                 "error": "boom",
             }
         )
+    # Every started batch reaches its terminal event: this fixture is a
+    # sweep that *finished* (summaries of killed sweeps are tested in
+    # TestCompleteness).
+    events.append(
+        {"event": "batch_finished", "items": 4, "executed": 3, "cache_hits": 1}
+    )
     return events
 
 
@@ -89,6 +95,89 @@ class TestSummarize:
         summary = summarize_journal(_events(errors=1))
         assert not summary.healthy
         assert summary.errors[0]["error"] == "boom"
+
+
+class TestCompleteness:
+    """Killed and aborted sweeps must not summarize as healthy."""
+
+    def test_fixture_sweep_is_complete(self):
+        summary = summarize_journal(_events())
+        assert summary.batches_started == 1
+        assert summary.batches_finished == 1
+        assert summary.complete
+        assert not summary.aborted
+
+    def test_missing_batch_finished_is_incomplete(self):
+        # The journal of a coordinator killed mid-batch: batch_started
+        # with no terminal event, plus a run that never finished.
+        events = [
+            {"event": "batch_started", "items": 2},
+            {"event": "run_started", "item": 0, "scenario": "a", "seed": 0},
+            {
+                "event": "run_finished",
+                "item": 0,
+                "scenario": "a",
+                "seed": 0,
+                "wall_s": 0.1,
+                "sim_time_s": 0.01,
+                "energy_j": 1.0,
+            },
+            {"event": "run_started", "item": 1, "scenario": "a", "seed": 1},
+        ]
+        summary = summarize_journal(events)
+        assert not summary.complete
+        assert summary.runs_in_flight == 1
+        assert not summary.healthy
+        text = format_report(summary)
+        assert "INCOMPLETE" in text
+        assert "likely killed" in text
+
+    def test_batch_aborted_counts_as_terminal_but_unhealthy(self):
+        events = [
+            {"event": "batch_started", "items": 4},
+            {
+                "event": "batch_aborted",
+                "items": 4,
+                "completed": 1,
+                "reason": "drift vs baseline: a/energy_j",
+            },
+        ]
+        summary = summarize_journal(events)
+        assert summary.complete  # the terminal event did arrive...
+        assert summary.aborted  # ...but the sweep did not finish its work
+        assert not summary.healthy
+        assert summary.abort_reason == "drift vs baseline: a/energy_j"
+        text = format_report(summary)
+        assert "ABORTED" in text
+        assert "drift vs baseline" in text
+
+    def test_synthetic_journals_without_batches_stay_healthy(self):
+        # Hand-built event streams (unit tests, external tools) carry no
+        # batch framing; they are vacuously complete.
+        summary = summarize_journal(
+            [
+                {
+                    "event": "run_finished",
+                    "scenario": "a",
+                    "seed": 0,
+                    "wall_s": 0.1,
+                    "sim_time_s": 0.01,
+                    "energy_j": 1.0,
+                }
+            ]
+        )
+        assert summary.complete
+        assert summary.healthy
+
+    def test_dict_carries_completeness_fields(self):
+        payload = summary_to_dict(summarize_journal(_events()))
+        assert payload["complete"] is True
+        assert payload["aborted"] is False
+        assert payload["abort_reason"] == ""
+        assert payload["batches_started"] == 1
+        assert payload["batches_finished"] == 1
+        assert payload["batches_aborted"] == 0
+        assert payload["runs_in_flight"] == 0
 
 
 class TestRendering:

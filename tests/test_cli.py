@@ -233,15 +233,48 @@ class TestObsCommands:
         assert "empty" in err
         assert "Traceback" not in err
 
-    def test_report_truncated_journal_exits_two(self, capsys, tmp_path):
-        # A journal whose last line was cut mid-write (killed sweep).
+    def test_report_tolerates_torn_final_line(self, capsys, tmp_path):
+        # A journal whose last line was cut mid-write (killed sweep):
+        # the unterminated tail is a write in progress, not corruption,
+        # so the report still renders from the committed events.
         trace = self._journal(tmp_path)
         with (trace / "journal.jsonl").open("a") as handle:
             handle.write('{"event": "run_fini')
+        assert main(["obs", "report", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "1 runs finished" in captured.out
+        assert "Traceback" not in captured.err
+
+    def test_report_bad_terminated_line_exits_two(self, capsys, tmp_path):
+        # A *terminated* unparseable line is real corruption, not a torn
+        # tail — that still fails loudly.
+        trace = self._journal(tmp_path)
+        with (trace / "journal.jsonl").open("a") as handle:
+            handle.write('{"event": "run_fini\n')
         assert main(["obs", "report", str(trace)]) == 2
         err = capsys.readouterr().err
         assert "bad journal line" in err
         assert "Traceback" not in err
+
+    def test_report_flags_killed_sweep_as_incomplete(self, capsys, tmp_path):
+        # batch_started without its batch_finished: the coordinator was
+        # killed mid-sweep, so the journal must not report healthy.
+        from repro.obs.journal import JournalWriter
+
+        trace = tmp_path / "killed"
+        trace.mkdir()
+        with JournalWriter(trace / "journal.jsonl", worker=1) as journal:
+            journal.write("batch_started", items=2, backend="serial", cache=False)
+            journal.write("run_started", item=0, scenario="s", seed=0)
+            journal.write(
+                "run_finished", item=0, scenario="s", seed=0,
+                wall_s=0.5, sim_time_s=0.01, energy_j=2.0,
+            )
+            journal.write("run_started", item=1, scenario="s", seed=1)
+        assert main(["obs", "report", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "INCOMPLETE" in out
+        assert "1 run(s) still in flight" in out
 
 
 class TestObsTimeline:
@@ -398,3 +431,116 @@ class TestObsBaselineCommands:
             "obs", "diff", str(tmp_path / "absent.json"), str(trace),
         ]) == 2
         assert "no baseline" in capsys.readouterr().err
+
+
+class TestObsWatchCommand:
+    """greenenvy obs watch: one-shot snapshots of a traced sweep."""
+
+    def _trace(self, tmp_path, aborted=False):
+        from repro.obs.journal import JournalWriter
+
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        with JournalWriter(trace / "journal.jsonl", worker=1) as journal:
+            journal.write("batch_started", items=1, backend="serial")
+            if aborted:
+                journal.write(
+                    "batch_aborted", items=1, completed=0,
+                    reason="drift vs baseline: s/energy_j",
+                )
+            else:
+                journal.write("run_started", item=0, scenario="s", seed=0)
+                journal.write(
+                    "run_finished", item=0, scenario="s", seed=0,
+                    wall_s=0.5, sim_time_s=0.01, energy_j=2.0,
+                )
+                journal.write(
+                    "batch_finished", items=1, executed=1, cache_hits=0
+                )
+        return trace
+
+    def test_watch_once_json(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "watch", "--once", "--json", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["items_total"] == 1
+        assert payload["complete"] is True
+
+    def test_watch_once_text(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "watch", "--once", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 items" in out
+        assert "complete" in out
+
+    def test_watch_aborted_trace_exits_one(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, aborted=True)
+        assert main(["obs", "watch", "--once", "--json", str(trace)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aborted"] is True
+        assert "drift vs baseline" in payload["abort_reason"]
+
+    def test_watch_missing_trace_exits_two(self, capsys, tmp_path):
+        code = main(["obs", "watch", "--once", str(tmp_path / "absent")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_abort_on_drift_requires_baseline(self, capsys, tmp_path):
+        trace = self._trace(tmp_path)
+        code = main(["obs", "watch", "--once", "--abort-on-drift", str(trace)])
+        assert code == 2
+        assert "--abort-on-drift needs --baseline" in capsys.readouterr().err
+
+
+class TestAbortOnDrift:
+    """--abort-on-drift: mid-run gating with its own exit code."""
+
+    FIG1 = ["fig1", "--bytes", "400000", "--reps", "2"]
+
+    def test_fig1_exits_three_on_injected_regression(self, capsys, tmp_path):
+        trace = tmp_path / "trace"
+        assert main(self.FIG1 + ["--trace", str(trace)]) == 0
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "obs", "snapshot", str(trace), "-o", str(baseline),
+        ]) == 0
+        # Inject a regression: the baseline remembers half the energy
+        # every scenario actually burns.
+        doc = json.loads(baseline.read_text())
+        for key in doc["metrics"]:
+            if key.endswith("/energy_j"):
+                doc["metrics"][key] /= 2
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        code = main(self.FIG1 + ["--abort-on-drift", str(baseline)])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "sweep aborted after" in captured.err
+        assert "drift vs baseline" in captured.err
+        assert "REGRESSED" in captured.out
+
+    def test_matching_baseline_runs_to_completion(self, capsys, tmp_path):
+        trace = tmp_path / "trace"
+        assert main(self.FIG1 + ["--trace", str(trace)]) == 0
+        baseline = tmp_path / "baseline.json"
+        main(["obs", "snapshot", str(trace), "-o", str(baseline)])
+        capsys.readouterr()
+        code = main(self.FIG1 + ["--abort-on-drift", str(baseline)])
+        assert code == 0
+        assert "max savings" in capsys.readouterr().out
+
+    def test_pre_existing_abort_file_stops_a_traced_figure(
+        self, capsys, tmp_path
+    ):
+        # The other half of the dual channel: no drift gate at all, just
+        # the flag file an external watcher (or operator) dropped.
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        (trace / "abort.requested").write_text("operator stop\n")
+        code = main([
+            "fig1", "--bytes", "400000", "--reps", "1",
+            "--trace", str(trace),
+        ])
+        assert code == 3
+        assert "operator stop" in capsys.readouterr().err
